@@ -1,0 +1,150 @@
+// Baseline contrast — the paper's motivation (§1):
+//  * "Analytic models (e.g., Queuing Theory) fail ... with complex
+//    configurations (e.g., real traffic distributions)". We drive this with
+//    heavy-tailed (truncated Pareto) packet sizes and bursty ON/OFF
+//    arrivals: a Poisson/exponential-assumption analytic model ("naive")
+//    underestimates queueing sharply, and even an M/G/1 given the true size
+//    moments ("informed") cannot capture arrival correlation.
+//  * "early ML-based attempts [fully-connected NNs] did not fulfill
+//    expectations" → the FCNN fits its training topology but cannot even
+//    accept a different topology size.
+//
+// Prints delay MRE for RouteNet / naive M/G/1 / informed M/G/1 / FCNN
+// across traffic models, on the seen (NSFNET) and unseen (Geant2) topology.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baseline/fcnn.h"
+#include "baseline/path_mlp.h"
+#include "bench_common.h"
+#include "core/trainer.h"
+#include "queueing/queueing.h"
+#include "topology/generators.h"
+
+namespace {
+
+double queueing_mre(const std::vector<rn::dataset::Sample>& samples,
+                    const rn::traffic::TrafficModel& assumed_model) {
+  const rn::queueing::QueueingPredictor predictor{assumed_model};
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const rn::dataset::Sample& s : samples) {
+    const rn::queueing::AnalyticPrediction pred =
+        predictor.predict(*s.topology, s.routing, s.tm);
+    for (int idx = 0; idx < s.num_pairs(); ++idx) {
+      if (!s.valid[static_cast<std::size_t>(idx)]) continue;
+      const double truth = s.delay_s[static_cast<std::size_t>(idx)];
+      total += std::abs(pred.delay_s[static_cast<std::size_t>(idx)] - truth) /
+               truth;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+struct TrafficCase {
+  const char* label;
+  rn::traffic::TrafficModel model;
+};
+
+}  // namespace
+
+int main() {
+  using namespace rn;
+  const bench::ExperimentScale scale = bench::scale_from_env();
+  const int train_n = scale.name == "quick" ? 12 : 32;
+  const int eval_n = scale.name == "quick" ? 4 : 8;
+  const int epochs = scale.name == "quick" ? 15 : 30;
+
+  auto nsf = bench::nsfnet_topology();
+  auto geant = bench::geant2_topology();
+
+  std::vector<TrafficCase> cases;
+  cases.push_back({"Poisson + exponential sizes", traffic::TrafficModel{}});
+  {
+    traffic::TrafficModel m;
+    m.arrivals = traffic::ArrivalProcess::kOnOff;
+    m.on_fraction = 0.3;
+    m.mean_on_s = 0.5;
+    m.sizes = traffic::PacketSizeModel::kBimodal;
+    cases.push_back({"bursty ON/OFF + bimodal sizes", m});
+  }
+  {
+    traffic::TrafficModel m;
+    m.sizes = traffic::PacketSizeModel::kTruncatedPareto;
+    m.pareto_alpha = 1.2;
+    m.pareto_max_factor = 200.0;
+    cases.push_back({"heavy-tailed Pareto sizes", m});
+  }
+
+  std::printf("=== Baseline comparison: delay MRE (lower is better) ===\n\n");
+  std::printf("%-44s %9s %11s %11s %9s %8s\n", "scenario", "RouteNet",
+              "M/G/1 naive", "M/G/1 true", "PathMLP", "FCNN");
+
+  std::uint64_t seed = 60;
+  for (const TrafficCase& tc : cases) {
+    dataset::GeneratorConfig gcfg;
+    gcfg.target_pkts_per_flow = scale.pkts_per_flow;
+    gcfg.warmup_s = 1.0;
+    gcfg.min_delivered = 10;
+    gcfg.max_util = 0.7;
+    gcfg.model = tc.model;
+    dataset::DatasetGenerator gen(gcfg, seed++);
+    std::vector<dataset::Sample> train = gen.generate_many(nsf, train_n);
+    const std::vector<dataset::Sample> eval_seen =
+        gen.generate_many(nsf, eval_n);
+    const std::vector<dataset::Sample> eval_unseen =
+        gen.generate_many(geant, eval_n);
+
+    core::RouteNet model(bench::paper_model_config());
+    core::TrainConfig tcfg;
+    tcfg.epochs = epochs;
+    tcfg.batch_size = 4;
+    tcfg.learning_rate = 4e-3f;
+    core::Trainer trainer(model, tcfg);
+    trainer.fit(train);
+
+    baseline::FcnnConfig fcfg;
+    fcfg.epochs = epochs * 2;
+    baseline::FcnnBaseline fcnn(train.front().num_pairs(), fcfg);
+    fcnn.fit(train);
+
+    baseline::PathMlpConfig pcfg;
+    pcfg.epochs = epochs * 2;
+    baseline::PathMlpBaseline path_mlp(pcfg);
+    path_mlp.fit(train);
+
+    // "Naive" analytic assumes Poisson/exponential regardless of the truth;
+    // "informed" gets the true size distribution (but still assumes Poisson
+    // arrivals and independent links — all it can do).
+    const traffic::TrafficModel naive{};
+    for (const auto& [topo_label, eval_set] :
+         {std::pair<const char*, const std::vector<dataset::Sample>*>{
+              "NSFNET (seen)", &eval_seen},
+          std::pair<const char*, const std::vector<dataset::Sample>*>{
+              "Geant2 (unseen)", &eval_unseen}}) {
+      const bool seen = eval_set == &eval_seen;
+      std::printf("%-44s %9.3f %11.3f %11.3f %9.3f %8s\n",
+                  (std::string(topo_label) + ", " + tc.label).c_str(),
+                  core::Trainer::evaluate_delay_mre(model, *eval_set),
+                  queueing_mre(*eval_set, naive),
+                  queueing_mre(*eval_set, tc.model),
+                  path_mlp.evaluate_delay_mre(*eval_set),
+                  seen ? std::to_string(fcnn.evaluate_delay_mre(*eval_set))
+                             .substr(0, 5)
+                             .c_str()
+                       : "n/a*");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n*the FCNN's fixed-width input cannot encode a different "
+              "topology size at all — the architectural limitation the "
+              "paper contrasts RouteNet against.\n");
+  std::printf("paper shape check: analytic queueing holds up on Markovian "
+              "traffic but degrades once sizes are heavy-tailed or arrivals "
+              "are correlated, while the learned model tracks the simulator "
+              "on both topologies.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace rn::bench {
+
+ExperimentScale scale_from_env() {
+  ExperimentScale s;
+  const char* env = std::getenv("RN_BENCH_SCALE");
+  const std::string mode = env != nullptr ? env : "standard";
+  if (mode == "quick") {
+    s = ExperimentScale{"quick", 24, 4, 6, 2, 5, 10, 80.0};
+  } else if (mode == "large") {
+    s = ExperimentScale{"large", 400, 60, 40, 12, 40, 40, 150.0};
+  } else {
+    s.name = "standard";
+  }
+  return s;
+}
+
+std::string cache_dir() {
+  const char* env = std::getenv("RN_BENCH_CACHE");
+  const std::string dir = env != nullptr ? env : "bench_cache";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+dataset::GeneratorConfig paper_generator_config(const ExperimentScale& scale) {
+  dataset::GeneratorConfig cfg;
+  cfg.k_paths = 3;                 // routing-scheme variety per sample
+  cfg.min_util = 0.3;              // traffic-intensity sweep
+  cfg.max_util = 0.8;
+  cfg.target_pkts_per_flow = scale.pkts_per_flow;
+  cfg.warmup_s = 1.0;
+  cfg.min_delivered = 15;
+  return cfg;
+}
+
+core::RouteNetConfig paper_model_config() {
+  // The reference RouteNet's tuned setting for larger topologies (§2.1):
+  // 32-dim link/path states and 8 message-passing iterations.
+  core::RouteNetConfig cfg;
+  cfg.link_state_dim = 32;
+  cfg.path_state_dim = 32;
+  cfg.iterations = 8;
+  cfg.readout_hidden = 64;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::shared_ptr<const topo::Topology> nsfnet_topology() {
+  return std::make_shared<const topo::Topology>(topo::nsfnet());
+}
+
+std::shared_ptr<const topo::Topology> syn50_topology() {
+  // The paper's "50-node synthetically-generated topology": seeded BA graph.
+  Rng rng(50);
+  return std::make_shared<const topo::Topology>(topo::synthetic_ba(50, 2, rng));
+}
+
+std::shared_ptr<const topo::Topology> geant2_topology() {
+  return std::make_shared<const topo::Topology>(topo::geant2());
+}
+
+namespace {
+
+std::vector<dataset::Sample> load_or_generate(
+    const std::string& path, dataset::DatasetGenerator& gen,
+    std::shared_ptr<const topo::Topology> topology, int count,
+    const char* label) {
+  if (std::filesystem::exists(path)) {
+    std::printf("  [cache] %-18s <- %s\n", label, path.c_str());
+    return dataset::load_dataset(path);
+  }
+  std::printf("  generating %-3d %s samples...\n", count, label);
+  std::fflush(stdout);
+  std::vector<dataset::Sample> samples =
+      gen.generate_many(std::move(topology), count);
+  dataset::save_dataset(path, samples);
+  return samples;
+}
+
+}  // namespace
+
+PaperSetup load_or_train_paper_setup(const ExperimentScale& scale) {
+  const std::string dir = cache_dir();
+  const std::string tag = "_" + scale.name;
+  const std::string model_path = dir + "/routenet" + tag + ".model";
+
+  dataset::GeneratorConfig gcfg = paper_generator_config(scale);
+  dataset::DatasetGenerator train_gen(gcfg, 101);
+  dataset::DatasetGenerator eval_gen(gcfg, 202);
+
+  std::printf("== RouteNet paper setup (scale: %s) ==\n", scale.name.c_str());
+  PaperSetup setup{
+      core::RouteNet(paper_model_config()),
+      load_or_generate(dir + "/eval_nsfnet" + tag + ".ds", eval_gen,
+                       nsfnet_topology(), scale.eval_nsfnet, "eval-NSFNET"),
+      load_or_generate(dir + "/eval_syn50" + tag + ".ds", eval_gen,
+                       syn50_topology(), scale.eval_syn50, "eval-50node"),
+      load_or_generate(dir + "/eval_geant2" + tag + ".ds", eval_gen,
+                       geant2_topology(), scale.eval_geant2, "eval-Geant2"),
+  };
+
+  if (std::filesystem::exists(model_path)) {
+    std::printf("  [cache] trained model <- %s\n", model_path.c_str());
+    setup.model = core::RouteNet::load(model_path);
+    return setup;
+  }
+
+  std::vector<dataset::Sample> train =
+      load_or_generate(dir + "/train_nsfnet" + tag + ".ds", train_gen,
+                       nsfnet_topology(), scale.train_nsfnet, "train-NSFNET");
+  {
+    std::vector<dataset::Sample> syn =
+        load_or_generate(dir + "/train_syn50" + tag + ".ds", train_gen,
+                         syn50_topology(), scale.train_syn50, "train-50node");
+    for (dataset::Sample& s : syn) train.push_back(std::move(s));
+  }
+
+  core::TrainConfig tcfg;
+  tcfg.epochs = scale.epochs;
+  tcfg.batch_size = 4;
+  tcfg.learning_rate = 4e-3f;
+  tcfg.lr_decay = 0.92f;
+  tcfg.jitter_loss_weight = 0.3f;
+  tcfg.verbose = true;
+  std::printf("  training RouteNet on %zu samples (14-node + 50-node)...\n",
+              train.size());
+  std::fflush(stdout);
+  core::Trainer trainer(setup.model, tcfg);
+  trainer.fit(train);
+  setup.model.save(model_path);
+  std::printf("  model saved -> %s\n", model_path.c_str());
+  return setup;
+}
+
+}  // namespace rn::bench

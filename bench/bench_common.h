@@ -1,0 +1,59 @@
+// Shared experiment pipeline for the figure/table benches.
+//
+// The paper's setup (§2.1): train RouteNet on samples from the 14-node
+// NSFNET and a 50-node synthetic topology, evaluate on unseen samples from
+// those two plus the 24-node Geant2. The public datasets hold 480k/120k/300k
+// samples; one laptop core cannot regenerate that, so the scale below is a
+// CLI/env-tunable miniature (RN_BENCH_SCALE=quick|standard|large) that
+// preserves the experiment's structure. Training artifacts are cached under
+// RN_BENCH_CACHE (default ./bench_cache) so the three figure benches share
+// one trained model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "dataset/dataset.h"
+#include "topology/generators.h"
+
+namespace rn::bench {
+
+struct ExperimentScale {
+  std::string name = "standard";
+  int train_nsfnet = 150;
+  int train_syn50 = 24;
+  int eval_nsfnet = 20;
+  int eval_syn50 = 6;
+  int eval_geant2 = 16;
+  int epochs = 30;
+  double pkts_per_flow = 120.0;
+};
+
+// Reads RN_BENCH_SCALE (quick | standard | large); standard by default.
+ExperimentScale scale_from_env();
+
+// Cache directory (created if missing).
+std::string cache_dir();
+
+dataset::GeneratorConfig paper_generator_config(const ExperimentScale& scale);
+core::RouteNetConfig paper_model_config();
+
+struct PaperSetup {
+  core::RouteNet model;
+  std::vector<dataset::Sample> eval_nsfnet;
+  std::vector<dataset::Sample> eval_syn50;
+  std::vector<dataset::Sample> eval_geant2;
+};
+
+// Trains (or loads from cache) the paper's experiment and returns the model
+// plus the three evaluation sets. Prints progress to stdout.
+PaperSetup load_or_train_paper_setup(const ExperimentScale& scale);
+
+// The three topologies of the experiment.
+std::shared_ptr<const topo::Topology> nsfnet_topology();
+std::shared_ptr<const topo::Topology> syn50_topology();
+std::shared_ptr<const topo::Topology> geant2_topology();
+
+}  // namespace rn::bench

@@ -1,0 +1,132 @@
+// §1 motivation — "packet-level simulators produce accurate KPI predictions
+// at the expense of high computational cost ... RouteNet [is] a
+// cost-effective alternative".
+//
+// google-benchmark microbench: per-scenario wall time of
+//   (a) RouteNet inference,
+//   (b) the packet-level simulator (the accuracy reference), and
+//   (c) the analytic M/G/1 baseline,
+// across the paper's three topology sizes. The paper's shape: the GNN costs
+// orders of magnitude less than simulation and is roughly flat in traffic
+// volume, while simulation cost grows with the number of packets.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "queueing/queueing.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace rn;
+
+struct Scenario {
+  std::shared_ptr<const topo::Topology> topology;
+  routing::RoutingScheme scheme;
+  traffic::TrafficMatrix tm;
+  dataset::Sample as_sample() const {
+    dataset::Sample s{topology, scheme, tm, {}, {}, {}, 0.0};
+    const int pairs = topology->num_pairs();
+    s.delay_s.assign(static_cast<std::size_t>(pairs), 0.0);
+    s.jitter_s.assign(static_cast<std::size_t>(pairs), 0.0);
+    s.valid.assign(static_cast<std::size_t>(pairs), 1);
+    return s;
+  }
+};
+
+Scenario make_scenario(std::shared_ptr<const topo::Topology> topology,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  routing::RoutingScheme scheme =
+      routing::random_k_shortest_routing(*topology, 3, rng);
+  traffic::TrafficMatrix tm =
+      traffic::uniform_traffic(topology->num_nodes(), 50.0, 150.0, rng);
+  traffic::scale_to_max_utilization(tm, *topology, scheme, 0.6);
+  return Scenario{std::move(topology), std::move(scheme), std::move(tm)};
+}
+
+Scenario scenario_for(int which) {
+  switch (which) {
+    case 0:
+      return make_scenario(bench::nsfnet_topology(), 1);
+    case 1:
+      return make_scenario(bench::geant2_topology(), 2);
+    default:
+      return make_scenario(bench::syn50_topology(), 3);
+  }
+}
+
+const char* name_for(int which) {
+  switch (which) {
+    case 0: return "nsfnet14";
+    case 1: return "geant2_24";
+    default: return "synthetic50";
+  }
+}
+
+core::RouteNet& shared_model() {
+  static core::RouteNet model = [] {
+    core::RouteNet m(bench::paper_model_config());
+    dataset::Normalizer norm;
+    norm.capacity_scale = 1.0 / 40'000.0;
+    norm.traffic_scale = 1.0 / 100.0;
+    norm.log_delay_mean = -3.0;
+    norm.log_delay_std = 1.0;
+    m.set_normalizer(norm);  // weights irrelevant for cost measurement
+    return m;
+  }();
+  return model;
+}
+
+void BM_RouteNetInference(benchmark::State& state) {
+  const Scenario sc = scenario_for(static_cast<int>(state.range(0)));
+  const dataset::Sample sample = sc.as_sample();
+  core::RouteNet& model = shared_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(sample));
+  }
+  state.SetLabel(name_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_RouteNetInference)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Second arg: target packets per flow. ~100 gives ±10%-noisy per-path
+// means (what our fast dataset generation uses); ~1000 approaches the
+// statistical confidence a paper-grade simulation run needs. GNN inference
+// cost is independent of this fidelity knob — that asymmetry is the
+// cost-effectiveness argument.
+void BM_PacketSimulator(benchmark::State& state) {
+  const Scenario sc = scenario_for(static_cast<int>(state.range(0)));
+  sim::SimConfig cfg;
+  cfg.warmup_s = 1.0;
+  cfg.horizon_s = sim::horizon_for_target_packets(
+      sc.tm, cfg.model, cfg.warmup_s,
+      static_cast<double>(state.range(1)));
+  const sim::PacketSimulator simulator(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(*sc.topology, sc.scheme, sc.tm));
+  }
+  state.SetLabel(std::string(name_for(static_cast<int>(state.range(0)))) +
+                 "/pkts=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_PacketSimulator)
+    ->Args({0, 100})->Args({1, 100})->Args({2, 100})
+    ->Args({0, 1000})->Args({1, 1000})->Args({2, 1000})
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_QueueingAnalytic(benchmark::State& state) {
+  const Scenario sc = scenario_for(static_cast<int>(state.range(0)));
+  const queueing::QueueingPredictor predictor{traffic::TrafficModel{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        predictor.predict(*sc.topology, sc.scheme, sc.tm));
+  }
+  state.SetLabel(name_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_QueueingAnalytic)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

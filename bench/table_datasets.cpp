@@ -1,0 +1,118 @@
+// §2.1 dataset-composition table.
+//
+// The paper: "we train RouteNet to estimate delays on a dataset with
+// 480,000 samples ... two topologies: 14-node NSFNET and a 50-node
+// synthetically-generated topology ... evaluation dataset contains 120,000
+// unseen samples ... separate evaluation over 300,000 samples simulated in
+// a third topology with 24 nodes (Geant2)."
+//
+// This bench regenerates the dataset matrix at the configured scale and
+// prints, per topology: sample counts, topology shape, routing variety
+// (distinct schemes), traffic-intensity range, simulated-packet volume, and
+// target statistics — the information the paper's table/paragraph conveys.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+namespace {
+
+struct DatasetReport {
+  const char* role;
+  const char* topo_name;
+  int nodes = 0;
+  int links = 0;
+  std::size_t samples = 0;
+  std::size_t distinct_routings = 0;
+  double min_util = 1.0, max_util = 0.0;
+  double mean_delay_ms = 0.0;
+  double mean_valid_frac = 0.0;
+};
+
+DatasetReport report_for(const char* role,
+                         const std::vector<rn::dataset::Sample>& set) {
+  DatasetReport r{};
+  r.role = role;
+  RN_CHECK(!set.empty(), "empty dataset in report");
+  r.topo_name = set.front().topology->name() == "nsfnet" ? "NSFNET"
+                : set.front().topology->name() == "geant2" ? "Geant2"
+                                                           : "synthetic";
+  r.nodes = set.front().topology->num_nodes();
+  r.links = set.front().topology->num_links();
+  r.samples = set.size();
+  std::set<std::size_t> routing_hashes;
+  rn::Welford delays;
+  double valid_frac = 0.0;
+  for (const rn::dataset::Sample& s : set) {
+    std::size_t h = 1469598103934665603ull;
+    for (int idx = 0; idx < s.num_pairs(); ++idx) {
+      for (int link : s.routing.path_by_index(idx)) {
+        h = (h ^ static_cast<std::size_t>(link + 1)) * 1099511628211ull;
+      }
+    }
+    routing_hashes.insert(h);
+    r.min_util = std::min(r.min_util, s.max_link_utilization);
+    r.max_util = std::max(r.max_util, s.max_link_utilization);
+    int valid = 0;
+    for (int idx = 0; idx < s.num_pairs(); ++idx) {
+      if (!s.valid[static_cast<std::size_t>(idx)]) continue;
+      ++valid;
+      delays.add(s.delay_s[static_cast<std::size_t>(idx)]);
+    }
+    valid_frac += static_cast<double>(valid) / s.num_pairs();
+  }
+  r.distinct_routings = routing_hashes.size();
+  r.mean_delay_ms = delays.mean() * 1e3;
+  r.mean_valid_frac = valid_frac / static_cast<double>(set.size());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rn;
+  const bench::ExperimentScale scale = bench::scale_from_env();
+  const dataset::GeneratorConfig gcfg = bench::paper_generator_config(scale);
+
+  std::printf("=== Dataset composition (paper 480k/120k/300k, scaled to "
+              "'%s') ===\n", scale.name.c_str());
+  std::printf("generator: k=%d shortest paths per pair, max-link utilization "
+              "in [%.2f, %.2f], ~%.0f pkts/flow, matrix kinds "
+              "{uniform, gravity, hotspot}\n\n",
+              gcfg.k_paths, gcfg.min_util, gcfg.max_util,
+              gcfg.target_pkts_per_flow);
+
+  dataset::DatasetGenerator train_gen(gcfg, 101);
+  dataset::DatasetGenerator eval_gen(gcfg, 202);
+  std::vector<DatasetReport> rows;
+  rows.push_back(report_for(
+      "train", train_gen.generate_many(bench::nsfnet_topology(),
+                                       scale.train_nsfnet)));
+  rows.push_back(report_for(
+      "train", train_gen.generate_many(bench::syn50_topology(),
+                                       scale.train_syn50)));
+  rows.push_back(report_for(
+      "eval ", eval_gen.generate_many(bench::nsfnet_topology(),
+                                      scale.eval_nsfnet)));
+  rows.push_back(report_for(
+      "eval ", eval_gen.generate_many(bench::syn50_topology(),
+                                      scale.eval_syn50)));
+  rows.push_back(report_for(
+      "eval*", eval_gen.generate_many(bench::geant2_topology(),
+                                      scale.eval_geant2)));
+
+  std::printf("%-6s %-10s %6s %6s %8s %9s %13s %12s %8s\n", "role", "topology",
+              "nodes", "links", "samples", "routings", "util range",
+              "mean delay", "valid%");
+  for (const DatasetReport& r : rows) {
+    std::printf("%-6s %-10s %6d %6d %8zu %9zu  [%.2f, %.2f] %9.2f ms %7.1f%%\n",
+                r.role, r.topo_name, r.nodes, r.links, r.samples,
+                r.distinct_routings, r.min_util, r.max_util, r.mean_delay_ms,
+                100.0 * r.mean_valid_frac);
+  }
+  std::printf("\n(eval* = Geant2, the topology NEVER seen in training; the "
+              "paper's generalization test)\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Bring your own network: define a topology in a plain-text file, a traffic
+// matrix in CSV, derive routing, and model it — no C++ edits required.
+//
+// This example writes the three artifact files itself (so it is
+// self-contained), then round-trips them through the text loaders exactly
+// the way a user's own files would flow, trains a small model, and predicts.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "core/trainer.h"
+#include "routing/text_io.h"
+#include "topology/text_io.h"
+#include "traffic/text_io.h"
+
+int main() {
+  using namespace rn;
+  const std::string dir = "./custom_net_demo";
+  std::filesystem::create_directories(dir);
+
+  // --- 1. A hand-written topology file: a small ISP with a core triangle,
+  //        two metro rings, and asymmetric capacities.
+  const std::string topo_path = dir + "/isp.topo";
+  {
+    std::ofstream f(topo_path);
+    f << "# toy ISP: nodes 0-2 core, 3-5 west metro, 6-8 east metro\n"
+         "topology toy-isp 9\n"
+         "duplex 0 1 40000\n"
+         "duplex 1 2 40000\n"
+         "duplex 0 2 40000\n"
+         "duplex 0 3 25000\n"
+         "duplex 3 4 10000\n"
+         "duplex 4 5 10000\n"
+         "duplex 5 0 25000\n"
+         "duplex 2 6 25000\n"
+         "duplex 6 7 10000\n"
+         "duplex 7 8 10000\n"
+         "duplex 8 2 25000\n";
+  }
+  auto topology = std::make_shared<const topo::Topology>(
+      topo::load_topology_file(topo_path));
+  std::printf("loaded %s: %d nodes, %d links\n",
+              topology->name().c_str(), topology->num_nodes(),
+              topology->num_links());
+
+  // --- 2. Routing + traffic, saved and reloaded through the text formats.
+  Rng rng(4);
+  const routing::RoutingScheme scheme =
+      routing::random_k_shortest_routing(*topology, 2, rng);
+  routing::save_routing_file(dir + "/isp.routes", *topology, scheme);
+  traffic::TrafficMatrix tm =
+      traffic::gravity_traffic(topology->num_nodes(), 1e5, rng);
+  traffic::scale_to_max_utilization(tm, *topology, scheme, 0.7);
+  traffic::save_traffic_csv_file(dir + "/isp.traffic", tm);
+  const routing::RoutingScheme scheme2 =
+      routing::load_routing_file(dir + "/isp.routes", *topology);
+  const traffic::TrafficMatrix tm2 = traffic::load_traffic_csv_file(
+      dir + "/isp.traffic", topology->num_nodes());
+  std::printf("routing (k=2) and gravity traffic written to %s/\n",
+              dir.c_str());
+
+  // --- 3. Train a small model on this network's own scenarios.
+  dataset::GeneratorConfig gcfg;
+  gcfg.k_paths = 2;
+  gcfg.target_pkts_per_flow = 80.0;
+  gcfg.warmup_s = 1.0;
+  dataset::DatasetGenerator gen(gcfg, 8);
+  std::printf("generating 16 training scenarios...\n");
+  const std::vector<dataset::Sample> train = gen.generate_many(topology, 16);
+  core::RouteNetConfig mcfg;
+  mcfg.link_state_dim = 16;
+  mcfg.path_state_dim = 16;
+  mcfg.iterations = 4;
+  core::RouteNet model(mcfg);
+  core::TrainConfig tcfg;
+  tcfg.epochs = 12;
+  tcfg.batch_size = 4;
+  tcfg.learning_rate = 4e-3f;
+  core::Trainer trainer(model, tcfg);
+  trainer.fit(train);
+
+  // --- 4. Predict the loaded scenario.
+  dataset::Sample scenario{topology, scheme2, tm2, {}, {}, {}, 0.7};
+  const int pairs = topology->num_pairs();
+  scenario.delay_s.assign(static_cast<std::size_t>(pairs), 0.0);
+  scenario.jitter_s.assign(static_cast<std::size_t>(pairs), 0.0);
+  scenario.valid.assign(static_cast<std::size_t>(pairs), 1);
+  const core::RouteNet::Prediction pred = model.predict(scenario);
+
+  // Metro-to-metro flows cross the whole core — they should dominate.
+  std::printf("\npredicted delay, sample pairs:\n");
+  for (const auto& [s, d] : std::vector<std::pair<int, int>>{
+           {4, 7}, {3, 8}, {0, 1}, {3, 4}}) {
+    const int idx = topo::pair_index(s, d, topology->num_nodes());
+    std::printf("  %d -> %d  (%zu hops): %8.3f ms\n", s, d,
+                scheme2.path(s, d).size(),
+                pred.delay_s[static_cast<std::size_t>(idx)] * 1e3);
+  }
+  std::printf("\nartifacts kept in %s/ — edit isp.topo / isp.traffic and "
+              "rerun, or feed them to the `routenet` CLI.\n", dir.c_str());
+  return 0;
+}

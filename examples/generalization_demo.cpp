@@ -1,0 +1,81 @@
+// The paper's demo, end to end: train RouteNet on two topologies (14-node
+// NSFNET and a 50-node synthetic graph), then predict delays on Geant2 —
+// a 24-node topology the model has NEVER seen — and compare against the
+// packet-level simulator.
+//
+// This is the CLI equivalent of the interactive Jupyter notebook the
+// authors present (§3). Scale knobs keep it minutes-long on one core; pass
+// --quick for a faster, smaller run.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "core/trainer.h"
+#include "eval/metrics.h"
+#include "topology/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace rn;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const int train_nsf = quick ? 12 : 36;
+  const int train_syn = quick ? 3 : 8;
+  const int eval_n = quick ? 3 : 8;
+  const int epochs = quick ? 8 : 14;
+
+  auto nsf = std::make_shared<const topo::Topology>(topo::nsfnet());
+  Rng ba_rng(50);
+  auto syn50 = std::make_shared<const topo::Topology>(
+      topo::synthetic_ba(50, 2, ba_rng));
+  auto geant = std::make_shared<const topo::Topology>(topo::geant2());
+
+  dataset::GeneratorConfig gcfg;
+  gcfg.k_paths = 3;
+  gcfg.target_pkts_per_flow = quick ? 60.0 : 100.0;
+  gcfg.warmup_s = 1.0;
+  dataset::DatasetGenerator gen(gcfg, 11);
+
+  std::printf("== training set: %d NSFNET(14) + %d synthetic(50) "
+              "scenarios ==\n", train_nsf, train_syn);
+  std::vector<dataset::Sample> train = gen.generate_many(
+      nsf, train_nsf, [](int i, int n) {
+        if (i % 8 == 0 || i == n) std::printf("  nsfnet %d/%d\n", i, n);
+      });
+  {
+    std::vector<dataset::Sample> syn = gen.generate_many(
+        syn50, train_syn, [](int i, int n) {
+          std::printf("  syn50 %d/%d\n", i, n);
+        });
+    for (dataset::Sample& s : syn) train.push_back(std::move(s));
+  }
+
+  core::RouteNet model(core::RouteNetConfig{});
+  core::TrainConfig tcfg;
+  tcfg.epochs = epochs;
+  tcfg.batch_size = 4;
+  tcfg.learning_rate = 4e-3f;
+  tcfg.lr_decay = 0.92f;
+  tcfg.verbose = true;
+  core::Trainer trainer(model, tcfg);
+  std::printf("== training RouteNet (%zu parameters) ==\n",
+              model.num_parameters());
+  trainer.fit(train);
+
+  std::printf("\n== evaluating on %d UNSEEN Geant2(24) scenarios ==\n",
+              eval_n);
+  const std::vector<dataset::Sample> unseen = gen.generate_many(geant, eval_n);
+  const eval::PairedSeries series = eval::collect_delay_pairs(
+      unseen,
+      [&](const dataset::Sample& s) { return model.predict(s).delay_s; });
+  const eval::RegressionStats stats =
+      eval::regression_stats(series.truth, series.pred);
+  std::printf("paths evaluated: %zu\n", series.truth.size());
+  std::printf("Pearson r = %.4f   R^2 = %.4f   MRE = %.4f   "
+              "median RE = %.4f\n",
+              stats.pearson_r, stats.r2, stats.mre, stats.median_re);
+  std::printf("\n%s\n",
+              eval::ascii_scatter(series.truth, series.pred).c_str());
+  std::printf("RouteNet was never trained on a 24-node graph — the dynamic "
+              "message-passing architecture generalizes across topology "
+              "sizes.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// QoS scheduling extension: what the packet simulator's per-link
+// disciplines do to a latency-sensitive traffic class.
+//
+// Scenario: on the GBN backbone, 20% of flows are "voice" (class 0) and the
+// rest "bulk" (class 1), all sharing the same links at high utilization.
+// We run the identical scenario under FIFO, strict priority, and deficit
+// round robin, and report per-class mean delay — the substrate a
+// QoS-aware RouteNet variant (the authors' follow-up direction) would be
+// trained on.
+#include <cstdio>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "topology/generators.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace rn;
+
+struct ClassStats {
+  Welford voice;
+  Welford bulk;
+};
+
+ClassStats per_class_delay(const sim::SimResult& res,
+                           const std::function<int(int)>& cls) {
+  ClassStats out;
+  for (std::size_t idx = 0; idx < res.paths.size(); ++idx) {
+    const sim::PathStats& ps = res.paths[idx];
+    if (ps.delivered < 10) continue;
+    if (cls(static_cast<int>(idx)) == 0) {
+      out.voice.add(ps.mean_delay_s);
+    } else {
+      out.bulk.add(ps.mean_delay_s);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto topology = std::make_shared<const topo::Topology>(topo::gbn());
+  Rng rng(3);
+  const routing::RoutingScheme scheme =
+      routing::random_k_shortest_routing(*topology, 2, rng);
+  traffic::TrafficMatrix tm =
+      traffic::gravity_traffic(topology->num_nodes(), 1e5, rng);
+  traffic::scale_to_max_utilization(tm, *topology, scheme, 0.85);
+
+  // Every 5th pair is latency-sensitive "voice".
+  const auto cls = [](int pair_idx) { return pair_idx % 5 == 0 ? 0 : 1; };
+
+  std::printf("GBN backbone, %d flows (20%% voice / 80%% bulk), max link "
+              "utilization 0.85\n\n", topology->num_pairs());
+  std::printf("%-22s %16s %16s %14s\n", "scheduling", "voice delay (ms)",
+              "bulk delay (ms)", "voice gain");
+
+  double fifo_voice = 0.0;
+  for (const auto& [name, policy] :
+       {std::pair<const char*, sim::Scheduling>{"FIFO", sim::Scheduling::kFifo},
+        std::pair<const char*, sim::Scheduling>{"strict priority",
+                                                sim::Scheduling::kStrictPriority},
+        std::pair<const char*, sim::Scheduling>{"deficit round robin",
+                                                sim::Scheduling::kDeficitRoundRobin}}) {
+    sim::SimConfig cfg;
+    cfg.warmup_s = 2.0;
+    cfg.horizon_s = sim::horizon_for_target_packets(tm, cfg.model,
+                                                    cfg.warmup_s, 300.0);
+    cfg.seed = 11;
+    cfg.scheduling = policy;
+    cfg.num_classes = 2;
+    cfg.class_of_flow = cls;
+    const sim::SimResult res =
+        sim::PacketSimulator(cfg).run(*topology, scheme, tm);
+    const ClassStats stats = per_class_delay(res, cls);
+    if (policy == sim::Scheduling::kFifo) fifo_voice = stats.voice.mean();
+    std::printf("%-22s %16.3f %16.3f %+13.1f%%\n", name,
+                stats.voice.mean() * 1e3, stats.bulk.mean() * 1e3,
+                100.0 * (stats.voice.mean() - fifo_voice) / fifo_voice);
+  }
+  std::printf("\nstrict priority shields the voice class at the bulk "
+              "class's expense; DRR sits in between. Generate datasets with "
+              "these policies (sim::SimConfig::scheduling) to train "
+              "QoS-aware models.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Network visibility (paper §3 / Fig. 4): use RouteNet predictions to
+// surface the Top-N highest-delay paths of a live scenario, the kind of
+// dashboard statistic the demo notebook renders — without running the
+// expensive packet simulator in the loop.
+//
+// Flow: train a small model on Geant2 scenarios, then for a fresh scenario
+// print the Top-10 report and cross-check against the simulator.
+#include <cstdio>
+#include <memory>
+
+#include "core/trainer.h"
+#include "eval/metrics.h"
+#include "topology/generators.h"
+
+int main() {
+  using namespace rn;
+  auto geant = std::make_shared<const topo::Topology>(topo::geant2());
+
+  dataset::GeneratorConfig gcfg;
+  gcfg.k_paths = 3;
+  gcfg.target_pkts_per_flow = 80.0;
+  gcfg.warmup_s = 1.0;
+  dataset::DatasetGenerator gen(gcfg, 3);
+  std::printf("generating 16 Geant2 scenarios for training...\n");
+  const std::vector<dataset::Sample> train = gen.generate_many(geant, 16);
+
+  core::RouteNet model(core::RouteNetConfig{});
+  core::TrainConfig tcfg;
+  tcfg.epochs = 12;
+  tcfg.batch_size = 4;
+  tcfg.learning_rate = 4e-3f;
+  core::Trainer trainer(model, tcfg);
+  std::printf("training...\n");
+  trainer.fit(train);
+
+  // A fresh scenario arrives (new routing + traffic): the operator asks
+  // "which paths are hurting right now?"
+  const dataset::Sample live = gen.generate(geant);
+  const core::RouteNet::Prediction pred = model.predict(live);
+  const std::vector<eval::RankedPath> top =
+      eval::top_n_paths(live, pred.delay_s, 10);
+
+  std::printf("\n=== Top-10 paths with more delay (predicted) ===\n");
+  std::printf("%4s %10s %5s %16s %16s %9s\n", "rank", "path", "hops",
+              "predicted (ms)", "simulator (ms)", "rel.err");
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const eval::RankedPath& p = top[i];
+    std::printf("%4zu %4d->%-5d %5d %16.3f %16.3f %+9.3f\n", i + 1, p.src,
+                p.dst, p.hops, p.predicted_delay_s * 1e3,
+                p.true_delay_s * 1e3,
+                (p.predicted_delay_s - p.true_delay_s) / p.true_delay_s);
+  }
+
+  // Also show predicted jitter for the worst path — RouteNet estimates both
+  // KPIs in one pass.
+  const eval::RankedPath& worst = top.front();
+  const int worst_idx =
+      topo::pair_index(worst.src, worst.dst, geant->num_nodes());
+  std::printf("\nworst path %d->%d: predicted jitter %.3f ms (sim %.3f ms)\n",
+              worst.src, worst.dst,
+              pred.jitter_s[static_cast<std::size_t>(worst_idx)] * 1e3,
+              live.jitter_s[static_cast<std::size_t>(worst_idx)] * 1e3);
+  std::printf("\nprediction cost: one GNN forward pass vs. a full "
+              "packet-level simulation per what-if.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Weight initializers.
+#pragma once
+
+#include <cmath>
+
+#include "ag/tensor.h"
+#include "util/rng.h"
+
+namespace rn::ag {
+
+// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+// Suits tanh/sigmoid layers (GRU gates, readout hidden layers).
+inline Tensor xavier_uniform(int rows, int cols, Rng& rng) {
+  const double a = std::sqrt(6.0 / (rows + cols));
+  Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) {
+    t[static_cast<std::size_t>(i)] =
+        static_cast<float>(rng.uniform(-a, a));
+  }
+  return t;
+}
+
+// He/Kaiming uniform for ReLU layers: U(-a, a), a = sqrt(6 / fan_in).
+inline Tensor he_uniform(int rows, int cols, Rng& rng) {
+  const double a = std::sqrt(6.0 / rows);
+  Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) {
+    t[static_cast<std::size_t>(i)] =
+        static_cast<float>(rng.uniform(-a, a));
+  }
+  return t;
+}
+
+// Orthogonal-ish recurrent init: scaled Xavier; adequate for small GRUs.
+inline Tensor recurrent_uniform(int rows, int cols, Rng& rng) {
+  return xavier_uniform(rows, cols, rng);
+}
+
+}  // namespace rn::ag

@@ -1,0 +1,79 @@
+// Neural-network building blocks on top of the autodiff tape: dense layers,
+// GRU cells (RouteNet's path/link update functions), and MLPs (the readout).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ag/tape.h"
+#include "util/rng.h"
+
+namespace rn::ag {
+
+enum class Activation { kNone, kRelu, kSigmoid, kTanh };
+
+// Fully-connected layer: y = act(x W + b), W is in×out.
+class Dense {
+ public:
+  Dense(int in_dim, int out_dim, Activation act, Rng& rng,
+        const std::string& name);
+
+  ValueId apply(Tape& tape, ValueId x) const;
+
+  int in_dim() const { return w_.value.rows(); }
+  int out_dim() const { return w_.value.cols(); }
+
+  std::vector<Parameter*> params();
+
+ private:
+  mutable Parameter w_;
+  mutable Parameter b_;
+  Activation act_;
+};
+
+// Gated recurrent unit cell operating on row-batches:
+//   z  = σ(x Wz + h Uz + bz)
+//   r  = σ(x Wr + h Ur + br)
+//   h~ = tanh(x Wh + (r∘h) Uh + bh)
+//   h' = (1−z)∘h + z∘h~
+// RouteNet uses one GRU as the path-update RNN (x = link state, h = path
+// state) and another as the link-update function (x = aggregated messages,
+// h = link state).
+class GruCell {
+ public:
+  GruCell(int input_dim, int hidden_dim, Rng& rng, const std::string& name);
+
+  // x: N×input_dim, h: N×hidden_dim → new hidden N×hidden_dim.
+  ValueId step(Tape& tape, ValueId x, ValueId h) const;
+
+  int input_dim() const { return wz_.value.rows(); }
+  int hidden_dim() const { return wz_.value.cols(); }
+
+  std::vector<Parameter*> params();
+
+ private:
+  mutable Parameter wz_, uz_, bz_;
+  mutable Parameter wr_, ur_, br_;
+  mutable Parameter wh_, uh_, bh_;
+};
+
+// Multi-layer perceptron; hidden layers use ReLU, final layer is linear
+// unless an output activation is requested.
+class Mlp {
+ public:
+  // dims = {in, h1, ..., out}.
+  Mlp(const std::vector<int>& dims, Rng& rng, const std::string& name,
+      Activation output_act = Activation::kNone);
+
+  ValueId apply(Tape& tape, ValueId x) const;
+
+  int in_dim() const;
+  int out_dim() const;
+
+  std::vector<Parameter*> params();
+
+ private:
+  std::vector<Dense> layers_;
+};
+
+}  // namespace rn::ag

@@ -1,0 +1,92 @@
+#include "ag/optim.h"
+
+#include <cmath>
+
+namespace rn::ag {
+
+Optimizer::Optimizer(std::vector<Parameter*> params)
+    : params_(std::move(params)) {
+  for (Parameter* p : params_) {
+    RN_CHECK(p != nullptr, "null Parameter handed to Optimizer");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  RN_CHECK(lr > 0.0f, "learning rate must be positive");
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (momentum_ == 0.0f) {
+      p.value.add_scaled(p.grad, -lr_);
+    } else {
+      Tensor& v = velocity_[i];
+      v.scale(momentum_);
+      v.add_scaled(p.grad, 1.0f);
+      p.value.add_scaled(v, -lr_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  RN_CHECK(lr > 0.0f, "learning rate must be positive");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    const int n = p.value.size();
+    for (int j = 0; j < n; ++j) {
+      auto k = static_cast<std::size_t>(j);
+      const float g = p.grad[k];
+      m[k] = beta1_ * m[k] + (1.0f - beta1_) * g;
+      v[k] = beta2_ * v[k] + (1.0f - beta2_) * g * g;
+      const float mhat = m[k] / bc1;
+      const float vhat = v[k] / bc2;
+      p.value[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm) {
+  RN_CHECK(max_norm > 0.0, "max_norm must be positive");
+  double sq = 0.0;
+  for (const Parameter* p : params) sq += p->grad.squared_norm();
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const float s = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params) p->grad.scale(s);
+  }
+  return norm;
+}
+
+}  // namespace rn::ag

@@ -1,0 +1,68 @@
+// First-order optimizers over Parameter sets, plus gradient clipping.
+#pragma once
+
+#include <vector>
+
+#include "ag/tape.h"
+
+namespace rn::ag {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad();
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+// Plain SGD with optional classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0f);
+
+  void step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba) with bias correction — the optimizer RouteNet trains
+// with in the reference implementation.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  long step_count() const { return t_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+// Scales all gradients so their global L2 norm is at most max_norm.
+// Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm);
+
+}  // namespace rn::ag

@@ -1,0 +1,82 @@
+#include "ag/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+namespace rn::ag {
+
+namespace {
+constexpr char kMagic[] = "RNCKPT1\n";
+constexpr std::size_t kMagicLen = 8;
+}  // namespace
+
+void save_parameters(std::ostream& out,
+                     const std::vector<Parameter*>& params) {
+  out.write(kMagic, kMagicLen);
+  const auto count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Parameter* p : params) {
+    RN_CHECK(p != nullptr, "null parameter in save_parameters");
+    const auto name_len = static_cast<std::uint32_t>(p->name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p->name.data(), name_len);
+    const std::int32_t rows = p->value.rows();
+    const std::int32_t cols = p->value.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(sizeof(float)) * p->value.size());
+  }
+  RN_CHECK(out.good(), "write failure while saving parameters");
+}
+
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params) {
+  std::ofstream out(path, std::ios::binary);
+  RN_CHECK(out.good(), "cannot open checkpoint for writing: " + path);
+  save_parameters(out, params);
+}
+
+void load_parameters(std::istream& in,
+                     const std::vector<Parameter*>& params) {
+  char magic[kMagicLen];
+  in.read(magic, kMagicLen);
+  RN_CHECK(in.good() && std::string(magic, kMagicLen) == kMagic,
+           "bad checkpoint magic");
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  std::map<std::string, Tensor> loaded;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    std::int32_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    RN_CHECK(in.good() && rows >= 0 && cols >= 0, "corrupt checkpoint entry");
+    Tensor t(rows, cols);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(sizeof(float)) * t.size());
+    RN_CHECK(in.good(), "truncated checkpoint payload");
+    loaded.emplace(std::move(name), std::move(t));
+  }
+  for (Parameter* p : params) {
+    auto it = loaded.find(p->name);
+    RN_CHECK(it != loaded.end(), "checkpoint missing parameter: " + p->name);
+    RN_CHECK(it->second.same_shape(p->value),
+             "checkpoint shape mismatch for parameter: " + p->name);
+    p->value = it->second;
+  }
+}
+
+void load_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  RN_CHECK(in.good(), "cannot open checkpoint for reading: " + path);
+  load_parameters(in, params);
+}
+
+}  // namespace rn::ag

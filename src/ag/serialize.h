@@ -1,0 +1,29 @@
+// Binary checkpointing of parameter sets.
+//
+// File format: magic "RNCKPT1\n", uint32 count, then per parameter:
+// uint32 name_len, name bytes, int32 rows, int32 cols, float payload.
+// Stream overloads let callers embed a parameter block inside a larger
+// model file (config header + parameters).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ag/tape.h"
+
+namespace rn::ag {
+
+void save_parameters(std::ostream& out,
+                     const std::vector<Parameter*>& params);
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params);
+
+// Loads by name into the given parameters; shapes must match exactly.
+// Throws if a parameter is missing from the stream.
+void load_parameters(std::istream& in,
+                     const std::vector<Parameter*>& params);
+void load_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params);
+
+}  // namespace rn::ag

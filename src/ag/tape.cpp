@@ -1,0 +1,768 @@
+#include "ag/tape.h"
+
+#include <cmath>
+
+namespace rn::ag {
+
+namespace {
+
+// Shared scratch returned by grad() for nodes that never received gradient.
+const Tensor& empty_tensor() {
+  static const Tensor t;
+  return t;
+}
+
+}  // namespace
+
+ValueId Tape::push(Node n) {
+  nodes_.push_back(std::move(n));
+  return static_cast<ValueId>(nodes_.size() - 1);
+}
+
+Tape::Node& Tape::node(ValueId id) {
+  RN_CHECK(id >= 0 && id < static_cast<ValueId>(nodes_.size()),
+           "invalid ValueId");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Tape::Node& Tape::node(ValueId id) const {
+  RN_CHECK(id >= 0 && id < static_cast<ValueId>(nodes_.size()),
+           "invalid ValueId");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+bool Tape::any_needs_grad(ValueId a, ValueId b) const {
+  if (a != kInvalidValue && node(a).needs_grad) return true;
+  if (b != kInvalidValue && node(b).needs_grad) return true;
+  return false;
+}
+
+Tensor& Tape::grad_buffer(ValueId id) {
+  Node& n = node(id);
+  if (n.grad.empty() && n.value.size() > 0) {
+    n.grad = Tensor(n.value.rows(), n.value.cols());
+  }
+  return n.grad;
+}
+
+// --- Leaves ------------------------------------------------------------------
+
+ValueId Tape::constant(Tensor t) {
+  Node n;
+  n.op = Op::kConstant;
+  n.value = std::move(t);
+  n.needs_grad = false;
+  return push(std::move(n));
+}
+
+ValueId Tape::param(Parameter& p) {
+  Node n;
+  n.op = Op::kParam;
+  n.value = p.value;  // copy: tape must stay valid if the optimizer steps
+  n.needs_grad = true;
+  n.parameter = &p;
+  return push(std::move(n));
+}
+
+// --- Dense algebra -------------------------------------------------------------
+
+ValueId Tape::matmul(ValueId a, ValueId b) {
+  Node n;
+  n.op = Op::kMatmul;
+  n.a = a;
+  n.b = b;
+  n.value = ag::matmul(node(a).value, node(b).value);
+  n.needs_grad = any_needs_grad(a, b);
+  return push(std::move(n));
+}
+
+ValueId Tape::add(ValueId a, ValueId b) {
+  const Tensor& av = node(a).value;
+  const Tensor& bv = node(b).value;
+  RN_CHECK(av.same_shape(bv), "add shape mismatch");
+  Node n;
+  n.op = Op::kAdd;
+  n.a = a;
+  n.b = b;
+  n.value = av;
+  n.value.add_scaled(bv, 1.0f);
+  n.needs_grad = any_needs_grad(a, b);
+  return push(std::move(n));
+}
+
+ValueId Tape::sub(ValueId a, ValueId b) {
+  const Tensor& av = node(a).value;
+  const Tensor& bv = node(b).value;
+  RN_CHECK(av.same_shape(bv), "sub shape mismatch");
+  Node n;
+  n.op = Op::kSub;
+  n.a = a;
+  n.b = b;
+  n.value = av;
+  n.value.add_scaled(bv, -1.0f);
+  n.needs_grad = any_needs_grad(a, b);
+  return push(std::move(n));
+}
+
+ValueId Tape::mul(ValueId a, ValueId b) {
+  const Tensor& av = node(a).value;
+  const Tensor& bv = node(b).value;
+  RN_CHECK(av.same_shape(bv), "mul shape mismatch");
+  Node n;
+  n.op = Op::kMul;
+  n.a = a;
+  n.b = b;
+  n.value = av;
+  for (int i = 0; i < n.value.size(); ++i) {
+    n.value[static_cast<std::size_t>(i)] *= bv[static_cast<std::size_t>(i)];
+  }
+  n.needs_grad = any_needs_grad(a, b);
+  return push(std::move(n));
+}
+
+ValueId Tape::add_bias(ValueId m, ValueId bias) {
+  const Tensor& mv = node(m).value;
+  const Tensor& bv = node(bias).value;
+  RN_CHECK(bv.rows() == 1 && bv.cols() == mv.cols(),
+           "add_bias expects a 1×C bias matching the matrix columns");
+  Node n;
+  n.op = Op::kAddBias;
+  n.a = m;
+  n.b = bias;
+  n.value = mv;
+  for (int r = 0; r < mv.rows(); ++r) {
+    float* row = n.value.row(r);
+    for (int c = 0; c < mv.cols(); ++c) row[c] += bv.at(0, c);
+  }
+  n.needs_grad = any_needs_grad(m, bias);
+  return push(std::move(n));
+}
+
+ValueId Tape::scale(ValueId a, float s) {
+  Node n;
+  n.op = Op::kScale;
+  n.a = a;
+  n.scalar = s;
+  n.value = node(a).value;
+  n.value.scale(s);
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+ValueId Tape::scale_rows(ValueId a, std::vector<float> factors) {
+  const Tensor& av = node(a).value;
+  RN_CHECK(static_cast<int>(factors.size()) == av.rows(),
+           "scale_rows: one factor per row");
+  Node n;
+  n.op = Op::kScaleRows;
+  n.a = a;
+  n.value = av;
+  for (int r = 0; r < av.rows(); ++r) {
+    float* row = n.value.row(r);
+    const float f = factors[static_cast<std::size_t>(r)];
+    for (int c = 0; c < av.cols(); ++c) row[c] *= f;
+  }
+  n.row_factors = std::move(factors);
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+ValueId Tape::dropout(ValueId a, float rate, Rng& rng) {
+  RN_CHECK(rate >= 0.0f && rate < 1.0f, "dropout rate must be in [0,1)");
+  const Tensor& av = node(a).value;
+  Node n;
+  n.op = Op::kDropout;
+  n.a = a;
+  // Mask holds 0 or the inverted-dropout scale, so forward and backward are
+  // both a plain elementwise multiply by it.
+  n.aux_tensor = Tensor(av.rows(), av.cols());
+  const float keep_scale = 1.0f / (1.0f - rate);
+  for (int i = 0; i < av.size(); ++i) {
+    n.aux_tensor[static_cast<std::size_t>(i)] =
+        rng.bernoulli(static_cast<double>(rate)) ? 0.0f : keep_scale;
+  }
+  n.value = av;
+  for (int i = 0; i < av.size(); ++i) {
+    n.value[static_cast<std::size_t>(i)] *=
+        n.aux_tensor[static_cast<std::size_t>(i)];
+  }
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+ValueId Tape::one_minus(ValueId a) {
+  Node n;
+  n.op = Op::kOneMinus;
+  n.a = a;
+  n.value = node(a).value;
+  for (int i = 0; i < n.value.size(); ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    n.value[idx] = 1.0f - n.value[idx];
+  }
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+// --- Nonlinearities --------------------------------------------------------------
+
+ValueId Tape::sigmoid(ValueId a) {
+  Node n;
+  n.op = Op::kSigmoid;
+  n.a = a;
+  n.value = node(a).value;
+  for (int i = 0; i < n.value.size(); ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    n.value[idx] = 1.0f / (1.0f + std::exp(-n.value[idx]));
+  }
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+ValueId Tape::tanh(ValueId a) {
+  Node n;
+  n.op = Op::kTanh;
+  n.a = a;
+  n.value = node(a).value;
+  for (int i = 0; i < n.value.size(); ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    n.value[idx] = std::tanh(n.value[idx]);
+  }
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+ValueId Tape::relu(ValueId a) {
+  Node n;
+  n.op = Op::kRelu;
+  n.a = a;
+  n.value = node(a).value;
+  for (int i = 0; i < n.value.size(); ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    if (n.value[idx] < 0.0f) n.value[idx] = 0.0f;
+  }
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+// --- Shape ops --------------------------------------------------------------------
+
+ValueId Tape::concat_cols(ValueId a, ValueId b) {
+  const Tensor& av = node(a).value;
+  const Tensor& bv = node(b).value;
+  RN_CHECK(av.rows() == bv.rows(), "concat_cols row mismatch");
+  Node n;
+  n.op = Op::kConcatCols;
+  n.a = a;
+  n.b = b;
+  n.aux0 = av.cols();
+  n.value = Tensor(av.rows(), av.cols() + bv.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    float* out = n.value.row(r);
+    const float* ra = av.row(r);
+    const float* rb = bv.row(r);
+    for (int c = 0; c < av.cols(); ++c) out[c] = ra[c];
+    for (int c = 0; c < bv.cols(); ++c) out[av.cols() + c] = rb[c];
+  }
+  n.needs_grad = any_needs_grad(a, b);
+  return push(std::move(n));
+}
+
+ValueId Tape::concat_rows(const std::vector<ValueId>& xs) {
+  RN_CHECK(!xs.empty(), "concat_rows of no blocks");
+  const int cols = node(xs.front()).value.cols();
+  int rows = 0;
+  bool needs = false;
+  for (ValueId x : xs) {
+    const Node& nx = node(x);
+    RN_CHECK(nx.value.cols() == cols, "concat_rows column mismatch");
+    rows += nx.value.rows();
+    needs = needs || nx.needs_grad;
+  }
+  Node n;
+  n.op = Op::kConcatRows;
+  n.srcs = xs;
+  n.value = Tensor(rows, cols);
+  int r0 = 0;
+  for (ValueId x : xs) {
+    const Tensor& xv = node(x).value;
+    for (int r = 0; r < xv.rows(); ++r) {
+      float* out = n.value.row(r0 + r);
+      const float* in = xv.row(r);
+      for (int c = 0; c < cols; ++c) out[c] = in[c];
+    }
+    r0 += xv.rows();
+  }
+  n.needs_grad = needs;
+  return push(std::move(n));
+}
+
+ValueId Tape::slice_cols(ValueId a, int c0, int c1) {
+  const Tensor& av = node(a).value;
+  RN_CHECK(0 <= c0 && c0 < c1 && c1 <= av.cols(), "slice_cols bounds");
+  Node n;
+  n.op = Op::kSliceCols;
+  n.a = a;
+  n.aux0 = c0;
+  n.aux1 = c1;
+  n.value = Tensor(av.rows(), c1 - c0);
+  for (int r = 0; r < av.rows(); ++r) {
+    const float* in = av.row(r);
+    float* out = n.value.row(r);
+    for (int c = c0; c < c1; ++c) out[c - c0] = in[c];
+  }
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+// --- Graph-indexing ops --------------------------------------------------------------
+
+ValueId Tape::gather_rows(ValueId a, std::vector<int> idx) {
+  const Tensor& av = node(a).value;
+  for (int i : idx) {
+    RN_CHECK(i >= 0 && i < av.rows(), "gather_rows index out of range");
+  }
+  Node n;
+  n.op = Op::kGatherRows;
+  n.a = a;
+  n.value = Tensor(static_cast<int>(idx.size()), av.cols());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const float* in = av.row(idx[i]);
+    float* out = n.value.row(static_cast<int>(i));
+    for (int c = 0; c < av.cols(); ++c) out[c] = in[c];
+  }
+  n.idx = std::move(idx);
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+ValueId Tape::scatter_rows(ValueId base, std::vector<int> idx, ValueId rows) {
+  const Tensor& bv = node(base).value;
+  const Tensor& rv = node(rows).value;
+  RN_CHECK(rv.rows() == static_cast<int>(idx.size()),
+           "scatter_rows: idx size must match rows count");
+  RN_CHECK(rv.cols() == bv.cols(), "scatter_rows column mismatch");
+  std::vector<bool> seen(static_cast<std::size_t>(bv.rows()), false);
+  for (int i : idx) {
+    RN_CHECK(i >= 0 && i < bv.rows(), "scatter_rows index out of range");
+    RN_CHECK(!seen[static_cast<std::size_t>(i)],
+             "scatter_rows indices must be unique");
+    seen[static_cast<std::size_t>(i)] = true;
+  }
+  Node n;
+  n.op = Op::kScatterRows;
+  n.a = base;
+  n.b = rows;
+  n.value = bv;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    float* out = n.value.row(idx[i]);
+    const float* in = rv.row(static_cast<int>(i));
+    for (int c = 0; c < bv.cols(); ++c) out[c] = in[c];
+  }
+  n.idx = std::move(idx);
+  n.needs_grad = any_needs_grad(base, rows);
+  return push(std::move(n));
+}
+
+ValueId Tape::segment_sum(ValueId a, std::vector<int> seg, int num_segments) {
+  const Tensor& av = node(a).value;
+  RN_CHECK(static_cast<int>(seg.size()) == av.rows(),
+           "segment_sum: one segment id per row");
+  for (int s : seg) {
+    RN_CHECK(s >= 0 && s < num_segments, "segment id out of range");
+  }
+  Node n;
+  n.op = Op::kSegmentSum;
+  n.a = a;
+  n.aux0 = num_segments;
+  n.value = Tensor(num_segments, av.cols());
+  for (std::size_t i = 0; i < seg.size(); ++i) {
+    float* out = n.value.row(seg[i]);
+    const float* in = av.row(static_cast<int>(i));
+    for (int c = 0; c < av.cols(); ++c) out[c] += in[c];
+  }
+  n.idx = std::move(seg);
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+// --- Reductions & losses ----------------------------------------------------------------
+
+ValueId Tape::reduce_sum(ValueId a) {
+  const Tensor& av = node(a).value;
+  Node n;
+  n.op = Op::kReduceSum;
+  n.a = a;
+  double acc = 0.0;
+  for (int i = 0; i < av.size(); ++i) acc += av[static_cast<std::size_t>(i)];
+  n.value = Tensor::scalar(static_cast<float>(acc));
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+ValueId Tape::reduce_mean(ValueId a) {
+  const Tensor& av = node(a).value;
+  RN_CHECK(av.size() > 0, "reduce_mean of empty tensor");
+  Node n;
+  n.op = Op::kReduceMean;
+  n.a = a;
+  double acc = 0.0;
+  for (int i = 0; i < av.size(); ++i) acc += av[static_cast<std::size_t>(i)];
+  n.value = Tensor::scalar(static_cast<float>(acc / av.size()));
+  n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+ValueId Tape::mse(ValueId pred, const Tensor& target) {
+  const Tensor& pv = node(pred).value;
+  RN_CHECK(pv.same_shape(target), "mse shape mismatch");
+  RN_CHECK(pv.size() > 0, "mse of empty tensor");
+  Node n;
+  n.op = Op::kMse;
+  n.a = pred;
+  n.aux_tensor = target;
+  double acc = 0.0;
+  for (int i = 0; i < pv.size(); ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    const double d = static_cast<double>(pv[idx]) - target[idx];
+    acc += d * d;
+  }
+  n.value = Tensor::scalar(static_cast<float>(acc / pv.size()));
+  n.needs_grad = any_needs_grad(pred);
+  return push(std::move(n));
+}
+
+ValueId Tape::mae(ValueId pred, const Tensor& target) {
+  const Tensor& pv = node(pred).value;
+  RN_CHECK(pv.same_shape(target), "mae shape mismatch");
+  RN_CHECK(pv.size() > 0, "mae of empty tensor");
+  Node n;
+  n.op = Op::kMae;
+  n.a = pred;
+  n.aux_tensor = target;
+  double acc = 0.0;
+  for (int i = 0; i < pv.size(); ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    acc += std::abs(static_cast<double>(pv[idx]) - target[idx]);
+  }
+  n.value = Tensor::scalar(static_cast<float>(acc / pv.size()));
+  n.needs_grad = any_needs_grad(pred);
+  return push(std::move(n));
+}
+
+ValueId Tape::huber(ValueId pred, const Tensor& target, float delta) {
+  const Tensor& pv = node(pred).value;
+  RN_CHECK(pv.same_shape(target), "huber shape mismatch");
+  RN_CHECK(pv.size() > 0, "huber of empty tensor");
+  RN_CHECK(delta > 0.0f, "huber delta must be positive");
+  Node n;
+  n.op = Op::kHuber;
+  n.a = pred;
+  n.aux_tensor = target;
+  n.scalar = delta;
+  double acc = 0.0;
+  for (int i = 0; i < pv.size(); ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    const double d = std::abs(static_cast<double>(pv[idx]) - target[idx]);
+    acc += d <= delta ? 0.5 * d * d : delta * (d - 0.5 * delta);
+  }
+  n.value = Tensor::scalar(static_cast<float>(acc / pv.size()));
+  n.needs_grad = any_needs_grad(pred);
+  return push(std::move(n));
+}
+
+// --- Execution --------------------------------------------------------------------------
+
+const Tensor& Tape::value(ValueId id) const { return node(id).value; }
+
+const Tensor& Tape::grad(ValueId id) const {
+  const Node& n = node(id);
+  return n.grad.empty() ? empty_tensor() : n.grad;
+}
+
+void Tape::backward(ValueId root) {
+  Node& r = node(root);
+  RN_CHECK(r.value.rows() == 1 && r.value.cols() == 1,
+           "backward root must be a 1×1 scalar");
+  // Reset per-node gradients from any previous backward on this tape.
+  for (Node& n : nodes_) {
+    if (!n.grad.empty()) n.grad.fill(0.0f);
+  }
+  grad_buffer(root).at(0, 0) = 1.0f;
+  for (ValueId id = root; id >= 0; --id) {
+    const Node& n = node(id);
+    if (!n.needs_grad || n.grad.empty()) continue;
+    backward_node(id);
+  }
+}
+
+void Tape::backward_node(ValueId id) {
+  Node& n = node(id);
+  const Tensor& g = n.grad;
+  auto propagate = [&](ValueId src) -> Tensor* {
+    if (src == kInvalidValue) return nullptr;
+    if (!node(src).needs_grad) return nullptr;
+    return &grad_buffer(src);
+  };
+
+  switch (n.op) {
+    case Op::kConstant:
+      break;
+    case Op::kParam:
+      RN_CHECK(n.parameter != nullptr, "param node without Parameter");
+      n.parameter->grad.add_scaled(g, 1.0f);
+      break;
+    case Op::kMatmul: {
+      if (Tensor* ga = propagate(n.a)) {
+        ga->add_scaled(matmul_nt(g, node(n.b).value), 1.0f);
+      }
+      if (Tensor* gb = propagate(n.b)) {
+        gb->add_scaled(matmul_tn(node(n.a).value, g), 1.0f);
+      }
+      break;
+    }
+    case Op::kAdd: {
+      if (Tensor* ga = propagate(n.a)) ga->add_scaled(g, 1.0f);
+      if (Tensor* gb = propagate(n.b)) gb->add_scaled(g, 1.0f);
+      break;
+    }
+    case Op::kSub: {
+      if (Tensor* ga = propagate(n.a)) ga->add_scaled(g, 1.0f);
+      if (Tensor* gb = propagate(n.b)) gb->add_scaled(g, -1.0f);
+      break;
+    }
+    case Op::kMul: {
+      const Tensor& av = node(n.a).value;
+      const Tensor& bv = node(n.b).value;
+      if (Tensor* ga = propagate(n.a)) {
+        for (int i = 0; i < g.size(); ++i) {
+          auto k = static_cast<std::size_t>(i);
+          (*ga)[k] += g[k] * bv[k];
+        }
+      }
+      if (Tensor* gb = propagate(n.b)) {
+        for (int i = 0; i < g.size(); ++i) {
+          auto k = static_cast<std::size_t>(i);
+          (*gb)[k] += g[k] * av[k];
+        }
+      }
+      break;
+    }
+    case Op::kAddBias: {
+      if (Tensor* ga = propagate(n.a)) ga->add_scaled(g, 1.0f);
+      if (Tensor* gb = propagate(n.b)) {
+        for (int r = 0; r < g.rows(); ++r) {
+          const float* grow = g.row(r);
+          for (int c = 0; c < g.cols(); ++c) gb->at(0, c) += grow[c];
+        }
+      }
+      break;
+    }
+    case Op::kScale: {
+      if (Tensor* ga = propagate(n.a)) ga->add_scaled(g, n.scalar);
+      break;
+    }
+    case Op::kDropout: {
+      if (Tensor* ga = propagate(n.a)) {
+        for (int i = 0; i < g.size(); ++i) {
+          auto k = static_cast<std::size_t>(i);
+          (*ga)[k] += g[k] * n.aux_tensor[k];
+        }
+      }
+      break;
+    }
+    case Op::kScaleRows: {
+      if (Tensor* ga = propagate(n.a)) {
+        for (int r = 0; r < g.rows(); ++r) {
+          const float f = n.row_factors[static_cast<std::size_t>(r)];
+          const float* grow = g.row(r);
+          float* out = ga->row(r);
+          for (int c = 0; c < g.cols(); ++c) out[c] += grow[c] * f;
+        }
+      }
+      break;
+    }
+    case Op::kOneMinus: {
+      if (Tensor* ga = propagate(n.a)) ga->add_scaled(g, -1.0f);
+      break;
+    }
+    case Op::kSigmoid: {
+      if (Tensor* ga = propagate(n.a)) {
+        for (int i = 0; i < g.size(); ++i) {
+          auto k = static_cast<std::size_t>(i);
+          const float y = n.value[k];
+          (*ga)[k] += g[k] * y * (1.0f - y);
+        }
+      }
+      break;
+    }
+    case Op::kTanh: {
+      if (Tensor* ga = propagate(n.a)) {
+        for (int i = 0; i < g.size(); ++i) {
+          auto k = static_cast<std::size_t>(i);
+          const float y = n.value[k];
+          (*ga)[k] += g[k] * (1.0f - y * y);
+        }
+      }
+      break;
+    }
+    case Op::kRelu: {
+      if (Tensor* ga = propagate(n.a)) {
+        for (int i = 0; i < g.size(); ++i) {
+          auto k = static_cast<std::size_t>(i);
+          if (n.value[k] > 0.0f) (*ga)[k] += g[k];
+        }
+      }
+      break;
+    }
+    case Op::kConcatCols: {
+      const int ac = n.aux0;
+      if (Tensor* ga = propagate(n.a)) {
+        for (int r = 0; r < g.rows(); ++r) {
+          const float* grow = g.row(r);
+          float* out = ga->row(r);
+          for (int c = 0; c < ac; ++c) out[c] += grow[c];
+        }
+      }
+      if (Tensor* gb = propagate(n.b)) {
+        for (int r = 0; r < g.rows(); ++r) {
+          const float* grow = g.row(r);
+          float* out = gb->row(r);
+          for (int c = 0; c < gb->cols(); ++c) out[c] += grow[ac + c];
+        }
+      }
+      break;
+    }
+    case Op::kConcatRows: {
+      int r0 = 0;
+      for (ValueId src : n.srcs) {
+        const int rows = node(src).value.rows();
+        if (node(src).needs_grad) {
+          Tensor& gs = grad_buffer(src);
+          for (int r = 0; r < rows; ++r) {
+            const float* grow = g.row(r0 + r);
+            float* out = gs.row(r);
+            for (int c = 0; c < g.cols(); ++c) out[c] += grow[c];
+          }
+        }
+        r0 += rows;
+      }
+      break;
+    }
+    case Op::kSliceCols: {
+      if (Tensor* ga = propagate(n.a)) {
+        for (int r = 0; r < g.rows(); ++r) {
+          const float* grow = g.row(r);
+          float* out = ga->row(r);
+          for (int c = 0; c < g.cols(); ++c) out[n.aux0 + c] += grow[c];
+        }
+      }
+      break;
+    }
+    case Op::kGatherRows: {
+      if (Tensor* ga = propagate(n.a)) {
+        for (std::size_t i = 0; i < n.idx.size(); ++i) {
+          const float* grow = g.row(static_cast<int>(i));
+          float* out = ga->row(n.idx[i]);
+          for (int c = 0; c < g.cols(); ++c) out[c] += grow[c];
+        }
+      }
+      break;
+    }
+    case Op::kScatterRows: {
+      if (Tensor* ga = propagate(n.a)) {
+        // Base contributes everywhere except the overwritten rows.
+        std::vector<bool> overwritten(static_cast<std::size_t>(g.rows()),
+                                      false);
+        for (int i : n.idx) overwritten[static_cast<std::size_t>(i)] = true;
+        for (int r = 0; r < g.rows(); ++r) {
+          if (overwritten[static_cast<std::size_t>(r)]) continue;
+          const float* grow = g.row(r);
+          float* out = ga->row(r);
+          for (int c = 0; c < g.cols(); ++c) out[c] += grow[c];
+        }
+      }
+      if (n.b != kInvalidValue && node(n.b).needs_grad) {
+        Tensor& gb = grad_buffer(n.b);
+        for (std::size_t i = 0; i < n.idx.size(); ++i) {
+          const float* grow = g.row(n.idx[i]);
+          float* out = gb.row(static_cast<int>(i));
+          for (int c = 0; c < g.cols(); ++c) out[c] += grow[c];
+        }
+      }
+      break;
+    }
+    case Op::kSegmentSum: {
+      if (Tensor* ga = propagate(n.a)) {
+        for (std::size_t i = 0; i < n.idx.size(); ++i) {
+          const float* grow = g.row(n.idx[i]);
+          float* out = ga->row(static_cast<int>(i));
+          for (int c = 0; c < g.cols(); ++c) out[c] += grow[c];
+        }
+      }
+      break;
+    }
+    case Op::kReduceSum: {
+      if (Tensor* ga = propagate(n.a)) {
+        const float gv = g.at(0, 0);
+        for (int i = 0; i < ga->size(); ++i) {
+          (*ga)[static_cast<std::size_t>(i)] += gv;
+        }
+      }
+      break;
+    }
+    case Op::kReduceMean: {
+      if (Tensor* ga = propagate(n.a)) {
+        const float gv = g.at(0, 0) / static_cast<float>(ga->size());
+        for (int i = 0; i < ga->size(); ++i) {
+          (*ga)[static_cast<std::size_t>(i)] += gv;
+        }
+      }
+      break;
+    }
+    case Op::kMse: {
+      if (Tensor* ga = propagate(n.a)) {
+        const Tensor& pv = node(n.a).value;
+        const float gv =
+            g.at(0, 0) * 2.0f / static_cast<float>(pv.size());
+        for (int i = 0; i < pv.size(); ++i) {
+          auto k = static_cast<std::size_t>(i);
+          (*ga)[k] += gv * (pv[k] - n.aux_tensor[k]);
+        }
+      }
+      break;
+    }
+    case Op::kMae: {
+      if (Tensor* ga = propagate(n.a)) {
+        const Tensor& pv = node(n.a).value;
+        const float gv = g.at(0, 0) / static_cast<float>(pv.size());
+        for (int i = 0; i < pv.size(); ++i) {
+          auto k = static_cast<std::size_t>(i);
+          const float d = pv[k] - n.aux_tensor[k];
+          (*ga)[k] += d > 0.0f ? gv : (d < 0.0f ? -gv : 0.0f);
+        }
+      }
+      break;
+    }
+    case Op::kHuber: {
+      if (Tensor* ga = propagate(n.a)) {
+        const Tensor& pv = node(n.a).value;
+        const float gv = g.at(0, 0) / static_cast<float>(pv.size());
+        const float delta = n.scalar;
+        for (int i = 0; i < pv.size(); ++i) {
+          auto k = static_cast<std::size_t>(i);
+          const float d = pv[k] - n.aux_tensor[k];
+          if (d > delta) {
+            (*ga)[k] += gv * delta;
+          } else if (d < -delta) {
+            (*ga)[k] -= gv * delta;
+          } else {
+            (*ga)[k] += gv * d;
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace rn::ag

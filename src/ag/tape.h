@@ -1,0 +1,166 @@
+// Reverse-mode automatic differentiation over Tensor.
+//
+// A Tape records a DAG of operations as they execute (define-by-run), then
+// Tape::backward walks the recorded nodes in reverse to accumulate gradients
+// into Parameters. Because nodes are appended in execution order, the vector
+// itself is a topological order — no explicit sort is needed.
+//
+// The op set is exactly what RouteNet-style message passing and MLP/GRU
+// layers need: dense algebra, pointwise nonlinearities, and the three
+// graph-indexing ops (gather_rows / scatter_rows / segment_sum) that express
+// "read the links on a path", "write updated path states back", and
+// "aggregate per-hop messages into links".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "ag/tensor.h"
+#include "util/rng.h"
+
+namespace rn::ag {
+
+using ValueId = std::int32_t;
+inline constexpr ValueId kInvalidValue = -1;
+
+// A trainable tensor with its gradient accumulator. Owned by layers/models;
+// the tape holds non-owning pointers for the duration of one forward/backward.
+struct Parameter {
+  Parameter(std::string name_, Tensor value_)
+      : name(std::move(name_)),
+        value(std::move(value_)),
+        grad(value.rows(), value.cols()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+};
+
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // --- Leaves -------------------------------------------------------------
+
+  // Non-trainable input (features, targets).
+  ValueId constant(Tensor t);
+
+  // Trainable leaf. backward() accumulates into p.grad; the caller must keep
+  // p alive until backward() completes.
+  ValueId param(Parameter& p);
+
+  // --- Dense algebra -------------------------------------------------------
+  ValueId matmul(ValueId a, ValueId b);
+  ValueId add(ValueId a, ValueId b);        // same shape
+  ValueId sub(ValueId a, ValueId b);        // same shape
+  ValueId mul(ValueId a, ValueId b);        // elementwise, same shape
+  ValueId add_bias(ValueId m, ValueId bias);  // bias is 1×C, broadcast to rows
+  ValueId scale(ValueId a, float s);
+  ValueId one_minus(ValueId a);             // 1 - a, elementwise
+
+  // Per-row scaling: out[r] = a[r] * factors[r]. Used to turn segment sums
+  // into segment means (divide each link's aggregate by its message count).
+  ValueId scale_rows(ValueId a, std::vector<float> factors);
+
+  // Inverted dropout: zeroes each element with probability `rate` and
+  // scales survivors by 1/(1−rate) so expectations match inference (where
+  // callers simply skip this op). Training-time only by construction.
+  ValueId dropout(ValueId a, float rate, Rng& rng);
+
+  // --- Nonlinearities ------------------------------------------------------
+  ValueId sigmoid(ValueId a);
+  ValueId tanh(ValueId a);
+  ValueId relu(ValueId a);
+
+  // --- Shape ops -----------------------------------------------------------
+  ValueId concat_cols(ValueId a, ValueId b);          // [A | B]
+  ValueId concat_rows(const std::vector<ValueId>& xs);  // stack row blocks
+  ValueId slice_cols(ValueId a, int c0, int c1);      // columns [c0, c1)
+
+  // --- Graph-indexing ops ---------------------------------------------------
+
+  // out[i] = a[idx[i]]; duplicate indices allowed (gradient accumulates).
+  ValueId gather_rows(ValueId a, std::vector<int> idx);
+
+  // out = base with out[idx[i]] = rows[i]. Indices must be unique: each row
+  // of the result has exactly one source, which keeps the backward pass a
+  // disjoint split of the incoming gradient.
+  ValueId scatter_rows(ValueId base, std::vector<int> idx, ValueId rows);
+
+  // out has num_segments rows; out[seg[i]] += a[i]. RouteNet's link-message
+  // aggregator.
+  ValueId segment_sum(ValueId a, std::vector<int> seg, int num_segments);
+
+  // --- Reductions & losses ---------------------------------------------------
+  ValueId reduce_sum(ValueId a);   // -> 1×1
+  ValueId reduce_mean(ValueId a);  // -> 1×1
+
+  // mean((pred - target)^2); target is a constant.
+  ValueId mse(ValueId pred, const Tensor& target);
+
+  // mean(|pred - target|).
+  ValueId mae(ValueId pred, const Tensor& target);
+
+  // Huber loss with threshold delta, averaged over entries.
+  ValueId huber(ValueId pred, const Tensor& target, float delta);
+
+  // --- Execution -------------------------------------------------------------
+  const Tensor& value(ValueId id) const;
+
+  // Accumulates d(root)/d(param) into each touched Parameter's .grad and
+  // stores per-node gradients (readable via grad()). root must be 1×1.
+  void backward(ValueId root);
+
+  // Gradient of the last backward() w.r.t. an intermediate value. Zero tensor
+  // if the node did not require grad. Intended for tests.
+  const Tensor& grad(ValueId id) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  // Drops all recorded nodes; Parameters are untouched.
+  void clear() { nodes_.clear(); }
+
+ private:
+  enum class Op : std::uint8_t {
+    kConstant, kParam, kMatmul, kAdd, kSub, kMul, kAddBias, kScale,
+    kScaleRows, kOneMinus, kSigmoid, kTanh, kRelu, kConcatCols,
+    kConcatRows, kSliceCols, kGatherRows, kScatterRows, kSegmentSum,
+    kReduceSum, kReduceMean, kMse, kMae, kHuber, kDropout,
+  };
+
+  struct Node {
+    Op op;
+    ValueId a = kInvalidValue;
+    ValueId b = kInvalidValue;
+    std::vector<ValueId> srcs;  // kConcatRows only
+    Tensor value;
+    Tensor grad;       // allocated lazily in backward()
+    bool needs_grad = false;
+    Parameter* parameter = nullptr;  // kParam only
+    std::vector<int> idx;            // gather/scatter/segment indices
+    std::vector<float> row_factors;  // kScaleRows only
+    int aux0 = 0, aux1 = 0;          // slice bounds / segment count
+    float scalar = 0.0f;             // kScale factor / kHuber delta
+    Tensor aux_tensor;               // loss target / dropout mask
+  };
+
+  ValueId push(Node node);
+  Node& node(ValueId id);
+  const Node& node(ValueId id) const;
+  bool any_needs_grad(ValueId a, ValueId b = kInvalidValue) const;
+  Tensor& grad_buffer(ValueId id);  // allocates zeros on first touch
+
+  void backward_node(ValueId id);
+
+  // Deque, not vector: value()/grad() hand out references that must survive
+  // subsequent op recordings (deque never relocates existing elements).
+  std::deque<Node> nodes_;
+};
+
+}  // namespace rn::ag

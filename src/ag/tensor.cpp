@@ -1,0 +1,111 @@
+#include "ag/tensor.h"
+
+namespace rn::ag {
+
+Tensor::Tensor(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, 0.0f) {
+  RN_CHECK(rows >= 0 && cols >= 0, "negative tensor dimension");
+}
+
+Tensor::Tensor(int rows, int cols, float fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, fill) {
+  RN_CHECK(rows >= 0 && cols >= 0, "negative tensor dimension");
+}
+
+Tensor Tensor::from_rows(
+    std::initializer_list<std::initializer_list<float>> rows) {
+  const int r = static_cast<int>(rows.size());
+  RN_CHECK(r > 0, "from_rows needs at least one row");
+  const int c = static_cast<int>(rows.begin()->size());
+  Tensor t(r, c);
+  int i = 0;
+  for (const auto& row : rows) {
+    RN_CHECK(static_cast<int>(row.size()) == c, "ragged from_rows literal");
+    int j = 0;
+    for (float v : row) t.at(i, j++) = v;
+    ++i;
+  }
+  return t;
+}
+
+Tensor Tensor::column(const std::vector<float>& values) {
+  Tensor t(static_cast<int>(values.size()), 1);
+  for (std::size_t i = 0; i < values.size(); ++i) t[i] = values[i];
+  return t;
+}
+
+void Tensor::fill(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+}
+
+void Tensor::add_scaled(const Tensor& other, float s) {
+  RN_CHECK(same_shape(other), "add_scaled shape mismatch");
+  const std::size_t n = data_.size();
+  for (std::size_t i = 0; i < n; ++i) data_[i] += other.data_[i] * s;
+}
+
+void Tensor::scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+double Tensor::squared_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  RN_CHECK(a.cols() == b.rows(), "matmul inner-dimension mismatch");
+  Tensor c(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j loop order: streams through b and c rows, cache-friendly.
+  for (int i = 0; i < m; ++i) {
+    float* crow = c.row(i);
+    const float* arow = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  RN_CHECK(a.rows() == b.rows(), "matmul_tn dimension mismatch");
+  Tensor c(a.cols(), b.cols());
+  const int m = a.cols(), k = a.rows(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  RN_CHECK(a.cols() == b.cols(), "matmul_nt dimension mismatch");
+  Tensor c(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+  return c;
+}
+
+}  // namespace rn::ag

@@ -1,0 +1,94 @@
+// Dense row-major float matrix — the only tensor type the library needs.
+//
+// Everything RouteNet manipulates (link states, path states, messages,
+// parameters) is a 2-D matrix; vectors are 1×C or R×1 matrices and scalars
+// are 1×1. Keeping a single concrete type keeps the autodiff tape simple.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rn::ag {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Zero-filled matrix.
+  Tensor(int rows, int cols);
+
+  Tensor(int rows, int cols, float fill);
+
+  static Tensor zeros(int rows, int cols) { return Tensor(rows, cols); }
+  static Tensor full(int rows, int cols, float v) {
+    return Tensor(rows, cols, v);
+  }
+  static Tensor scalar(float v) { return Tensor(1, 1, v); }
+
+  // Row-literal constructor for tests: Tensor::from_rows({{1,2},{3,4}}).
+  static Tensor from_rows(
+      std::initializer_list<std::initializer_list<float>> rows);
+
+  // Column vector from values.
+  static Tensor column(const std::vector<float>& values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float& at(int r, int c) {
+    RN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+             "Tensor::at out of range");
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    RN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+             "Tensor::at out of range");
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  // Unchecked flat access for hot loops.
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* row(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void fill(float v);
+
+  // this += other * s (shapes must match).
+  void add_scaled(const Tensor& other, float s);
+
+  void scale(float s);
+
+  // Sum of squares of all entries; used for gradient-norm clipping.
+  double squared_norm() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Non-autodiff matrix kernels shared by forward and backward passes.
+
+// C = A B.
+Tensor matmul(const Tensor& a, const Tensor& b);
+// C = Aᵀ B (no materialized transpose).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+// C = A Bᵀ.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+}  // namespace rn::ag

@@ -1,0 +1,60 @@
+// Fully-connected baseline — the "early ML-based attempts" of the paper's
+// introduction (fixed-size input NNs such as Mestres et al. 2018).
+//
+// The model flattens the traffic matrix (plus per-pair path lengths, a
+// charitable hint of the routing) into one fixed-width vector and regresses
+// all per-pair delays at once. By construction it is locked to one topology
+// size and cannot generalize across graphs — the contrast that motivates
+// RouteNet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ag/nn.h"
+#include "dataset/dataset.h"
+
+namespace rn::baseline {
+
+struct FcnnConfig {
+  int hidden1 = 128;
+  int hidden2 = 64;
+  int epochs = 60;
+  int batch_size = 16;
+  float learning_rate = 1e-3f;
+  float lr_decay = 0.97f;
+  float clip_norm = 5.0f;
+  std::uint64_t seed = 17;
+  bool verbose = false;
+};
+
+class FcnnBaseline {
+ public:
+  // num_pairs fixes the input/output width: the model only accepts samples
+  // whose topology has exactly this many source-destination pairs.
+  FcnnBaseline(int num_pairs, const FcnnConfig& config);
+
+  // Trains on samples (all must match num_pairs). Fits normalization on the
+  // training set.
+  void fit(const std::vector<dataset::Sample>& train);
+
+  // Per-pair delay predictions in seconds.
+  std::vector<double> predict_delay(const dataset::Sample& sample) const;
+
+  // Mean relative delay error over valid paths.
+  double evaluate_delay_mre(const std::vector<dataset::Sample>& samples) const;
+
+  int num_pairs() const { return num_pairs_; }
+  std::size_t num_parameters() const;
+
+ private:
+  ag::Tensor encode(const dataset::Sample& sample) const;  // 1×(2·pairs)
+
+  int num_pairs_;
+  FcnnConfig cfg_;
+  dataset::Normalizer norm_;
+  Rng init_rng_;
+  mutable ag::Mlp mlp_;
+};
+
+}  // namespace rn::baseline

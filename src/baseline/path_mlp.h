@@ -1,0 +1,61 @@
+// Feature-engineering baseline: a per-path MLP over handcrafted queueing
+// features.
+//
+// Unlike the fixed-width FCNN, this baseline *does* work on any topology —
+// each path becomes one row of features (hops, traffic, capacities, offered
+// per-link utilizations), so it is the strongest "classic ML" contender:
+// it encodes exactly the quantities a queueing theorist would engineer.
+// What it cannot see is what RouteNet's message passing discovers — how
+// paths interact through shared links beyond first-order offered load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ag/nn.h"
+#include "dataset/dataset.h"
+
+namespace rn::baseline {
+
+struct PathMlpConfig {
+  int hidden1 = 64;
+  int hidden2 = 32;
+  int epochs = 60;
+  int batch_rows = 512;  // paths per training step (rows, not samples)
+  float learning_rate = 1e-3f;
+  float lr_decay = 0.97f;
+  float clip_norm = 5.0f;
+  std::uint64_t seed = 23;
+  bool verbose = false;
+};
+
+class PathMlpBaseline {
+ public:
+  explicit PathMlpBaseline(const PathMlpConfig& config);
+
+  // Number of handcrafted features per path.
+  static constexpr int kNumFeatures = 8;
+
+  void fit(const std::vector<dataset::Sample>& train);
+
+  // Per-pair delay predictions in seconds; works on any topology.
+  std::vector<double> predict_delay(const dataset::Sample& sample) const;
+
+  double evaluate_delay_mre(const std::vector<dataset::Sample>& samples) const;
+
+  std::size_t num_parameters() const;
+
+ private:
+  // One row of features for path `pair_idx` of `sample`, given the
+  // per-link offered loads of that sample.
+  void fill_features(const dataset::Sample& sample,
+                     const std::vector<double>& link_loads, int pair_idx,
+                     float* row) const;
+
+  PathMlpConfig cfg_;
+  dataset::Normalizer norm_;
+  Rng init_rng_;
+  mutable ag::Mlp mlp_;
+};
+
+}  // namespace rn::baseline

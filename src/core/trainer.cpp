@@ -1,0 +1,160 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "ag/optim.h"
+#include "util/rng.h"
+
+namespace rn::core {
+
+Trainer::Trainer(RouteNet& model, const TrainConfig& config)
+    : model_(model), cfg_(config) {
+  RN_CHECK(cfg_.epochs >= 1, "need at least one epoch");
+  RN_CHECK(cfg_.batch_size >= 1, "batch size must be positive");
+  RN_CHECK(cfg_.learning_rate > 0.0f, "learning rate must be positive");
+  RN_CHECK(cfg_.lr_decay > 0.0f && cfg_.lr_decay <= 1.0f,
+           "lr decay must be in (0,1]");
+}
+
+double Trainer::evaluate_delay_mre(
+    const RouteNet& model, const std::vector<dataset::Sample>& samples) {
+  double total = 0.0;
+  std::size_t count = 0;
+  const std::vector<RouteNet::Prediction> preds =
+      model.predict_batch(samples);
+  for (std::size_t si = 0; si < samples.size(); ++si) {
+    const dataset::Sample& s = samples[si];
+    const RouteNet::Prediction& pred = preds[si];
+    for (int idx = 0; idx < s.num_pairs(); ++idx) {
+      if (!s.valid[static_cast<std::size_t>(idx)]) continue;
+      const double truth = s.delay_s[static_cast<std::size_t>(idx)];
+      const double est = pred.delay_s[static_cast<std::size_t>(idx)];
+      total += std::abs(est - truth) / truth;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+double Trainer::evaluate_jitter_mre(
+    const RouteNet& model, const std::vector<dataset::Sample>& samples) {
+  double total = 0.0;
+  std::size_t count = 0;
+  const std::vector<RouteNet::Prediction> preds =
+      model.predict_batch(samples);
+  for (std::size_t si = 0; si < samples.size(); ++si) {
+    const dataset::Sample& s = samples[si];
+    const RouteNet::Prediction& pred = preds[si];
+    for (int idx = 0; idx < s.num_pairs(); ++idx) {
+      if (!s.valid[static_cast<std::size_t>(idx)]) continue;
+      const double truth = s.jitter_s[static_cast<std::size_t>(idx)];
+      if (truth <= 0.0) continue;
+      const double est = pred.jitter_s[static_cast<std::size_t>(idx)];
+      total += std::abs(est - truth) / truth;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
+                         const std::vector<dataset::Sample>* eval) {
+  RN_CHECK(!train.empty(), "empty training set");
+  model_.set_normalizer(
+      dataset::fit_normalizer(train, cfg_.log_space_targets));
+
+  ag::Adam optimizer(model_.params(), cfg_.learning_rate);
+  Rng shuffle_rng(cfg_.shuffle_seed);
+  Rng dropout_rng(cfg_.shuffle_seed ^ 0xa5a5a5a5ull);
+
+  std::vector<int> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+
+  TrainReport report;
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    // Fisher–Yates shuffle of the sample order.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          shuffle_rng.uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+
+    double loss_sum = 0.0;
+    int batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(cfg_.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(cfg_.batch_size));
+      std::vector<const dataset::Sample*> chunk;
+      chunk.reserve(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        chunk.push_back(&train[static_cast<std::size_t>(order[i])]);
+      }
+      const GraphBatch batch = GraphBatch::from_samples(
+          chunk, model_.normalizer(), /*with_targets=*/true);
+      if (batch.valid_paths.empty()) continue;  // nothing to learn from
+
+      ag::Tape tape;
+      const RouteNet::Output out =
+          model_.forward(tape, batch, &dropout_rng);
+      const ag::ValueId delay_sel =
+          tape.gather_rows(out.delay, batch.valid_paths);
+      ag::ValueId loss = tape.mse(delay_sel, batch.delay_targets);
+      if (cfg_.jitter_loss_weight > 0.0f) {
+        const ag::ValueId jitter_sel =
+            tape.gather_rows(out.jitter, batch.valid_paths);
+        loss = tape.add(
+            loss, tape.scale(tape.mse(jitter_sel, batch.jitter_targets),
+                             cfg_.jitter_loss_weight));
+      }
+      optimizer.zero_grad();
+      tape.backward(loss);
+      ag::clip_grad_norm(optimizer.params(), cfg_.clip_norm);
+      optimizer.step();
+      loss_sum += tape.value(loss).at(0, 0);
+      ++batches;
+    }
+
+    EpochLog log;
+    log.epoch = epoch;
+    log.train_loss = batches > 0 ? loss_sum / batches : 0.0;
+    log.eval_delay_mre = -1.0;
+    if (eval != nullptr && !eval->empty()) {
+      log.eval_delay_mre = evaluate_delay_mre(model_, *eval);
+      if (report.best_epoch < 0 || log.eval_delay_mre < report.best_eval_mre) {
+        report.best_eval_mre = log.eval_delay_mre;
+        report.best_epoch = epoch;
+        epochs_since_best = 0;
+        if (!cfg_.checkpoint_path.empty()) {
+          model_.save(cfg_.checkpoint_path);
+        }
+      } else {
+        ++epochs_since_best;
+      }
+    }
+    if (cfg_.verbose) {
+      std::printf("epoch %3d  loss %.5f  lr %.2e", epoch, log.train_loss,
+                  static_cast<double>(optimizer.lr()));
+      if (log.eval_delay_mre >= 0.0) {
+        std::printf("  eval MRE %.4f", log.eval_delay_mre);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+    report.epochs.push_back(log);
+    report.final_train_loss = log.train_loss;
+    optimizer.set_lr(optimizer.lr() * cfg_.lr_decay);
+    if (cfg_.patience > 0 && eval != nullptr &&
+        epochs_since_best >= cfg_.patience) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace rn::core

@@ -1,0 +1,71 @@
+// Mini-batch training loop for RouteNet: Adam with exponential LR decay,
+// per-epoch shuffling, gradient clipping, optional early stopping on an
+// evaluation set, and periodic checkpointing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/routenet.h"
+#include "dataset/dataset.h"
+
+namespace rn::core {
+
+struct TrainConfig {
+  int epochs = 25;
+  int batch_size = 8;  // samples (scenarios) per step, merged into one graph
+  float learning_rate = 1e-3f;
+  float lr_decay = 0.96f;  // multiplied per epoch
+  float clip_norm = 5.0f;
+  // Loss = mse(delay) + jitter_loss_weight * mse(jitter), both normalized.
+  float jitter_loss_weight = 0.5f;
+  std::uint64_t shuffle_seed = 7;
+  // Ablation: z-score targets in log space (default, matches the paper's
+  // relative-error metric) or in raw seconds.
+  bool log_space_targets = true;
+  // Early stopping: stop after `patience` epochs without eval improvement
+  // (0 disables; requires an eval set).
+  int patience = 0;
+  bool verbose = false;
+  // When non-empty, the best-eval model is saved here each time it improves.
+  std::string checkpoint_path;
+};
+
+struct EpochLog {
+  int epoch = 0;
+  double train_loss = 0.0;     // mean per-batch loss
+  double eval_delay_mre = 0.0; // mean relative error on eval set (-1 if none)
+};
+
+struct TrainReport {
+  std::vector<EpochLog> epochs;
+  double best_eval_mre = -1.0;
+  int best_epoch = -1;
+  double final_train_loss = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(RouteNet& model, const TrainConfig& config);
+
+  // Fits the model. The normalizer is (re)fitted on `train` before the
+  // first epoch so checkpoints are self-contained. `eval` may be null.
+  TrainReport fit(const std::vector<dataset::Sample>& train,
+                  const std::vector<dataset::Sample>* eval = nullptr);
+
+  // Mean relative delay error of the current model over a sample set
+  // (valid paths only).
+  static double evaluate_delay_mre(const RouteNet& model,
+                                   const std::vector<dataset::Sample>& samples);
+
+  // Same for the jitter head (paths whose measured jitter is positive).
+  static double evaluate_jitter_mre(
+      const RouteNet& model, const std::vector<dataset::Sample>& samples);
+
+ private:
+  RouteNet& model_;
+  TrainConfig cfg_;
+};
+
+}  // namespace rn::core

@@ -1,0 +1,301 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/stats.h"
+
+namespace rn::dataset {
+
+namespace {
+// Floor for log-space targets; below ~1 µs the simulator resolution and the
+// log transform both stop being meaningful.
+constexpr double kMinPositive = 1e-6;
+}  // namespace
+
+int Sample::num_valid() const {
+  int n = 0;
+  for (std::uint8_t v : valid) n += v ? 1 : 0;
+  return n;
+}
+
+DatasetGenerator::DatasetGenerator(GeneratorConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed), next_sim_seed_(seed * 2654435761u + 1) {
+  RN_CHECK(cfg_.k_paths >= 1, "k_paths must be at least 1");
+  RN_CHECK(0.0 < cfg_.min_util && cfg_.min_util <= cfg_.max_util &&
+               cfg_.max_util < 1.0,
+           "utilization sweep must satisfy 0 < min <= max < 1");
+  RN_CHECK(!cfg_.matrix_kinds.empty(), "need at least one matrix kind");
+}
+
+Sample DatasetGenerator::generate(
+    std::shared_ptr<const topo::Topology> topology) {
+  RN_CHECK(topology != nullptr, "null topology");
+  const topo::Topology& topo = *topology;
+  const int n = topo.num_nodes();
+
+  routing::RoutingScheme scheme =
+      cfg_.k_paths == 1
+          ? routing::shortest_path_routing(topo)
+          : routing::random_k_shortest_routing(topo, cfg_.k_paths, rng_);
+
+  const MatrixKind kind =
+      cfg_.matrix_kinds[sample_counter_ % cfg_.matrix_kinds.size()];
+  ++sample_counter_;
+  traffic::TrafficMatrix tm = [&] {
+    switch (kind) {
+      case MatrixKind::kGravity:
+        return traffic::gravity_traffic(n, 1.0e6, rng_);
+      case MatrixKind::kHotspot:
+        return traffic::hotspot_traffic(n, std::max(1, n / 6), 100.0, 4.0,
+                                        rng_);
+      case MatrixKind::kUniform:
+      default:
+        return traffic::uniform_traffic(n, 50.0, 150.0, rng_);
+    }
+  }();
+  const double target_util = rng_.uniform(cfg_.min_util, cfg_.max_util);
+  traffic::scale_to_max_utilization(tm, topo, scheme, target_util);
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.model = cfg_.model;
+  sim_cfg.warmup_s = cfg_.warmup_s;
+  sim_cfg.horizon_s = sim::horizon_for_target_packets(
+      tm, cfg_.model, cfg_.warmup_s, cfg_.target_pkts_per_flow);
+  sim_cfg.seed = next_sim_seed_++;
+  const sim::PacketSimulator simulator(sim_cfg);
+  const sim::SimResult result = simulator.run(topo, scheme, tm);
+
+  Sample sample{std::move(topology), std::move(scheme), std::move(tm),
+                {},  {},  {},  target_util};
+  const int pairs = topo.num_pairs();
+  sample.delay_s.resize(static_cast<std::size_t>(pairs));
+  sample.jitter_s.resize(static_cast<std::size_t>(pairs));
+  sample.valid.resize(static_cast<std::size_t>(pairs));
+  for (int idx = 0; idx < pairs; ++idx) {
+    const sim::PathStats& ps = result.paths[static_cast<std::size_t>(idx)];
+    sample.delay_s[static_cast<std::size_t>(idx)] = ps.mean_delay_s;
+    sample.jitter_s[static_cast<std::size_t>(idx)] = ps.jitter_s;
+    sample.valid[static_cast<std::size_t>(idx)] =
+        ps.delivered >= cfg_.min_delivered &&
+                ps.mean_delay_s > kMinPositive
+            ? 1
+            : 0;
+  }
+  return sample;
+}
+
+std::vector<Sample> DatasetGenerator::generate_many(
+    std::shared_ptr<const topo::Topology> topology, int count,
+    const std::function<void(int, int)>& progress) {
+  RN_CHECK(count >= 0, "negative sample count");
+  std::vector<Sample> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(generate(topology));
+    if (progress) progress(i + 1, count);
+  }
+  return out;
+}
+
+double Normalizer::normalize_delay(double delay_s) const {
+  const double x = log_space ? std::log(std::max(delay_s, kMinPositive))
+                             : delay_s;
+  return (x - log_delay_mean) / log_delay_std;
+}
+
+double Normalizer::denormalize_delay(double z) const {
+  const double x = z * log_delay_std + log_delay_mean;
+  return log_space ? std::exp(x) : x;
+}
+
+double Normalizer::normalize_jitter(double jitter_s) const {
+  const double x = log_space ? std::log(std::max(jitter_s, kMinPositive))
+                             : jitter_s;
+  return (x - log_jitter_mean) / log_jitter_std;
+}
+
+double Normalizer::denormalize_jitter(double z) const {
+  const double x = z * log_jitter_std + log_jitter_mean;
+  return log_space ? std::exp(x) : x;
+}
+
+Normalizer fit_normalizer(const std::vector<Sample>& samples,
+                          bool log_space) {
+  RN_CHECK(!samples.empty(), "cannot fit normalizer on empty dataset");
+  Welford log_delay, log_jitter;
+  double max_capacity = 0.0;
+  double sum_traffic = 0.0;
+  std::size_t traffic_count = 0;
+  const auto transform = [log_space](double x) {
+    return log_space ? std::log(std::max(x, kMinPositive)) : x;
+  };
+  for (const Sample& s : samples) {
+    for (const topo::Link& l : s.topology->links()) {
+      max_capacity = std::max(max_capacity, l.capacity_bps);
+    }
+    for (int idx = 0; idx < s.num_pairs(); ++idx) {
+      sum_traffic += s.tm.rate_by_index(idx);
+      ++traffic_count;
+      if (!s.valid[static_cast<std::size_t>(idx)]) continue;
+      log_delay.add(transform(s.delay_s[static_cast<std::size_t>(idx)]));
+      log_jitter.add(transform(s.jitter_s[static_cast<std::size_t>(idx)]));
+    }
+  }
+  RN_CHECK(log_delay.count() >= 2, "not enough valid paths to normalize");
+  Normalizer norm;
+  norm.log_space = log_space;
+  norm.capacity_scale = max_capacity > 0.0 ? 1.0 / max_capacity : 1.0;
+  const double mean_traffic =
+      sum_traffic / static_cast<double>(std::max<std::size_t>(1, traffic_count));
+  norm.traffic_scale = mean_traffic > 0.0 ? 1.0 / mean_traffic : 1.0;
+  norm.log_delay_mean = log_delay.mean();
+  norm.log_delay_std = std::max(1e-6, log_delay.stddev());
+  norm.log_jitter_mean = log_jitter.mean();
+  norm.log_jitter_std = std::max(1e-6, log_jitter.stddev());
+  return norm;
+}
+
+std::pair<std::vector<Sample>, std::vector<Sample>> split_dataset(
+    std::vector<Sample> samples, double first_fraction, std::uint64_t seed) {
+  RN_CHECK(first_fraction >= 0.0 && first_fraction <= 1.0,
+           "split fraction out of [0,1]");
+  Rng rng(seed);
+  // Fisher–Yates shuffle.
+  for (std::size_t i = samples.size(); i > 1; --i) {
+    const auto j =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i) - 1));
+    std::swap(samples[i - 1], samples[j]);
+  }
+  const auto cut = static_cast<std::size_t>(
+      std::round(first_fraction * static_cast<double>(samples.size())));
+  std::vector<Sample> first(
+      std::make_move_iterator(samples.begin()),
+      std::make_move_iterator(samples.begin() + static_cast<std::ptrdiff_t>(cut)));
+  std::vector<Sample> second(
+      std::make_move_iterator(samples.begin() + static_cast<std::ptrdiff_t>(cut)),
+      std::make_move_iterator(samples.end()));
+  return {std::move(first), std::move(second)};
+}
+
+namespace {
+
+constexpr char kMagic[] = "RNDATA1\n";
+constexpr std::size_t kMagicLen = 8;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  RN_CHECK(in.good(), "truncated dataset file");
+  return v;
+}
+
+void write_string(std::ofstream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& in) {
+  const auto len = read_pod<std::uint32_t>(in);
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  RN_CHECK(in.good(), "truncated dataset string");
+  return s;
+}
+
+}  // namespace
+
+void save_dataset(const std::string& path,
+                  const std::vector<Sample>& samples) {
+  std::ofstream out(path, std::ios::binary);
+  RN_CHECK(out.good(), "cannot open dataset for writing: " + path);
+  out.write(kMagic, kMagicLen);
+  write_pod(out, static_cast<std::uint32_t>(samples.size()));
+  for (const Sample& s : samples) {
+    const topo::Topology& t = *s.topology;
+    write_string(out, t.name());
+    write_pod(out, static_cast<std::int32_t>(t.num_nodes()));
+    write_pod(out, static_cast<std::int32_t>(t.num_links()));
+    for (const topo::Link& l : t.links()) {
+      write_pod(out, static_cast<std::int32_t>(l.src));
+      write_pod(out, static_cast<std::int32_t>(l.dst));
+      write_pod(out, l.capacity_bps);
+      write_pod(out, l.prop_delay_s);
+    }
+    for (int idx = 0; idx < t.num_pairs(); ++idx) {
+      const routing::Path& p = s.routing.path_by_index(idx);
+      write_pod(out, static_cast<std::uint32_t>(p.size()));
+      for (topo::LinkId id : p) write_pod(out, static_cast<std::int32_t>(id));
+    }
+    for (int idx = 0; idx < t.num_pairs(); ++idx) {
+      write_pod(out, s.tm.rate_by_index(idx));
+    }
+    for (int idx = 0; idx < t.num_pairs(); ++idx) {
+      write_pod(out, s.delay_s[static_cast<std::size_t>(idx)]);
+      write_pod(out, s.jitter_s[static_cast<std::size_t>(idx)]);
+      write_pod(out, s.valid[static_cast<std::size_t>(idx)]);
+    }
+    write_pod(out, s.max_link_utilization);
+  }
+  RN_CHECK(out.good(), "write failure on dataset: " + path);
+}
+
+std::vector<Sample> load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RN_CHECK(in.good(), "cannot open dataset for reading: " + path);
+  char magic[kMagicLen];
+  in.read(magic, kMagicLen);
+  RN_CHECK(in.good() && std::string(magic, kMagicLen) == kMagic,
+           "bad dataset magic in " + path);
+  const auto count = read_pod<std::uint32_t>(in);
+  std::vector<Sample> samples;
+  samples.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = read_string(in);
+    const auto num_nodes = read_pod<std::int32_t>(in);
+    const auto num_links = read_pod<std::int32_t>(in);
+    auto topology = std::make_shared<topo::Topology>(name, num_nodes);
+    for (std::int32_t l = 0; l < num_links; ++l) {
+      const auto src = read_pod<std::int32_t>(in);
+      const auto dst = read_pod<std::int32_t>(in);
+      const auto cap = read_pod<double>(in);
+      const auto prop = read_pod<double>(in);
+      topology->add_link(src, dst, cap, prop);
+    }
+    routing::RoutingScheme scheme(num_nodes);
+    for (int idx = 0; idx < topology->num_pairs(); ++idx) {
+      const auto len = read_pod<std::uint32_t>(in);
+      routing::Path p(len);
+      for (auto& id : p) id = read_pod<std::int32_t>(in);
+      const auto [src, dst] = topo::pair_from_index(idx, num_nodes);
+      scheme.set_path(src, dst, std::move(p));
+    }
+    traffic::TrafficMatrix tm(num_nodes);
+    for (int idx = 0; idx < topology->num_pairs(); ++idx) {
+      const auto [src, dst] = topo::pair_from_index(idx, num_nodes);
+      tm.set_rate_bps(src, dst, read_pod<double>(in));
+    }
+    Sample s{topology, std::move(scheme), std::move(tm), {}, {}, {}, 0.0};
+    const int pairs = topology->num_pairs();
+    s.delay_s.resize(static_cast<std::size_t>(pairs));
+    s.jitter_s.resize(static_cast<std::size_t>(pairs));
+    s.valid.resize(static_cast<std::size_t>(pairs));
+    for (int idx = 0; idx < pairs; ++idx) {
+      s.delay_s[static_cast<std::size_t>(idx)] = read_pod<double>(in);
+      s.jitter_s[static_cast<std::size_t>(idx)] = read_pod<double>(in);
+      s.valid[static_cast<std::size_t>(idx)] = read_pod<std::uint8_t>(in);
+    }
+    s.max_link_utilization = read_pod<double>(in);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+}  // namespace rn::dataset

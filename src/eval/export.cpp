@@ -1,0 +1,56 @@
+#include "eval/export.h"
+
+#include <fstream>
+
+#include "util/check.h"
+
+namespace rn::eval {
+
+namespace {
+
+std::ofstream open_csv(const std::string& path) {
+  std::ofstream out(path);
+  RN_CHECK(out.good(), "cannot open CSV for writing: " + path);
+  out.precision(9);
+  return out;
+}
+
+}  // namespace
+
+void write_regression_csv(const std::string& path,
+                          const std::vector<double>& truth,
+                          const std::vector<double>& pred) {
+  RN_CHECK(truth.size() == pred.size(), "series length mismatch");
+  std::ofstream out = open_csv(path);
+  out << "true_delay_s,predicted_delay_s\n";
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    out << truth[i] << ',' << pred[i] << '\n';
+  }
+  RN_CHECK(out.good(), "write failure on CSV: " + path);
+}
+
+void write_cdf_csv(const std::string& path,
+                   const std::vector<NamedCdf>& series) {
+  std::ofstream out = open_csv(path);
+  out << "series,x,p\n";
+  for (const NamedCdf& s : series) {
+    for (const CdfPoint& pt : s.cdf) {
+      out << s.name << ',' << pt.x << ',' << pt.p << '\n';
+    }
+  }
+  RN_CHECK(out.good(), "write failure on CSV: " + path);
+}
+
+void write_top_paths_csv(const std::string& path,
+                         const std::vector<RankedPath>& ranked) {
+  std::ofstream out = open_csv(path);
+  out << "rank,src,dst,hops,predicted_delay_s,true_delay_s\n";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const RankedPath& r = ranked[i];
+    out << (i + 1) << ',' << r.src << ',' << r.dst << ',' << r.hops << ','
+        << r.predicted_delay_s << ',' << r.true_delay_s << '\n';
+  }
+  RN_CHECK(out.good(), "write failure on CSV: " + path);
+}
+
+}  // namespace rn::eval

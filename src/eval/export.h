@@ -1,0 +1,26 @@
+// CSV export of figure data, so results can be re-plotted outside the
+// terminal (gnuplot/matplotlib). Each bench writes its series next to the
+// printed report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace rn::eval {
+
+// Columns: true_delay_s, predicted_delay_s (one row per path).
+void write_regression_csv(const std::string& path,
+                          const std::vector<double>& truth,
+                          const std::vector<double>& pred);
+
+// Columns: series, x, p — all series concatenated.
+void write_cdf_csv(const std::string& path,
+                   const std::vector<NamedCdf>& series);
+
+// Columns: rank, src, dst, hops, predicted_delay_s, true_delay_s.
+void write_top_paths_csv(const std::string& path,
+                         const std::vector<RankedPath>& ranked);
+
+}  // namespace rn::eval

@@ -1,0 +1,201 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace rn::eval {
+
+RegressionStats regression_stats(const std::vector<double>& truth,
+                                 const std::vector<double>& pred) {
+  RN_CHECK(truth.size() == pred.size(), "series length mismatch");
+  RN_CHECK(!truth.empty(), "empty series");
+  RegressionStats s;
+  s.n = truth.size();
+  double sum_abs = 0.0, sum_sq = 0.0, sum_re = 0.0;
+  std::vector<double> res;
+  res.reserve(truth.size());
+  double mean_t = 0.0, mean_p = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double err = pred[i] - truth[i];
+    sum_abs += std::abs(err);
+    sum_sq += err * err;
+    RN_CHECK(truth[i] > 0.0, "relative error needs positive truth");
+    const double re = std::abs(err) / truth[i];
+    sum_re += re;
+    res.push_back(re);
+    mean_t += truth[i];
+    mean_p += pred[i];
+  }
+  const auto n = static_cast<double>(truth.size());
+  mean_t /= n;
+  mean_p /= n;
+  s.mae = sum_abs / n;
+  s.rmse = std::sqrt(sum_sq / n);
+  s.mre = sum_re / n;
+  s.median_re = quantile(res, 0.5);
+  double cov = 0.0, var_t = 0.0, var_p = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    cov += (truth[i] - mean_t) * (pred[i] - mean_p);
+    var_t += (truth[i] - mean_t) * (truth[i] - mean_t);
+    var_p += (pred[i] - mean_p) * (pred[i] - mean_p);
+  }
+  s.pearson_r = (var_t > 0.0 && var_p > 0.0)
+                    ? cov / std::sqrt(var_t * var_p)
+                    : 0.0;
+  s.r2 = var_t > 0.0 ? 1.0 - sum_sq / var_t : 0.0;
+  return s;
+}
+
+std::vector<double> relative_errors(const std::vector<double>& truth,
+                                    const std::vector<double>& pred) {
+  RN_CHECK(truth.size() == pred.size(), "series length mismatch");
+  std::vector<double> out;
+  out.reserve(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    RN_CHECK(truth[i] > 0.0, "relative error needs positive truth");
+    out.push_back((pred[i] - truth[i]) / truth[i]);
+  }
+  return out;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values,
+                                    int num_points) {
+  RN_CHECK(!values.empty(), "empty value set");
+  RN_CHECK(num_points >= 2, "need at least 2 CDF points");
+  std::sort(values.begin(), values.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(static_cast<std::size_t>(num_points));
+  const auto n = static_cast<double>(values.size());
+  for (int k = 0; k < num_points; ++k) {
+    const double q = static_cast<double>(k) / (num_points - 1);
+    const auto pos = static_cast<std::size_t>(
+        std::min(n - 1.0, std::floor(q * (n - 1.0))));
+    // Probability uses the right-continuous rank of that sample.
+    cdf.push_back(CdfPoint{values[pos],
+                           (static_cast<double>(pos) + 1.0) / n});
+  }
+  return cdf;
+}
+
+std::vector<RankedPath> top_n_paths(const dataset::Sample& sample,
+                                    const std::vector<double>& predicted,
+                                    int n) {
+  RN_CHECK(static_cast<int>(predicted.size()) == sample.num_pairs(),
+           "prediction length mismatch");
+  RN_CHECK(n >= 1, "n must be positive");
+  std::vector<RankedPath> all;
+  const int nodes = sample.topology->num_nodes();
+  for (int idx = 0; idx < sample.num_pairs(); ++idx) {
+    if (!sample.valid[static_cast<std::size_t>(idx)]) continue;
+    const auto [src, dst] = topo::pair_from_index(idx, nodes);
+    RankedPath rp;
+    rp.src = src;
+    rp.dst = dst;
+    rp.hops = static_cast<int>(sample.routing.path_by_index(idx).size());
+    rp.predicted_delay_s = predicted[static_cast<std::size_t>(idx)];
+    rp.true_delay_s = sample.delay_s[static_cast<std::size_t>(idx)];
+    all.push_back(rp);
+  }
+  std::sort(all.begin(), all.end(), [](const RankedPath& a,
+                                       const RankedPath& b) {
+    return a.predicted_delay_s > b.predicted_delay_s;
+  });
+  if (static_cast<int>(all.size()) > n) {
+    all.resize(static_cast<std::size_t>(n));
+  }
+  return all;
+}
+
+namespace {
+
+std::pair<double, double> min_max(const std::vector<double>& xs) {
+  double lo = xs.front(), hi = xs.front();
+  for (double x : xs) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (hi <= lo) hi = lo + 1e-12;
+  return {lo, hi};
+}
+
+}  // namespace
+
+std::string ascii_scatter(const std::vector<double>& truth,
+                          const std::vector<double>& pred, int width,
+                          int height) {
+  RN_CHECK(truth.size() == pred.size() && !truth.empty(),
+           "bad scatter input");
+  RN_CHECK(width >= 10 && height >= 5, "scatter canvas too small");
+  // Shared scale so the y=x diagonal is meaningful.
+  std::vector<double> all = truth;
+  all.insert(all.end(), pred.begin(), pred.end());
+  const auto [lo, hi] = min_max(all);
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  auto to_col = [&](double v) {
+    return std::clamp(static_cast<int>((v - lo) / (hi - lo) * (width - 1)),
+                      0, width - 1);
+  };
+  auto to_row = [&](double v) {
+    return std::clamp(
+        height - 1 - static_cast<int>((v - lo) / (hi - lo) * (height - 1)), 0,
+        height - 1);
+  };
+  // y = x reference.
+  for (int c = 0; c < width; ++c) {
+    const double v = lo + (hi - lo) * c / (width - 1);
+    canvas[static_cast<std::size_t>(to_row(v))][static_cast<std::size_t>(c)] = '.';
+  }
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    canvas[static_cast<std::size_t>(to_row(pred[i]))]
+          [static_cast<std::size_t>(to_col(truth[i]))] = 'o';
+  }
+  std::ostringstream os;
+  os << "pred (s)\n";
+  for (const std::string& row : canvas) os << '|' << row << "|\n";
+  os << '+' << std::string(static_cast<std::size_t>(width), '-') << "+  true (s)\n";
+  os << "range [" << lo << ", " << hi << "]   ('.' marks y=x)\n";
+  return os.str();
+}
+
+std::string ascii_cdf(const std::vector<NamedCdf>& series, int width,
+                      int height) {
+  RN_CHECK(!series.empty(), "no CDF series");
+  RN_CHECK(width >= 10 && height >= 5, "cdf canvas too small");
+  static const char glyphs[] = {'*', '+', 'x', 'o', '#', '@'};
+  std::vector<double> all_x;
+  for (const NamedCdf& s : series) {
+    for (const CdfPoint& p : s.cdf) all_x.push_back(p.x);
+  }
+  RN_CHECK(!all_x.empty(), "empty CDF series");
+  const auto [lo, hi] = min_max(all_x);
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char g = glyphs[si % sizeof(glyphs)];
+    for (const CdfPoint& p : series[si].cdf) {
+      const int c = std::clamp(
+          static_cast<int>((p.x - lo) / (hi - lo) * (width - 1)), 0,
+          width - 1);
+      const int r = std::clamp(
+          height - 1 - static_cast<int>(p.p * (height - 1)), 0, height - 1);
+      canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = g;
+    }
+  }
+  std::ostringstream os;
+  os << "P(err <= x)\n";
+  for (const std::string& row : canvas) os << '|' << row << "|\n";
+  os << '+' << std::string(static_cast<std::size_t>(width), '-') << "+\n";
+  os << "x range [" << lo << ", " << hi << "]\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  '" << glyphs[si % sizeof(glyphs)] << "' = " << series[si].name
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rn::eval

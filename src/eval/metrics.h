@@ -1,0 +1,142 @@
+// Evaluation metrics and report builders for the paper's three figures:
+// regression statistics (Fig. 2), relative-error CDFs (Fig. 3), and the
+// Top-N highest-delay-path report (Fig. 4).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "traffic/traffic.h"
+
+namespace rn::eval {
+
+struct RegressionStats {
+  std::size_t n = 0;
+  double mae = 0.0;        // mean absolute error
+  double rmse = 0.0;
+  double mre = 0.0;        // mean |pred-true|/true
+  double median_re = 0.0;  // median |pred-true|/true
+  double pearson_r = 0.0;
+  double r2 = 0.0;         // coefficient of determination
+};
+
+RegressionStats regression_stats(const std::vector<double>& truth,
+                                 const std::vector<double>& pred);
+
+// Signed relative errors (pred − true) / true.
+std::vector<double> relative_errors(const std::vector<double>& truth,
+                                    const std::vector<double>& pred);
+
+// Empirical CDF evaluated at evenly spread sample points.
+struct CdfPoint {
+  double x = 0.0;  // value
+  double p = 0.0;  // P(X <= x)
+};
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values,
+                                    int num_points = 101);
+
+// Collects (truth, prediction) pairs for valid paths of a sample set using
+// a per-sample prediction functor.
+struct PairedSeries {
+  std::vector<double> truth;
+  std::vector<double> pred;
+};
+template <typename PredictFn>
+PairedSeries collect_delay_pairs(const std::vector<dataset::Sample>& samples,
+                                 PredictFn&& predict) {
+  PairedSeries out;
+  for (const dataset::Sample& s : samples) {
+    const std::vector<double> pred = predict(s);
+    for (int idx = 0; idx < s.num_pairs(); ++idx) {
+      if (!s.valid[static_cast<std::size_t>(idx)]) continue;
+      out.truth.push_back(s.delay_s[static_cast<std::size_t>(idx)]);
+      out.pred.push_back(pred[static_cast<std::size_t>(idx)]);
+    }
+  }
+  return out;
+}
+
+// --- Error vs. load diagnostics ------------------------------------------------
+
+// Buckets valid paths of a sample set by the maximum offered utilization
+// along the path and reports the mean |relative error| per bucket — shows
+// whether a predictor degrades near saturation.
+struct UtilizationBucket {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t paths = 0;
+  double mre = 0.0;
+};
+
+template <typename PredictFn>
+std::vector<UtilizationBucket> error_by_utilization(
+    const std::vector<dataset::Sample>& samples, PredictFn&& predict,
+    const std::vector<double>& edges = {0.0, 0.3, 0.5, 0.7, 0.85, 1.0,
+                                        10.0}) {
+  std::vector<UtilizationBucket> buckets;
+  for (std::size_t b = 0; b + 1 < edges.size(); ++b) {
+    buckets.push_back(UtilizationBucket{edges[b], edges[b + 1], 0, 0.0});
+  }
+  for (const dataset::Sample& s : samples) {
+    const std::vector<double> pred = predict(s);
+    const std::vector<double> loads =
+        traffic::link_loads_bps(*s.topology, s.routing, s.tm);
+    for (int idx = 0; idx < s.num_pairs(); ++idx) {
+      if (!s.valid[static_cast<std::size_t>(idx)]) continue;
+      double max_util = 0.0;
+      for (topo::LinkId id : s.routing.path_by_index(idx)) {
+        max_util = std::max(max_util,
+                            loads[static_cast<std::size_t>(id)] /
+                                s.topology->link(id).capacity_bps);
+      }
+      for (UtilizationBucket& bucket : buckets) {
+        if (max_util >= bucket.lo && max_util < bucket.hi) {
+          const double truth = s.delay_s[static_cast<std::size_t>(idx)];
+          bucket.mre += std::abs(pred[static_cast<std::size_t>(idx)] - truth) /
+                        truth;
+          ++bucket.paths;
+          break;
+        }
+      }
+    }
+  }
+  for (UtilizationBucket& bucket : buckets) {
+    if (bucket.paths > 0) bucket.mre /= static_cast<double>(bucket.paths);
+  }
+  return buckets;
+}
+
+// --- Fig. 4: Top-N paths with more delay ------------------------------------
+
+struct RankedPath {
+  topo::NodeId src = 0;
+  topo::NodeId dst = 0;
+  int hops = 0;
+  double predicted_delay_s = 0.0;
+  double true_delay_s = 0.0;  // simulator reference (0 when unknown)
+};
+
+// Ranks a sample's valid paths by predicted delay, descending.
+std::vector<RankedPath> top_n_paths(const dataset::Sample& sample,
+                                    const std::vector<double>& predicted,
+                                    int n);
+
+// --- ASCII renderers (terminal "figures") --------------------------------------
+
+// Scatter of pred vs truth with a y=x reference diagonal.
+std::string ascii_scatter(const std::vector<double>& truth,
+                          const std::vector<double>& pred, int width = 56,
+                          int height = 20);
+
+// Overlaid CDF curves; one glyph per series.
+struct NamedCdf {
+  std::string name;
+  std::vector<CdfPoint> cdf;
+};
+std::string ascii_cdf(const std::vector<NamedCdf>& series, int width = 64,
+                      int height = 18);
+
+}  // namespace rn::eval

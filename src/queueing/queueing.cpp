@@ -1,0 +1,101 @@
+#include "queueing/queueing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rn::queueing {
+
+SizeMoments size_moments(const traffic::TrafficModel& model) {
+  SizeMoments m;
+  const double mu = model.mean_pkt_size_bits;
+  switch (model.sizes) {
+    case traffic::PacketSizeModel::kExponential:
+      m = {mu, 2.0 * mu * mu, 6.0 * mu * mu * mu};
+      break;
+    case traffic::PacketSizeModel::kFixed:
+      m = {mu, mu * mu, mu * mu * mu};
+      break;
+    case traffic::PacketSizeModel::kBimodal: {
+      const double p = model.small_pkt_prob;
+      const double s = model.small_pkt_bits;
+      const double l = model.large_pkt_bits();
+      m.m1 = p * s + (1.0 - p) * l;
+      m.m2 = p * s * s + (1.0 - p) * l * l;
+      m.m3 = p * s * s * s + (1.0 - p) * l * l * l;
+      break;
+    }
+    case traffic::PacketSizeModel::kTruncatedPareto:
+      m.m1 = model.pareto_moment(1);
+      m.m2 = model.pareto_moment(2);
+      m.m3 = model.pareto_moment(3);
+      break;
+  }
+  return m;
+}
+
+QueueingPredictor::QueueingPredictor(traffic::TrafficModel model,
+                                     double utilization_cap)
+    : model_(model), utilization_cap_(utilization_cap) {
+  RN_CHECK(utilization_cap_ > 0.0 && utilization_cap_ < 1.0,
+           "utilization cap must be in (0,1)");
+}
+
+AnalyticPrediction QueueingPredictor::predict(
+    const topo::Topology& topo, const routing::RoutingScheme& scheme,
+    const traffic::TrafficMatrix& tm) const {
+  const std::vector<double> loads = traffic::link_loads_bps(topo, scheme, tm);
+  const SizeMoments size = size_moments(model_);
+
+  AnalyticPrediction out;
+  out.link_utilization.resize(static_cast<std::size_t>(topo.num_links()));
+
+  // Per-link mean waiting time, waiting variance, and service moments.
+  std::vector<double> mean_sojourn(static_cast<std::size_t>(topo.num_links()));
+  std::vector<double> var_sojourn(static_cast<std::size_t>(topo.num_links()));
+  for (topo::LinkId id = 0; id < topo.num_links(); ++id) {
+    const topo::Link& link = topo.link(id);
+    const double cap = link.capacity_bps;
+    double rho = loads[static_cast<std::size_t>(id)] / cap;
+    if (rho >= utilization_cap_) {
+      // Offered load at or past capacity: the queue is unstable and the
+      // formulas diverge. Clamp and flag — the simulator is the arbiter.
+      rho = utilization_cap_;
+      out.any_unstable = true;
+    }
+    out.link_utilization[static_cast<std::size_t>(id)] = rho;
+    // Service-time moments: service = size / capacity.
+    const double es = size.m1 / cap;
+    const double es2 = size.m2 / (cap * cap);
+    const double es3 = size.m3 / (cap * cap * cap);
+    const double var_s = es2 - es * es;
+    // Packet arrival rate consistent with the clamped utilization.
+    const double lambda = rho / es;
+    // Pollaczek–Khinchine: E[Wq] = λ E[S²] / (2 (1−ρ)).
+    const double ewq = lambda * es2 / (2.0 * (1.0 - rho));
+    // Takács second moment: E[Wq²] = 2 E[Wq]² + λ E[S³] / (3 (1−ρ)).
+    const double ewq2 = 2.0 * ewq * ewq + lambda * es3 / (3.0 * (1.0 - rho));
+    const double var_wq = std::max(0.0, ewq2 - ewq * ewq);
+    mean_sojourn[static_cast<std::size_t>(id)] =
+        ewq + es + link.prop_delay_s;
+    var_sojourn[static_cast<std::size_t>(id)] = var_wq + var_s;
+  }
+
+  const int num_pairs = topo.num_pairs();
+  out.delay_s.resize(static_cast<std::size_t>(num_pairs));
+  out.jitter_s.resize(static_cast<std::size_t>(num_pairs));
+  for (int idx = 0; idx < num_pairs; ++idx) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (topo::LinkId id : scheme.path_by_index(idx)) {
+      mean += mean_sojourn[static_cast<std::size_t>(id)];
+      var += var_sojourn[static_cast<std::size_t>(id)];
+    }
+    out.delay_s[static_cast<std::size_t>(idx)] = mean;
+    out.jitter_s[static_cast<std::size_t>(idx)] = std::sqrt(var);
+  }
+  return out;
+}
+
+}  // namespace rn::queueing

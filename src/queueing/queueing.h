@@ -1,0 +1,51 @@
+// Analytic queueing-theory delay estimator — the "classic" baseline the
+// paper's introduction argues is insufficient for real traffic.
+//
+// Each directed link is modeled as an independent M/G/1 queue fed by the
+// aggregate offered load of all paths crossing it. Per-path delay is the
+// sum of per-link sojourn times (Pollaczek–Khinchine mean) plus propagation;
+// per-path jitter assumes link independence (which is wrong in general —
+// packet sizes persist across hops — and is one reason this baseline
+// underperforms the learned model on non-Markovian traffic).
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.h"
+#include "topology/topology.h"
+#include "traffic/traffic.h"
+
+namespace rn::queueing {
+
+struct AnalyticPrediction {
+  std::vector<double> delay_s;    // per pair index
+  std::vector<double> jitter_s;   // per pair index (std dev)
+  std::vector<double> link_utilization;
+  bool any_unstable = false;      // some link had offered load >= capacity
+};
+
+class QueueingPredictor {
+ public:
+  // The traffic model supplies the packet-size distribution whose first
+  // three moments drive the P-K formulas.
+  explicit QueueingPredictor(traffic::TrafficModel model,
+                             double utilization_cap = 0.995);
+
+  AnalyticPrediction predict(const topo::Topology& topo,
+                             const routing::RoutingScheme& scheme,
+                             const traffic::TrafficMatrix& tm) const;
+
+ private:
+  traffic::TrafficModel model_;
+  double utilization_cap_;
+};
+
+// Raw size-distribution moments (bits^k) implied by a traffic model.
+struct SizeMoments {
+  double m1 = 0.0;
+  double m2 = 0.0;
+  double m3 = 0.0;
+};
+SizeMoments size_moments(const traffic::TrafficModel& model);
+
+}  // namespace rn::queueing

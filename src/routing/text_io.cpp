@@ -1,0 +1,68 @@
+#include "routing/text_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rn::routing {
+
+RoutingScheme load_routing(std::istream& in, const topo::Topology& topo) {
+  RoutingScheme scheme(topo.num_nodes());
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    int src = -1, dst = -1;
+    std::string colon;
+    if (!(ls >> src >> dst >> colon)) continue;  // blank line
+    RN_CHECK(colon == ":", "malformed routing line: " + line);
+    std::vector<topo::NodeId> nodes;
+    int node = -1;
+    while (ls >> node) nodes.push_back(node);
+    RN_CHECK(nodes.size() >= 2, "routing line needs at least two nodes");
+    RN_CHECK(nodes.front() == src && nodes.back() == dst,
+             "routing node sequence must run src..dst: " + line);
+    Path path;
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      const std::optional<topo::LinkId> link =
+          topo.find_link(nodes[i], nodes[i + 1]);
+      RN_CHECK(link.has_value(),
+               "no link " + std::to_string(nodes[i]) + "->" +
+                   std::to_string(nodes[i + 1]) + " in topology");
+      path.push_back(*link);
+    }
+    scheme.set_path(src, dst, std::move(path));
+  }
+  return scheme;
+}
+
+RoutingScheme load_routing_file(const std::string& path,
+                                const topo::Topology& topo) {
+  std::ifstream in(path);
+  RN_CHECK(in.good(), "cannot open routing file: " + path);
+  return load_routing(in, topo);
+}
+
+void save_routing(std::ostream& out, const topo::Topology& topo,
+                  const RoutingScheme& scheme) {
+  for (topo::NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (topo::NodeId d = 0; d < topo.num_nodes(); ++d) {
+      if (s == d) continue;
+      const Path& p = scheme.path(s, d);
+      if (p.empty()) continue;
+      out << s << ' ' << d << " :";
+      for (topo::NodeId n : path_nodes(topo, p, s)) out << ' ' << n;
+      out << '\n';
+    }
+  }
+}
+
+void save_routing_file(const std::string& path, const topo::Topology& topo,
+                       const RoutingScheme& scheme) {
+  std::ofstream out(path);
+  RN_CHECK(out.good(), "cannot open routing file for writing: " + path);
+  save_routing(out, topo, scheme);
+  RN_CHECK(out.good(), "write failure on routing file: " + path);
+}
+
+}  // namespace rn::routing

@@ -1,0 +1,24 @@
+// Plain-text routing interchange. One line per pair:
+//   <src> <dst> : <node> <node> ... <node>
+// listing the full node sequence from src to dst (inclusive). Pairs may be
+// omitted only if they carry no traffic; loading validates continuity
+// against the topology.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "routing/routing.h"
+
+namespace rn::routing {
+
+RoutingScheme load_routing(std::istream& in, const topo::Topology& topo);
+RoutingScheme load_routing_file(const std::string& path,
+                                const topo::Topology& topo);
+
+void save_routing(std::ostream& out, const topo::Topology& topo,
+                  const RoutingScheme& scheme);
+void save_routing_file(const std::string& path, const topo::Topology& topo,
+                       const RoutingScheme& scheme);
+
+}  // namespace rn::routing

@@ -1,0 +1,453 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "util/stats.h"
+
+namespace rn::sim {
+
+namespace {
+
+struct Packet {
+  double size_bits = 0.0;
+  double created_s = 0.0;
+  std::int32_t pair_idx = 0;
+  std::int32_t hop = 0;   // index into the path's link sequence
+  std::int32_t cls = 0;   // scheduling class (0 = highest priority)
+};
+
+enum class EventKind : std::uint8_t {
+  kFlowArrival,   // a flow emits its next packet (and reschedules itself)
+  kServiceDone,   // a link finishes transmitting its current packet
+  kPacketArrive,  // a packet reaches the head of its next link's queue
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  // tie-breaker for determinism
+  EventKind kind = EventKind::kFlowArrival;
+  std::int32_t target = 0;  // flow index or link id
+  Packet pkt;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+// Per-flow ON/OFF renewal state (exact for exponential periods thanks to
+// memorylessness: an arrival candidate past the ON end simply never happens,
+// and sampling restarts at the next ON start).
+struct FlowState {
+  double pkt_rate_on = 0.0;  // packet rate while ON (equals mean rate for Poisson)
+  bool on = true;
+  double period_end = 0.0;
+};
+
+struct LinkState {
+  // One FIFO per scheduling class (FIFO mode uses only queues[0]).
+  std::vector<std::deque<Packet>> queues;
+  std::size_t total_queued = 0;
+  bool busy = false;
+  Packet serving;
+  // Deficit-round-robin state.
+  std::vector<double> deficit;
+  int drr_pos = 0;
+  // Time-weighted accounting (post-warmup).
+  double busy_since = 0.0;
+  double busy_accum = 0.0;
+  double q_integral = 0.0;
+  double last_q_change = 0.0;
+  std::size_t tx = 0;
+  std::size_t drops = 0;
+};
+
+class Run {
+ public:
+  Run(const SimConfig& cfg, const topo::Topology& topo,
+      const routing::RoutingScheme& scheme, const traffic::TrafficMatrix& tm)
+      : cfg_(cfg), topo_(topo), scheme_(scheme), tm_(tm), rng_(cfg.seed) {}
+
+  SimResult execute();
+
+ private:
+  double sample_pkt_size() {
+    const traffic::TrafficModel& m = cfg_.model;
+    switch (m.sizes) {
+      case traffic::PacketSizeModel::kExponential:
+        return std::max(1.0, rng_.exponential(m.mean_pkt_size_bits));
+      case traffic::PacketSizeModel::kBimodal:
+        return rng_.bernoulli(m.small_pkt_prob) ? m.small_pkt_bits
+                                                : m.large_pkt_bits();
+      case traffic::PacketSizeModel::kFixed:
+        return m.mean_pkt_size_bits;
+      case traffic::PacketSizeModel::kTruncatedPareto: {
+        // Inverse-CDF sampling of Pareto(alpha, xm) truncated at c·xm.
+        const double xm = m.pareto_xm_bits();
+        const double c = m.pareto_max_factor;
+        const double u = rng_.uniform(0.0, 1.0);
+        const double tail = 1.0 - std::pow(c, -m.pareto_alpha);
+        return xm * std::pow(1.0 - u * tail, -1.0 / m.pareto_alpha);
+      }
+    }
+    return m.mean_pkt_size_bits;
+  }
+
+  // Next packet emission time for a flow, strictly after `now`.
+  double next_arrival_time(FlowState& f, double now) {
+    const traffic::TrafficModel& m = cfg_.model;
+    if (m.arrivals == traffic::ArrivalProcess::kPoisson) {
+      return now + rng_.exponential(1.0 / f.pkt_rate_on);
+    }
+    const double f_on = m.on_fraction;
+    const double mean_on = m.mean_on_s;
+    const double mean_off = mean_on * (1.0 - f_on) / f_on;
+    double t = now;
+    for (;;) {
+      if (t >= f.period_end) {
+        f.on = !f.on;
+        f.period_end = t + rng_.exponential(f.on ? mean_on : mean_off);
+        continue;
+      }
+      if (!f.on) {
+        t = f.period_end;
+        continue;
+      }
+      const double cand = t + rng_.exponential(1.0 / f.pkt_rate_on);
+      if (cand <= f.period_end) return cand;
+      t = f.period_end;  // no arrival in the ON remainder; skip to next period
+    }
+  }
+
+  void schedule(double t, EventKind kind, std::int32_t target,
+                Packet pkt = {}) {
+    events_.push(Event{t, seq_++, kind, target, pkt});
+  }
+
+  void note_queue_change(LinkState& ls, double now) {
+    const double from = std::max(ls.last_q_change, cfg_.warmup_s);
+    if (now > from) {
+      ls.q_integral += static_cast<double>(ls.total_queued) * (now - from);
+    }
+    ls.last_q_change = now;
+  }
+
+  // Dequeues the next packet according to the scheduling discipline;
+  // returns false when all class queues are empty.
+  bool dequeue_next(LinkState& ls, Packet* out) {
+    if (ls.total_queued == 0) return false;
+    switch (cfg_.scheduling) {
+      case Scheduling::kFifo:
+      case Scheduling::kStrictPriority: {
+        // FIFO stores everything in queues[0]; strict priority serves the
+        // lowest-index (highest-priority) non-empty class.
+        for (auto& q : ls.queues) {
+          if (q.empty()) continue;
+          *out = q.front();
+          q.pop_front();
+          --ls.total_queued;
+          return true;
+        }
+        return false;
+      }
+      case Scheduling::kDeficitRoundRobin: {
+        const int classes = static_cast<int>(ls.queues.size());
+        for (;;) {
+          auto& q = ls.queues[static_cast<std::size_t>(ls.drr_pos)];
+          double& deficit = ls.deficit[static_cast<std::size_t>(ls.drr_pos)];
+          if (q.empty()) {
+            deficit = 0.0;  // standard DRR: empty queues lose their deficit
+            ls.drr_pos = (ls.drr_pos + 1) % classes;
+            continue;
+          }
+          if (deficit >= q.front().size_bits) {
+            *out = q.front();
+            q.pop_front();
+            --ls.total_queued;
+            deficit -= out->size_bits;
+            return true;
+          }
+          deficit += cfg_.drr_quantum_bits;
+          if (deficit < q.front().size_bits) {
+            ls.drr_pos = (ls.drr_pos + 1) % classes;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  void start_service(topo::LinkId id, LinkState& ls, Packet pkt, double now) {
+    ls.busy = true;
+    ls.serving = pkt;
+    ls.busy_since = now;
+    const double tx_time = pkt.size_bits / topo_.link(id).capacity_bps;
+    schedule(now + tx_time, EventKind::kServiceDone, id);
+  }
+
+  void handle_packet_arrive(topo::LinkId id, const Packet& pkt, double now) {
+    LinkState& ls = links_[static_cast<std::size_t>(id)];
+    if (!ls.busy) {
+      start_service(id, ls, pkt, now);
+      return;
+    }
+    // FIFO keeps one shared queue; schedulers queue per class.
+    const std::size_t qi =
+        cfg_.scheduling == Scheduling::kFifo
+            ? 0
+            : static_cast<std::size_t>(pkt.cls);
+    std::deque<Packet>& q = ls.queues[qi];
+    if (cfg_.link_buffer_pkts > 0 &&
+        static_cast<int>(q.size()) >= cfg_.link_buffer_pkts) {
+      ++ls.drops;
+      ++path_drops_[static_cast<std::size_t>(pkt.pair_idx)];
+      return;
+    }
+    note_queue_change(ls, now);
+    q.push_back(pkt);
+    ++ls.total_queued;
+  }
+
+  void deliver(Packet pkt, double now) {
+    const routing::Path& path = scheme_.path_by_index(pkt.pair_idx);
+    if (pkt.hop >= static_cast<std::int32_t>(path.size())) {
+      // Destination reached.
+      if (pkt.created_s >= cfg_.warmup_s) {
+        const double delay = now - pkt.created_s;
+        auto& acc = path_delay_[static_cast<std::size_t>(pkt.pair_idx)];
+        acc.add(delay);
+        if (cfg_.collect_samples) {
+          auto& samples = path_samples_[static_cast<std::size_t>(pkt.pair_idx)];
+          if (samples.size() < cfg_.max_samples_per_path) {
+            samples.push_back(delay);
+          } else {
+            // Reservoir sampling keeps an unbiased subset.
+            const std::size_t j = static_cast<std::size_t>(rng_.uniform_int(
+                0, static_cast<int>(acc.count()) - 1));
+            if (j < samples.size()) samples[j] = delay;
+          }
+        }
+      }
+      return;
+    }
+    const topo::LinkId id = path[static_cast<std::size_t>(pkt.hop)];
+    handle_packet_arrive(id, pkt, now);
+  }
+
+  void handle_service_done(topo::LinkId id, double now) {
+    LinkState& ls = links_[static_cast<std::size_t>(id)];
+    RN_CHECK(ls.busy, "service completion on idle link");
+    // Utilization accounting clipped to the post-warmup window.
+    const double from = std::max(ls.busy_since, cfg_.warmup_s);
+    if (now > from) ls.busy_accum += now - from;
+    ++ls.tx;
+    Packet pkt = ls.serving;
+    ls.busy = false;
+    pkt.hop += 1;
+    const double prop = topo_.link(id).prop_delay_s;
+    if (prop > 0.0) {
+      schedule(now + prop, EventKind::kPacketArrive, id, pkt);
+    } else {
+      deliver(pkt, now);
+    }
+    // Close the queue-length integral at the pre-dequeue length.
+    note_queue_change(ls, now);
+    Packet next;
+    if (dequeue_next(ls, &next)) {
+      start_service(id, ls, next, now);
+    }
+  }
+
+  void handle_flow_arrival(std::int32_t flow_idx, double now) {
+    FlowState& f = flows_[static_cast<std::size_t>(flow_idx)];
+    Packet pkt;
+    pkt.size_bits = sample_pkt_size();
+    pkt.created_s = now;
+    pkt.pair_idx = flow_idx;
+    pkt.hop = 0;
+    pkt.cls = flow_class_[static_cast<std::size_t>(flow_idx)];
+    ++packets_created_;
+    deliver(pkt, now);
+    const double next = next_arrival_time(f, now);
+    if (next <= cfg_.horizon_s) {
+      schedule(next, EventKind::kFlowArrival, flow_idx);
+    }
+  }
+
+  const SimConfig& cfg_;
+  const topo::Topology& topo_;
+  const routing::RoutingScheme& scheme_;
+  const traffic::TrafficMatrix& tm_;
+  Rng rng_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t seq_ = 0;
+  std::vector<FlowState> flows_;
+  std::vector<std::int32_t> flow_class_;
+  std::vector<LinkState> links_;
+  std::vector<Welford> path_delay_;
+  std::vector<std::size_t> path_drops_;
+  std::vector<std::vector<double>> path_samples_;
+  std::size_t packets_created_ = 0;
+  std::size_t processed_ = 0;
+};
+
+SimResult Run::execute() {
+  RN_CHECK(cfg_.horizon_s > cfg_.warmup_s, "horizon must exceed warmup");
+  const int num_pairs = topo_.num_pairs();
+  flows_.resize(static_cast<std::size_t>(num_pairs));
+  flow_class_.resize(static_cast<std::size_t>(num_pairs), 0);
+  for (int idx = 0; idx < num_pairs; ++idx) {
+    if (cfg_.class_of_flow) {
+      const int cls = cfg_.class_of_flow(idx);
+      RN_CHECK(cls >= 0 && cls < cfg_.num_classes,
+               "class_of_flow returned an out-of-range class");
+      flow_class_[static_cast<std::size_t>(idx)] = cls;
+    }
+  }
+  links_.resize(static_cast<std::size_t>(topo_.num_links()));
+  const std::size_t queue_count =
+      cfg_.scheduling == Scheduling::kFifo
+          ? 1
+          : static_cast<std::size_t>(cfg_.num_classes);
+  for (LinkState& ls : links_) {
+    ls.queues.resize(queue_count);
+    ls.deficit.assign(queue_count, 0.0);
+  }
+  path_delay_.resize(static_cast<std::size_t>(num_pairs));
+  path_drops_.assign(static_cast<std::size_t>(num_pairs), 0);
+  if (cfg_.collect_samples) {
+    path_samples_.resize(static_cast<std::size_t>(num_pairs));
+  }
+
+  // Seed each active flow with its first arrival.
+  for (int idx = 0; idx < num_pairs; ++idx) {
+    const double rate_bps = tm_.rate_by_index(idx);
+    if (rate_bps <= 0.0) continue;
+    FlowState& f = flows_[static_cast<std::size_t>(idx)];
+    const double mean_pkt_rate = rate_bps / cfg_.model.mean_pkt_size_bits;
+    if (cfg_.model.arrivals == traffic::ArrivalProcess::kOnOff) {
+      f.pkt_rate_on = mean_pkt_rate / cfg_.model.on_fraction;
+      f.on = rng_.bernoulli(cfg_.model.on_fraction);
+      f.period_end = rng_.exponential(
+          f.on ? cfg_.model.mean_on_s
+               : cfg_.model.mean_on_s * (1.0 - cfg_.model.on_fraction) /
+                     cfg_.model.on_fraction);
+    } else {
+      f.pkt_rate_on = mean_pkt_rate;
+    }
+    const double first = next_arrival_time(f, 0.0);
+    if (first <= cfg_.horizon_s) {
+      schedule(first, EventKind::kFlowArrival, idx);
+    }
+  }
+
+  double now = 0.0;
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    now = ev.time;
+    ++processed_;
+    switch (ev.kind) {
+      case EventKind::kFlowArrival:
+        handle_flow_arrival(ev.target, now);
+        break;
+      case EventKind::kServiceDone:
+        handle_service_done(ev.target, now);
+        break;
+      case EventKind::kPacketArrive:
+        deliver(ev.pkt, now);
+        break;
+    }
+  }
+  // `now` is the time of the last event; in-flight packets at that point are
+  // simply not counted (standard truncation).
+
+  SimResult result;
+  result.simulated_time_s = now;
+  result.total_events = processed_;
+  result.packets_created = packets_created_;
+  result.paths.resize(static_cast<std::size_t>(num_pairs));
+  for (int idx = 0; idx < num_pairs; ++idx) {
+    const Welford& acc = path_delay_[static_cast<std::size_t>(idx)];
+    PathStats& ps = result.paths[static_cast<std::size_t>(idx)];
+    ps.delivered = acc.count();
+    ps.dropped = path_drops_[static_cast<std::size_t>(idx)];
+    ps.mean_delay_s = acc.count() > 0 ? acc.mean() : 0.0;
+    ps.jitter_s = acc.stddev();
+    if (cfg_.collect_samples &&
+        !path_samples_[static_cast<std::size_t>(idx)].empty()) {
+      ps.p99_delay_s =
+          quantile(path_samples_[static_cast<std::size_t>(idx)], 0.99);
+    }
+  }
+  const double window = std::max(1e-12, now - cfg_.warmup_s);
+  result.links.resize(static_cast<std::size_t>(topo_.num_links()));
+  for (topo::LinkId id = 0; id < topo_.num_links(); ++id) {
+    LinkState& ls = links_[static_cast<std::size_t>(id)];
+    // Close open accounting intervals at the final clock.
+    if (ls.busy) {
+      const double from = std::max(ls.busy_since, cfg_.warmup_s);
+      if (now > from) ls.busy_accum += now - from;
+    }
+    note_queue_change(ls, now);
+    LinkStats& out = result.links[static_cast<std::size_t>(id)];
+    out.utilization = std::clamp(ls.busy_accum / window, 0.0, 1.0);
+    out.mean_queue_pkts = ls.q_integral / window;
+    out.tx_pkts = ls.tx;
+    out.drops = ls.drops;
+  }
+  return result;
+}
+
+}  // namespace
+
+double SimResult::coverage(std::size_t min_pkts) const {
+  if (paths.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const PathStats& p : paths) {
+    if (p.delivered >= min_pkts) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(paths.size());
+}
+
+PacketSimulator::PacketSimulator(SimConfig cfg) : cfg_(std::move(cfg)) {
+  RN_CHECK(cfg_.warmup_s >= 0.0, "warmup must be non-negative");
+  RN_CHECK(cfg_.horizon_s > cfg_.warmup_s, "horizon must exceed warmup");
+  RN_CHECK(cfg_.link_buffer_pkts >= 0, "buffer size must be non-negative");
+  RN_CHECK(cfg_.num_classes >= 1, "need at least one traffic class");
+  RN_CHECK(cfg_.scheduling == Scheduling::kFifo || cfg_.num_classes >= 1,
+           "non-FIFO scheduling needs classes");
+  RN_CHECK(cfg_.drr_quantum_bits > 0.0, "DRR quantum must be positive");
+}
+
+SimResult PacketSimulator::run(const topo::Topology& topo,
+                               const routing::RoutingScheme& scheme,
+                               const traffic::TrafficMatrix& tm) const {
+  RN_CHECK(scheme.num_nodes() == topo.num_nodes(),
+           "routing scheme does not match topology");
+  RN_CHECK(tm.num_nodes() == topo.num_nodes(),
+           "traffic matrix does not match topology");
+  Run run(cfg_, topo, scheme, tm);
+  return run.execute();
+}
+
+double horizon_for_target_packets(const traffic::TrafficMatrix& tm,
+                                  const traffic::TrafficModel& model,
+                                  double warmup_s,
+                                  double target_pkts_per_flow) {
+  RN_CHECK(target_pkts_per_flow > 0.0, "target packet count must be positive");
+  const double total_pkt_rate =
+      tm.total_rate_bps() / model.mean_pkt_size_bits;
+  RN_CHECK(total_pkt_rate > 0.0, "traffic matrix is all zero");
+  const double mean_flow_rate =
+      total_pkt_rate / static_cast<double>(tm.num_pairs());
+  return warmup_s + target_pkts_per_flow / mean_flow_rate;
+}
+
+}  // namespace rn::sim

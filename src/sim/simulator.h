@@ -1,0 +1,107 @@
+// Packet-level discrete-event network simulator.
+//
+// This is the ground-truth engine standing in for the paper's custom
+// OMNeT++ simulator: every packet is generated from a per-flow stochastic
+// process, queued FIFO at each output link it traverses, transmitted at
+// link capacity, and its end-to-end delay recorded at the destination.
+// Per-source/destination mean delay and jitter (delay standard deviation)
+// are exactly the targets RouteNet learns to predict.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "routing/routing.h"
+#include "topology/topology.h"
+#include "traffic/traffic.h"
+#include "util/rng.h"
+
+namespace rn::sim {
+
+// Output-queue scheduling discipline per link. kFifo is the paper's
+// setting; the other two are QoS extensions (the direction later RouteNet
+// variants explored) used by the scheduling tests and examples.
+enum class Scheduling {
+  kFifo,            // single queue, arrival order
+  kStrictPriority,  // class 0 always preempts class 1 (non-preemptive of
+                    // the packet in service)
+  kDeficitRoundRobin,  // byte-fair service between classes
+};
+
+struct SimConfig {
+  // Statistics only count packets created at or after warmup_s.
+  double warmup_s = 1.0;
+  // Simulation stops once the event clock passes horizon_s.
+  double horizon_s = 30.0;
+  std::uint64_t seed = 1;
+  traffic::TrafficModel model;
+  // Per-link queue capacity in packets (excluding the one in service);
+  // 0 means infinite (pure delay, no loss). With multiple classes the cap
+  // applies per class queue.
+  int link_buffer_pkts = 0;
+  // Keep up to max_samples_per_path raw delays (reservoir) for percentiles.
+  bool collect_samples = false;
+  std::size_t max_samples_per_path = 256;
+
+  Scheduling scheduling = Scheduling::kFifo;
+  int num_classes = 1;  // >1 only meaningful with non-FIFO scheduling
+  // Maps a flow (pair index) to its class in [0, num_classes); null means
+  // every flow is class 0.
+  std::function<int(int pair_idx)> class_of_flow;
+  // DRR quantum in bits added to a class's deficit per visit.
+  double drr_quantum_bits = 1500.0;
+};
+
+struct PathStats {
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+  double mean_delay_s = 0.0;
+  double jitter_s = 0.0;  // standard deviation of per-packet delay
+  double p99_delay_s = 0.0;  // 0 unless collect_samples
+};
+
+struct LinkStats {
+  double utilization = 0.0;      // busy fraction of post-warmup time
+  double mean_queue_pkts = 0.0;  // time-averaged waiting-queue length
+  std::size_t tx_pkts = 0;
+  std::size_t drops = 0;
+};
+
+struct SimResult {
+  std::vector<PathStats> paths;  // indexed by topo::pair_index
+  std::vector<LinkStats> links;
+  double simulated_time_s = 0.0;
+  std::size_t total_events = 0;
+  std::size_t packets_created = 0;
+
+  // Fraction of pairs that delivered at least min_pkts packets — a quick
+  // health check that the horizon was long enough.
+  double coverage(std::size_t min_pkts = 1) const;
+};
+
+class PacketSimulator {
+ public:
+  explicit PacketSimulator(SimConfig cfg);
+
+  // Runs one scenario. The matrix, scheme, and topology must agree on the
+  // node count; paths must be valid (validate_routing).
+  SimResult run(const topo::Topology& topo,
+                const routing::RoutingScheme& scheme,
+                const traffic::TrafficMatrix& tm) const;
+
+  const SimConfig& config() const { return cfg_; }
+
+ private:
+  SimConfig cfg_;
+};
+
+// Picks a horizon so the average flow emits roughly target_pkts_per_flow
+// packets after warmup — keeps dataset generation time predictable across
+// topology sizes and intensities.
+double horizon_for_target_packets(const traffic::TrafficMatrix& tm,
+                                  const traffic::TrafficModel& model,
+                                  double warmup_s,
+                                  double target_pkts_per_flow);
+
+}  // namespace rn::sim

@@ -1,0 +1,70 @@
+// Built-in and synthetic topologies.
+//
+// The paper trains RouteNet on the 14-node NSFNET and a 50-node synthetic
+// topology, and evaluates generalization on the 24-node Geant2. Capacities
+// follow the public RouteNet datasets' convention of a small set of discrete
+// rates; traffic units are chosen relative to them (see rn::traffic).
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace rn::topo {
+
+struct GeneratorOptions {
+  // Capacities assigned to duplex links, cycled deterministically by link
+  // index (so a named topology is identical run to run).
+  std::vector<double> capacity_options_bps = {10'000.0, 25'000.0, 40'000.0};
+  double prop_delay_s = 0.0;
+};
+
+// 14-node / 21-duplex-link NSFNET T1 backbone (42 directed links).
+Topology nsfnet(const GeneratorOptions& opts = {});
+
+// 24-node / 37-duplex-link Geant2 pan-European backbone. The public dataset
+// ships the graph as GML; this is a structurally equivalent hard-coded edge
+// list (same node/edge counts, hub-heavy degree profile).
+Topology geant2(const GeneratorOptions& opts = {});
+
+// 17-node / 26-duplex-link GBN (German backbone) — the third topology of the
+// original RouteNet evaluation (Rusek et al., SOSR 2019); useful as an extra
+// unseen-size evaluation target.
+Topology gbn(const GeneratorOptions& opts = {});
+
+// Barabási–Albert preferential-attachment graph: n nodes, each newcomer
+// attaches with m edges. This stands in for the paper's "50-node
+// synthetically-generated topology"; seeded for reproducibility.
+Topology synthetic_ba(int n, int m, Rng& rng,
+                      const GeneratorOptions& opts = {});
+
+// Erdős–Rényi G(n, p) with connectivity repair: after sampling, components
+// are stitched together with extra random edges so routing always exists.
+Topology synthetic_er(int n, double p, Rng& rng,
+                      const GeneratorOptions& opts = {});
+
+// w×h mesh; node (x, y) is index y*w + x.
+Topology grid(int w, int h, double capacity_bps = 10'000.0);
+
+// w×h mesh with wraparound links in both dimensions (requires w, h >= 3 so
+// wrap links are not parallel duplicates of mesh links).
+Topology torus(int w, int h, double capacity_bps = 10'000.0);
+
+// k-ary fat-tree switch fabric (k even, >= 2): (k/2)² core switches, k pods
+// of k/2 aggregation + k/2 edge switches. Edge switches are the traffic
+// endpoints. Core links get core_capacity_bps, pod links capacity_bps.
+// Node order: cores, then per pod aggregation then edge.
+Topology fat_tree(int k, double capacity_bps = 10'000.0,
+                  double core_capacity_bps = 40'000.0);
+
+// Small deterministic shapes used heavily by tests and examples.
+Topology line(int n, double capacity_bps = 10'000.0);
+Topology ring(int n, double capacity_bps = 10'000.0);
+Topology star(int leaves, double capacity_bps = 10'000.0);
+// Classic two-router bottleneck: `hosts` sources on the left, `hosts` sinks
+// on the right, one shared middle link.
+Topology dumbbell(int hosts, double edge_capacity_bps,
+                  double bottleneck_capacity_bps);
+
+}  // namespace rn::topo

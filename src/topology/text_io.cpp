@@ -1,0 +1,78 @@
+#include "topology/text_io.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+namespace rn::topo {
+
+namespace {
+
+// Strips comments and returns the next non-empty line.
+std::optional<std::string> next_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream probe(line);
+    std::string word;
+    if (probe >> word) return line;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Topology load_topology(std::istream& in) {
+  std::optional<std::string> header = next_line(in);
+  RN_CHECK(header.has_value(), "topology file is empty");
+  std::istringstream hs(*header);
+  std::string keyword, name;
+  int num_nodes = 0;
+  hs >> keyword >> name >> num_nodes;
+  RN_CHECK(keyword == "topology" && !name.empty() && num_nodes >= 1,
+           "topology file must start with: topology <name> <num_nodes>");
+  Topology topo(name, num_nodes);
+  while (std::optional<std::string> line = next_line(in)) {
+    std::istringstream ls(*line);
+    std::string kind;
+    int a = -1, b = -1;
+    double cap = 0.0, prop = 0.0;
+    ls >> kind >> a >> b >> cap;
+    RN_CHECK(!ls.fail(), "malformed link line: " + *line);
+    if (!(ls >> prop)) prop = 0.0;
+    if (kind == "link") {
+      topo.add_link(a, b, cap, prop);
+    } else if (kind == "duplex") {
+      topo.add_duplex_link(a, b, cap, prop);
+    } else {
+      RN_CHECK(false, "unknown directive '" + kind + "' in topology file");
+    }
+  }
+  return topo;
+}
+
+Topology load_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  RN_CHECK(in.good(), "cannot open topology file: " + path);
+  return load_topology(in);
+}
+
+void save_topology(std::ostream& out, const Topology& topo) {
+  out << "topology " << topo.name() << ' ' << topo.num_nodes() << '\n';
+  out.precision(17);  // max_digits10: doubles round-trip exactly
+  for (const Link& l : topo.links()) {
+    out << "link " << l.src << ' ' << l.dst << ' ' << l.capacity_bps;
+    if (l.prop_delay_s != 0.0) out << ' ' << l.prop_delay_s;
+    out << '\n';
+  }
+}
+
+void save_topology_file(const std::string& path, const Topology& topo) {
+  std::ofstream out(path);
+  RN_CHECK(out.good(), "cannot open topology file for writing: " + path);
+  save_topology(out, topo);
+  RN_CHECK(out.good(), "write failure on topology file: " + path);
+}
+
+}  // namespace rn::topo

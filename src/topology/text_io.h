@@ -1,0 +1,23 @@
+// Plain-text topology interchange, so users can bring their own networks
+// without writing C++.
+//
+// Format (whitespace-separated, '#' comments):
+//   topology <name> <num_nodes>
+//   link <src> <dst> <capacity_bps> [prop_delay_s]      # one direction
+//   duplex <a> <b> <capacity_bps> [prop_delay_s]        # both directions
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/topology.h"
+
+namespace rn::topo {
+
+Topology load_topology(std::istream& in);
+Topology load_topology_file(const std::string& path);
+
+void save_topology(std::ostream& out, const Topology& topo);
+void save_topology_file(const std::string& path, const Topology& topo);
+
+}  // namespace rn::topo

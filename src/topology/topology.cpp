@@ -1,0 +1,122 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace rn::topo {
+
+Topology::Topology(std::string name, int num_nodes)
+    : name_(std::move(name)),
+      num_nodes_(num_nodes),
+      out_links_(static_cast<std::size_t>(num_nodes)) {
+  RN_CHECK(num_nodes >= 1, "topology needs at least one node");
+}
+
+LinkId Topology::add_link(NodeId src, NodeId dst, double capacity_bps,
+                          double prop_delay_s) {
+  RN_CHECK(src >= 0 && src < num_nodes_, "link src out of range");
+  RN_CHECK(dst >= 0 && dst < num_nodes_, "link dst out of range");
+  RN_CHECK(src != dst, "self-loop links are not allowed");
+  RN_CHECK(capacity_bps > 0.0, "link capacity must be positive");
+  RN_CHECK(prop_delay_s >= 0.0, "propagation delay must be non-negative");
+  const LinkId id = num_links();
+  links_.push_back(Link{src, dst, capacity_bps, prop_delay_s});
+  out_links_[static_cast<std::size_t>(src)].push_back(id);
+  return id;
+}
+
+LinkId Topology::add_duplex_link(NodeId a, NodeId b, double capacity_bps,
+                                 double prop_delay_s) {
+  const LinkId forward = add_link(a, b, capacity_bps, prop_delay_s);
+  add_link(b, a, capacity_bps, prop_delay_s);
+  return forward;
+}
+
+std::optional<LinkId> Topology::find_link(NodeId src, NodeId dst) const {
+  for (LinkId id : out_links(src)) {
+    if (link(id).dst == dst) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> Topology::bfs_hops(NodeId src) const {
+  RN_CHECK(src >= 0 && src < num_nodes_, "bfs source out of range");
+  std::vector<int> dist(static_cast<std::size_t>(num_nodes_), -1);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (LinkId id : out_links(u)) {
+      const NodeId v = link(id).dst;
+      if (dist[static_cast<std::size_t>(v)] == -1) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Topology::is_strongly_connected() const {
+  if (num_nodes_ == 1) return true;
+  // BFS out from node 0, then BFS on the reversed graph (simulated by
+  // scanning all links) — sufficient for the small graphs we model.
+  const std::vector<int> fwd = bfs_hops(0);
+  if (std::any_of(fwd.begin(), fwd.end(), [](int d) { return d < 0; })) {
+    return false;
+  }
+  std::vector<std::vector<NodeId>> rev(static_cast<std::size_t>(num_nodes_));
+  for (const Link& l : links_) {
+    rev[static_cast<std::size_t>(l.dst)].push_back(l.src);
+  }
+  std::vector<char> seen(static_cast<std::size_t>(num_nodes_), 0);
+  std::queue<NodeId> q;
+  seen[0] = 1;
+  q.push(0);
+  int count = 1;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : rev[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++count;
+        q.push(v);
+      }
+    }
+  }
+  return count == num_nodes_;
+}
+
+double Topology::min_capacity_bps() const {
+  RN_CHECK(!links_.empty(), "topology has no links");
+  double m = links_.front().capacity_bps;
+  for (const Link& l : links_) m = std::min(m, l.capacity_bps);
+  return m;
+}
+
+double Topology::max_capacity_bps() const {
+  RN_CHECK(!links_.empty(), "topology has no links");
+  double m = links_.front().capacity_bps;
+  for (const Link& l : links_) m = std::max(m, l.capacity_bps);
+  return m;
+}
+
+int pair_index(NodeId s, NodeId d, int num_nodes) {
+  RN_CHECK(s >= 0 && s < num_nodes && d >= 0 && d < num_nodes && s != d,
+           "invalid (src, dst) pair");
+  return s * (num_nodes - 1) + (d < s ? d : d - 1);
+}
+
+std::pair<NodeId, NodeId> pair_from_index(int index, int num_nodes) {
+  RN_CHECK(index >= 0 && index < num_nodes * (num_nodes - 1),
+           "pair index out of range");
+  const int s = index / (num_nodes - 1);
+  int d = index % (num_nodes - 1);
+  if (d >= s) ++d;
+  return {s, d};
+}
+
+}  // namespace rn::topo

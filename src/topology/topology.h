@@ -1,0 +1,88 @@
+// Network topology: a multigraph of nodes joined by directed capacitated
+// links. Links are directed because queueing happens per direction; the
+// named topologies install both directions of every physical cable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rn::topo {
+
+using LinkId = int;
+using NodeId = int;
+
+struct Link {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double capacity_bps = 0.0;   // transmission rate
+  double prop_delay_s = 0.0;   // fixed propagation latency
+};
+
+class Topology {
+ public:
+  Topology(std::string name, int num_nodes);
+
+  // Adds one directed link and returns its id.
+  LinkId add_link(NodeId src, NodeId dst, double capacity_bps,
+                  double prop_delay_s = 0.0);
+
+  // Adds both directions with identical capacity/delay; returns the id of
+  // the src→dst direction (the dst→src id is the next one).
+  LinkId add_duplex_link(NodeId a, NodeId b, double capacity_bps,
+                         double prop_delay_s = 0.0);
+
+  const std::string& name() const { return name_; }
+  int num_nodes() const { return num_nodes_; }
+  int num_links() const { return static_cast<int>(links_.size()); }
+
+  const Link& link(LinkId id) const {
+    RN_CHECK(id >= 0 && id < num_links(), "link id out of range");
+    return links_[static_cast<std::size_t>(id)];
+  }
+
+  const std::vector<Link>& links() const { return links_; }
+
+  // Outgoing link ids of a node.
+  const std::vector<LinkId>& out_links(NodeId n) const {
+    RN_CHECK(n >= 0 && n < num_nodes_, "node id out of range");
+    return out_links_[static_cast<std::size_t>(n)];
+  }
+
+  // First link src→dst if one exists.
+  std::optional<LinkId> find_link(NodeId src, NodeId dst) const;
+
+  int out_degree(NodeId n) const {
+    return static_cast<int>(out_links(n).size());
+  }
+
+  // True when every node can reach every other node over directed links.
+  bool is_strongly_connected() const;
+
+  // Hop distances from src over directed links; -1 for unreachable.
+  std::vector<int> bfs_hops(NodeId src) const;
+
+  // Number of ordered (src, dst) pairs with src != dst.
+  int num_pairs() const { return num_nodes_ * (num_nodes_ - 1); }
+
+  double min_capacity_bps() const;
+  double max_capacity_bps() const;
+
+ private:
+  std::string name_;
+  int num_nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+};
+
+// Dense index for ordered node pairs: all (s, d), s != d, in row-major
+// order with the diagonal removed. Used to index traffic matrices, routing
+// schemes, and per-path predictions consistently across the library.
+int pair_index(NodeId s, NodeId d, int num_nodes);
+
+// Inverse of pair_index.
+std::pair<NodeId, NodeId> pair_from_index(int index, int num_nodes);
+
+}  // namespace rn::topo

@@ -1,0 +1,58 @@
+#include "traffic/text_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rn::traffic {
+
+TrafficMatrix load_traffic_csv(std::istream& in, int num_nodes) {
+  TrafficMatrix tm(num_nodes);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!saw_header) {
+      RN_CHECK(line.rfind("src,dst,rate_bps", 0) == 0,
+               "traffic CSV must start with header src,dst,rate_bps");
+      saw_header = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string field;
+    RN_CHECK(std::getline(ls, field, ','), "malformed CSV row: " + line);
+    const int src = std::stoi(field);
+    RN_CHECK(std::getline(ls, field, ','), "malformed CSV row: " + line);
+    const int dst = std::stoi(field);
+    RN_CHECK(std::getline(ls, field, ','), "malformed CSV row: " + line);
+    const double rate = std::stod(field);
+    tm.set_rate_bps(src, dst, rate);
+  }
+  RN_CHECK(saw_header, "traffic CSV is empty");
+  return tm;
+}
+
+TrafficMatrix load_traffic_csv_file(const std::string& path, int num_nodes) {
+  std::ifstream in(path);
+  RN_CHECK(in.good(), "cannot open traffic CSV: " + path);
+  return load_traffic_csv(in, num_nodes);
+}
+
+void save_traffic_csv(std::ostream& out, const TrafficMatrix& tm) {
+  out << "src,dst,rate_bps\n";
+  out.precision(17);  // max_digits10: doubles round-trip exactly
+  for (int idx = 0; idx < tm.num_pairs(); ++idx) {
+    const double rate = tm.rate_by_index(idx);
+    if (rate <= 0.0) continue;
+    const auto [src, dst] = topo::pair_from_index(idx, tm.num_nodes());
+    out << src << ',' << dst << ',' << rate << '\n';
+  }
+}
+
+void save_traffic_csv_file(const std::string& path, const TrafficMatrix& tm) {
+  std::ofstream out(path);
+  RN_CHECK(out.good(), "cannot open traffic CSV for writing: " + path);
+  save_traffic_csv(out, tm);
+  RN_CHECK(out.good(), "write failure on traffic CSV: " + path);
+}
+
+}  // namespace rn::traffic

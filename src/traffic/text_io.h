@@ -1,0 +1,18 @@
+// CSV interchange for traffic matrices: header "src,dst,rate_bps", one row
+// per nonzero pair.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traffic/traffic.h"
+
+namespace rn::traffic {
+
+TrafficMatrix load_traffic_csv(std::istream& in, int num_nodes);
+TrafficMatrix load_traffic_csv_file(const std::string& path, int num_nodes);
+
+void save_traffic_csv(std::ostream& out, const TrafficMatrix& tm);
+void save_traffic_csv_file(const std::string& path, const TrafficMatrix& tm);
+
+}  // namespace rn::traffic

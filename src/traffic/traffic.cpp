@@ -1,0 +1,175 @@
+#include "traffic/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rn::traffic {
+
+TrafficMatrix::TrafficMatrix(int num_nodes)
+    : num_nodes_(num_nodes),
+      rates_(static_cast<std::size_t>(num_nodes) * (num_nodes - 1), 0.0) {
+  RN_CHECK(num_nodes >= 2, "traffic matrix needs at least 2 nodes");
+}
+
+double TrafficMatrix::rate_bps(topo::NodeId s, topo::NodeId d) const {
+  return rates_[static_cast<std::size_t>(topo::pair_index(s, d, num_nodes_))];
+}
+
+double TrafficMatrix::rate_by_index(int pair_idx) const {
+  RN_CHECK(pair_idx >= 0 && pair_idx < num_pairs(), "pair index out of range");
+  return rates_[static_cast<std::size_t>(pair_idx)];
+}
+
+void TrafficMatrix::set_rate_bps(topo::NodeId s, topo::NodeId d, double rate) {
+  RN_CHECK(rate >= 0.0, "traffic rate must be non-negative");
+  rates_[static_cast<std::size_t>(topo::pair_index(s, d, num_nodes_))] = rate;
+}
+
+double TrafficMatrix::total_rate_bps() const {
+  double total = 0.0;
+  for (double r : rates_) total += r;
+  return total;
+}
+
+void TrafficMatrix::scale(double factor) {
+  RN_CHECK(factor >= 0.0, "scale factor must be non-negative");
+  for (double& r : rates_) r *= factor;
+}
+
+TrafficMatrix uniform_traffic(int num_nodes, double lo_bps, double hi_bps,
+                              Rng& rng) {
+  RN_CHECK(0.0 <= lo_bps && lo_bps <= hi_bps, "bad uniform traffic range");
+  TrafficMatrix tm(num_nodes);
+  for (topo::NodeId s = 0; s < num_nodes; ++s) {
+    for (topo::NodeId d = 0; d < num_nodes; ++d) {
+      if (s == d) continue;
+      tm.set_rate_bps(s, d, rng.uniform(lo_bps, hi_bps));
+    }
+  }
+  return tm;
+}
+
+TrafficMatrix gravity_traffic(int num_nodes, double total_bps, Rng& rng) {
+  RN_CHECK(total_bps > 0.0, "gravity total must be positive");
+  std::vector<double> w(static_cast<std::size_t>(num_nodes));
+  for (double& x : w) x = rng.uniform(0.2, 1.0);
+  double denom = 0.0;
+  for (topo::NodeId s = 0; s < num_nodes; ++s) {
+    for (topo::NodeId d = 0; d < num_nodes; ++d) {
+      if (s != d) {
+        denom += w[static_cast<std::size_t>(s)] * w[static_cast<std::size_t>(d)];
+      }
+    }
+  }
+  TrafficMatrix tm(num_nodes);
+  for (topo::NodeId s = 0; s < num_nodes; ++s) {
+    for (topo::NodeId d = 0; d < num_nodes; ++d) {
+      if (s == d) continue;
+      const double share = w[static_cast<std::size_t>(s)] *
+                           w[static_cast<std::size_t>(d)] / denom;
+      tm.set_rate_bps(s, d, total_bps * share);
+    }
+  }
+  return tm;
+}
+
+TrafficMatrix hotspot_traffic(int num_nodes, int num_hotspots,
+                              double base_bps, double hot_factor, Rng& rng) {
+  RN_CHECK(num_hotspots >= 0 && num_hotspots <= num_nodes,
+           "hotspot count out of range");
+  RN_CHECK(base_bps >= 0.0 && hot_factor >= 1.0, "bad hotspot parameters");
+  // Sample distinct hotspot nodes.
+  std::vector<topo::NodeId> nodes(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) nodes[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < num_hotspots; ++i) {
+    const int j = rng.uniform_int(i, num_nodes - 1);
+    std::swap(nodes[static_cast<std::size_t>(i)],
+              nodes[static_cast<std::size_t>(j)]);
+  }
+  std::vector<char> hot(static_cast<std::size_t>(num_nodes), 0);
+  for (int i = 0; i < num_hotspots; ++i) {
+    hot[static_cast<std::size_t>(nodes[static_cast<std::size_t>(i)])] = 1;
+  }
+  TrafficMatrix tm(num_nodes);
+  for (topo::NodeId s = 0; s < num_nodes; ++s) {
+    for (topo::NodeId d = 0; d < num_nodes; ++d) {
+      if (s == d) continue;
+      const double rate =
+          hot[static_cast<std::size_t>(s)] ? base_bps * hot_factor : base_bps;
+      tm.set_rate_bps(s, d, rate * rng.uniform(0.5, 1.5));
+    }
+  }
+  return tm;
+}
+
+std::vector<double> link_loads_bps(const topo::Topology& topo,
+                                   const routing::RoutingScheme& scheme,
+                                   const TrafficMatrix& tm) {
+  RN_CHECK(scheme.num_nodes() == topo.num_nodes(), "scheme/topology mismatch");
+  RN_CHECK(tm.num_nodes() == topo.num_nodes(), "matrix/topology mismatch");
+  std::vector<double> loads(static_cast<std::size_t>(topo.num_links()), 0.0);
+  for (int idx = 0; idx < tm.num_pairs(); ++idx) {
+    const double rate = tm.rate_by_index(idx);
+    if (rate <= 0.0) continue;
+    for (topo::LinkId id : scheme.path_by_index(idx)) {
+      loads[static_cast<std::size_t>(id)] += rate;
+    }
+  }
+  return loads;
+}
+
+double scale_to_max_utilization(TrafficMatrix& tm,
+                                const topo::Topology& topo,
+                                const routing::RoutingScheme& scheme,
+                                double target_max_util) {
+  RN_CHECK(target_max_util > 0.0 && target_max_util < 1.0,
+           "target utilization must be in (0,1) for a stable network");
+  const std::vector<double> loads = link_loads_bps(topo, scheme, tm);
+  double max_util = 0.0;
+  for (topo::LinkId id = 0; id < topo.num_links(); ++id) {
+    max_util = std::max(max_util, loads[static_cast<std::size_t>(id)] /
+                                      topo.link(id).capacity_bps);
+  }
+  RN_CHECK(max_util > 0.0, "traffic matrix is all zero");
+  const double factor = target_max_util / max_util;
+  tm.scale(factor);
+  return factor;
+}
+
+namespace {
+
+// Raw k-th moment of a Pareto(alpha, xm=1) truncated at c, for alpha != k.
+double unit_truncated_pareto_moment(double alpha, double c, int k) {
+  RN_CHECK(alpha > 1.0, "pareto alpha must exceed 1 for a finite mean");
+  RN_CHECK(c > 1.0, "pareto truncation factor must exceed 1");
+  RN_CHECK(std::abs(alpha - static_cast<double>(k)) > 1e-6,
+           "pareto alpha too close to a needed moment order");
+  return alpha * (1.0 - std::pow(c, static_cast<double>(k) - alpha)) /
+         ((alpha - static_cast<double>(k)) * (1.0 - std::pow(c, -alpha)));
+}
+
+}  // namespace
+
+double TrafficModel::pareto_xm_bits() const {
+  const double m1 =
+      unit_truncated_pareto_moment(pareto_alpha, pareto_max_factor, 1);
+  return mean_pkt_size_bits / m1;
+}
+
+double TrafficModel::pareto_moment(int k) const {
+  RN_CHECK(k >= 1 && k <= 3, "pareto_moment supports k = 1..3");
+  const double xm = pareto_xm_bits();
+  return std::pow(xm, static_cast<double>(k)) *
+         unit_truncated_pareto_moment(pareto_alpha, pareto_max_factor, k);
+}
+
+double TrafficModel::large_pkt_bits() const {
+  RN_CHECK(small_pkt_prob > 0.0 && small_pkt_prob < 1.0,
+           "small packet probability must be in (0,1)");
+  const double large = (mean_pkt_size_bits - small_pkt_prob * small_pkt_bits) /
+                       (1.0 - small_pkt_prob);
+  RN_CHECK(large > 0.0, "bimodal parameters give non-positive large size");
+  return large;
+}
+
+}  // namespace rn::traffic

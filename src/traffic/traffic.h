@@ -1,0 +1,109 @@
+// Traffic matrices and flow-level stochastic traffic models.
+//
+// A TrafficMatrix gives the average offered rate (bits/s) for every ordered
+// node pair. The dataset generator varies matrices (shape and intensity)
+// per sample; the packet simulator turns each pair's rate into a packet
+// process according to a TrafficModel.
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.h"
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace rn::traffic {
+
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_pairs() const { return num_nodes_ * (num_nodes_ - 1); }
+
+  double rate_bps(topo::NodeId s, topo::NodeId d) const;
+  double rate_by_index(int pair_idx) const;
+  void set_rate_bps(topo::NodeId s, topo::NodeId d, double rate);
+
+  // Total offered traffic over all pairs.
+  double total_rate_bps() const;
+
+  void scale(double factor);
+
+ private:
+  int num_nodes_;
+  std::vector<double> rates_;  // indexed by topo::pair_index
+};
+
+// Independent per-pair rates uniform in [lo, hi].
+TrafficMatrix uniform_traffic(int num_nodes, double lo_bps, double hi_bps,
+                              Rng& rng);
+
+// Gravity model: rate(s,d) ∝ w_s · w_d with node weights ~ U(0.2, 1),
+// normalized so the matrix sums to total_bps.
+TrafficMatrix gravity_traffic(int num_nodes, double total_bps, Rng& rng);
+
+// A few hot source nodes send `hot_factor`× the base rate to everyone;
+// models the skewed matrices that stress individual links.
+TrafficMatrix hotspot_traffic(int num_nodes, int num_hotspots,
+                              double base_bps, double hot_factor, Rng& rng);
+
+// Offered load per link (bits/s) under a routing scheme.
+std::vector<double> link_loads_bps(const topo::Topology& topo,
+                                   const routing::RoutingScheme& scheme,
+                                   const TrafficMatrix& tm);
+
+// Rescales the matrix so the most-loaded link sits at `target_max_util`
+// of its capacity. Returns the applied factor. This is how the dataset
+// generator sweeps "traffic intensity".
+double scale_to_max_utilization(TrafficMatrix& tm,
+                                const topo::Topology& topo,
+                                const routing::RoutingScheme& scheme,
+                                double target_max_util);
+
+// --- Flow-level stochastic models ------------------------------------------
+
+enum class ArrivalProcess {
+  kPoisson,  // memoryless packet arrivals
+  kOnOff,    // exponential ON/OFF bursts; arrivals only while ON
+};
+
+enum class PacketSizeModel {
+  kExponential,      // M/M/1-like per link (analytically checkable)
+  kBimodal,          // small-ACK / large-data mix (breaks M/M/1 assumptions)
+  kFixed,            // deterministic size (M/D/1-like)
+  kTruncatedPareto,  // heavy-tailed sizes — the "real traffic" that defeats
+                     // Poisson-assumption analytic models (§1 motivation)
+};
+
+struct TrafficModel {
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  PacketSizeModel sizes = PacketSizeModel::kExponential;
+  double mean_pkt_size_bits = 1000.0;
+
+  // On-off parameters: the flow is ON an `on_fraction` of the time in
+  // exponentially distributed bursts of mean `mean_on_s`; while ON it sends
+  // at rate/on_fraction so the long-run average matches the matrix.
+  double on_fraction = 0.3;
+  double mean_on_s = 0.5;
+
+  // Bimodal parameters: probability and size of the small packet; the large
+  // size is derived so the mixture mean equals mean_pkt_size_bits.
+  double small_pkt_prob = 0.6;
+  double small_pkt_bits = 300.0;
+
+  // Truncated-Pareto parameters: shape alpha and truncation at
+  // pareto_max_factor × the scale xm; xm is derived so the distribution's
+  // mean equals mean_pkt_size_bits.
+  double pareto_alpha = 1.6;
+  double pareto_max_factor = 50.0;
+
+  double large_pkt_bits() const;
+
+  // Scale parameter xm of the truncated Pareto that hits the configured
+  // mean, and the distribution's raw k-th moments (k = 1..3).
+  double pareto_xm_bits() const;
+  double pareto_moment(int k) const;
+};
+
+}  // namespace rn::traffic

@@ -1,0 +1,28 @@
+// Lightweight runtime-check macro used across the library.
+//
+// RN_CHECK throws std::runtime_error with file/line context instead of
+// aborting, so callers (and tests) can observe contract violations.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rn::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "RN_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace rn::detail
+
+#define RN_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::rn::detail::check_failed(#cond, __FILE__, __LINE__, (msg));      \
+    }                                                                    \
+  } while (false)

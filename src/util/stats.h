@@ -1,0 +1,75 @@
+// Streaming and batch statistics helpers shared by the simulator and the
+// evaluation module.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rn {
+
+// Welford online accumulator: numerically stable mean/variance without
+// storing samples. Used for per-path delay/jitter in the packet simulator.
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  // Population variance; 0 for fewer than 2 samples.
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  void merge(const Welford& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    n_ += other.n_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Quantile of a data vector via linear interpolation; q in [0, 1].
+// Sorts a copy — intended for evaluation-time use, not hot paths.
+inline double quantile(std::vector<double> xs, double q) {
+  RN_CHECK(!xs.empty(), "quantile of empty vector");
+  RN_CHECK(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+inline double mean_of(const std::vector<double>& xs) {
+  RN_CHECK(!xs.empty(), "mean of empty vector");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace rn

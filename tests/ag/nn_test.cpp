@@ -1,0 +1,208 @@
+#include "ag/nn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ag/optim.h"
+#include "gradcheck.h"
+#include "util/rng.h"
+
+namespace rn::ag {
+namespace {
+
+using rn::testing::expect_gradients_match;
+
+TEST(Dense, OutputShapeAndDeterminism) {
+  Rng rng1(3), rng2(3);
+  Dense d1(4, 3, Activation::kRelu, rng1, "d");
+  Dense d2(4, 3, Activation::kRelu, rng2, "d");
+  Tape tape;
+  const ValueId x = tape.constant(Tensor(5, 4, 0.5f));
+  const Tensor& y1 = tape.value(d1.apply(tape, x));
+  const Tensor& y2 = tape.value(d2.apply(tape, x));
+  EXPECT_EQ(y1.rows(), 5);
+  EXPECT_EQ(y1.cols(), 3);
+  for (int i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1[static_cast<std::size_t>(i)],
+                    y2[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Dense, ReluClampsNegative) {
+  Rng rng(3);
+  Dense d(2, 2, Activation::kRelu, rng, "d");
+  Tape tape;
+  const Tensor& y = tape.value(d.apply(tape, tape.constant(Tensor(3, 2, 1.0f))));
+  for (int i = 0; i < y.size(); ++i) {
+    EXPECT_GE(y[static_cast<std::size_t>(i)], 0.0f);
+  }
+}
+
+TEST(Dense, SigmoidBounded) {
+  Rng rng(4);
+  Dense d(3, 3, Activation::kSigmoid, rng, "d");
+  Tape tape;
+  const Tensor& y =
+      tape.value(d.apply(tape, tape.constant(Tensor(2, 3, 5.0f))));
+  for (int i = 0; i < y.size(); ++i) {
+    EXPECT_GT(y[static_cast<std::size_t>(i)], 0.0f);
+    EXPECT_LT(y[static_cast<std::size_t>(i)], 1.0f);
+  }
+}
+
+TEST(Dense, GradCheck) {
+  Rng rng(5);
+  Dense d(3, 2, Activation::kTanh, rng, "d");
+  const Tensor x = Tensor::from_rows({{0.2f, -0.5f, 0.9f},
+                                      {1.0f, 0.3f, -0.2f}});
+  const Tensor target(2, 2, 0.1f);
+  expect_gradients_match(d.params(), [&](Tape& tape) {
+    return tape.mse(d.apply(tape, tape.constant(x)), target);
+  });
+}
+
+TEST(GruCell, HiddenStateShapeAndRange) {
+  Rng rng(6);
+  GruCell cell(3, 4, rng, "gru");
+  EXPECT_EQ(cell.input_dim(), 3);
+  EXPECT_EQ(cell.hidden_dim(), 4);
+  Tape tape;
+  const ValueId x = tape.constant(Tensor(5, 3, 0.5f));
+  const ValueId h = tape.constant(Tensor(5, 4, 0.0f));
+  const Tensor& h2 = tape.value(cell.step(tape, x, h));
+  EXPECT_EQ(h2.rows(), 5);
+  EXPECT_EQ(h2.cols(), 4);
+  // GRU output is a convex combination of h (0) and tanh-bounded candidate.
+  for (int i = 0; i < h2.size(); ++i) {
+    EXPECT_GT(h2[static_cast<std::size_t>(i)], -1.0f);
+    EXPECT_LT(h2[static_cast<std::size_t>(i)], 1.0f);
+  }
+}
+
+TEST(GruCell, ZeroUpdateGateKeepsState) {
+  Rng rng(7);
+  GruCell cell(2, 2, rng, "gru");
+  // Force z ≈ 0 by driving the update-gate bias very negative.
+  for (Parameter* p : cell.params()) {
+    if (p->name == "gru.bz") p->value.fill(-50.0f);
+  }
+  Tape tape;
+  const Tensor h0 = Tensor::from_rows({{0.3f, -0.4f}});
+  const ValueId h2 = cell.step(tape, tape.constant(Tensor(1, 2, 1.0f)),
+                               tape.constant(h0));
+  EXPECT_NEAR(tape.value(h2).at(0, 0), 0.3f, 1e-4);
+  EXPECT_NEAR(tape.value(h2).at(0, 1), -0.4f, 1e-4);
+}
+
+TEST(GruCell, GradCheckThroughTwoSteps) {
+  Rng rng(8);
+  GruCell cell(2, 3, rng, "gru");
+  const Tensor x1 = Tensor::from_rows({{0.4f, -0.2f}, {0.1f, 0.8f}});
+  const Tensor x2 = Tensor::from_rows({{-0.5f, 0.3f}, {0.7f, 0.2f}});
+  const Tensor target(2, 3, 0.2f);
+  expect_gradients_match(cell.params(), [&](Tape& tape) {
+    ValueId h = tape.constant(Tensor(2, 3, 0.0f));
+    h = cell.step(tape, tape.constant(x1), h);
+    h = cell.step(tape, tape.constant(x2), h);
+    return tape.mse(h, target);
+  });
+}
+
+TEST(Mlp, DimsAndParamCount) {
+  Rng rng(9);
+  Mlp mlp({4, 8, 8, 2}, rng, "mlp");
+  EXPECT_EQ(mlp.in_dim(), 4);
+  EXPECT_EQ(mlp.out_dim(), 2);
+  // 3 layers × (W, b).
+  EXPECT_EQ(mlp.params().size(), 6u);
+}
+
+TEST(Mlp, GradCheck) {
+  Rng rng(10);
+  Mlp mlp({2, 4, 1}, rng, "mlp");
+  const Tensor x = Tensor::from_rows({{0.3f, -0.8f}, {1.2f, 0.4f},
+                                      {-0.1f, 0.9f}});
+  const Tensor target(3, 1, 0.5f);
+  expect_gradients_match(mlp.params(), [&](Tape& tape) {
+    return tape.mse(mlp.apply(tape, tape.constant(x)), target);
+  });
+}
+
+// Parameterized over the activation set: output ranges and gradients.
+class ActivationSweep : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationSweep, OutputRangeMatchesActivation) {
+  Rng rng(21);
+  Dense d(3, 4, GetParam(), rng, "d");
+  Tape tape;
+  Tensor x(6, 3);
+  Rng data_rng(22);
+  for (int i = 0; i < x.size(); ++i) {
+    x[static_cast<std::size_t>(i)] =
+        static_cast<float>(data_rng.uniform(-3.0, 3.0));
+  }
+  const Tensor& y = tape.value(d.apply(tape, tape.constant(x)));
+  for (int i = 0; i < y.size(); ++i) {
+    const float v = y[static_cast<std::size_t>(i)];
+    switch (GetParam()) {
+      case Activation::kRelu:
+        EXPECT_GE(v, 0.0f);
+        break;
+      case Activation::kSigmoid:
+        EXPECT_GT(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+        break;
+      case Activation::kTanh:
+        EXPECT_GT(v, -1.0f);
+        EXPECT_LT(v, 1.0f);
+        break;
+      case Activation::kNone:
+        break;  // unbounded
+    }
+  }
+}
+
+TEST_P(ActivationSweep, GradCheck) {
+  Rng rng(23);
+  Dense d(2, 3, GetParam(), rng, "d");
+  const Tensor x = Tensor::from_rows({{0.4f, -0.9f}, {1.1f, 0.2f}});
+  const Tensor target(2, 3, 0.2f);
+  rn::testing::expect_gradients_match(d.params(), [&](Tape& tape) {
+    return tape.mse(d.apply(tape, tape.constant(x)), target);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationSweep,
+                         ::testing::Values(Activation::kNone,
+                                           Activation::kRelu,
+                                           Activation::kSigmoid,
+                                           Activation::kTanh));
+
+TEST(Mlp, CanOverfitTinyRegression) {
+  // y = 2*x0 - x1 on 8 points; a small MLP must drive MSE near zero.
+  Rng rng(11);
+  Mlp mlp({2, 16, 1}, rng, "mlp");
+  Tensor x(8, 2);
+  Tensor y(8, 1);
+  Rng data_rng(12);
+  for (int i = 0; i < 8; ++i) {
+    x.at(i, 0) = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+    x.at(i, 1) = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+    y.at(i, 0) = 2.0f * x.at(i, 0) - x.at(i, 1);
+  }
+  Adam opt(mlp.params(), 3e-2f);
+  double final_loss = 1e9;
+  for (int step = 0; step < 300; ++step) {
+    Tape tape;
+    const ValueId loss = tape.mse(mlp.apply(tape, tape.constant(x)), y);
+    opt.zero_grad();
+    tape.backward(loss);
+    opt.step();
+    final_loss = tape.value(loss).at(0, 0);
+  }
+  EXPECT_LT(final_loss, 1e-3);
+}
+
+}  // namespace
+}  // namespace rn::ag

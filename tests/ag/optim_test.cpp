@@ -1,0 +1,116 @@
+#include "ag/optim.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rn::ag {
+namespace {
+
+// One optimization step result on f(p) = mean((p - t)^2).
+double quadratic_loss_after(Optimizer& opt, Parameter& p, const Tensor& target,
+                            int steps) {
+  double loss = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    Tape tape;
+    const ValueId l = tape.mse(tape.param(p), target);
+    opt.zero_grad();
+    tape.backward(l);
+    opt.step();
+    loss = tape.value(l).at(0, 0);
+  }
+  return loss;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Parameter p("p", Tensor::from_rows({{5.0f, -3.0f}}));
+  const Tensor target = Tensor::from_rows({{1.0f, 2.0f}});
+  Sgd opt({&p}, 0.2f);
+  const double loss = quadratic_loss_after(opt, p, target, 100);
+  EXPECT_LT(loss, 1e-6);
+  EXPECT_NEAR(p.value.at(0, 0), 1.0f, 1e-3);
+}
+
+TEST(Sgd, MomentumConvergesOnQuadratic) {
+  Parameter p("p", Tensor::from_rows({{5.0f, -3.0f}}));
+  const Tensor target = Tensor::from_rows({{1.0f, 2.0f}});
+  Sgd opt({&p}, 0.05f, 0.9f);
+  const double loss = quadratic_loss_after(opt, p, target, 200);
+  EXPECT_LT(loss, 1e-5);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Parameter p("p", Tensor::from_rows({{5.0f, -3.0f}}));
+  const Tensor target = Tensor::from_rows({{1.0f, 2.0f}});
+  Adam opt({&p}, 0.1f);
+  const double loss = quadratic_loss_after(opt, p, target, 400);
+  EXPECT_LT(loss, 1e-5);
+  EXPECT_EQ(opt.step_count(), 400);
+}
+
+TEST(Adam, HandlesSparseLargeGradientsBetterThanRawScale) {
+  // Adam normalizes per-coordinate: a 1000× gradient imbalance should not
+  // prevent convergence.
+  Parameter p("p", Tensor::from_rows({{5.0f, -3.0f}}));
+  Tensor target = Tensor::from_rows({{1.0f, 2.0f}});
+  Adam opt({&p}, 0.05f);
+  for (int i = 0; i < 600; ++i) {
+    Tape tape;
+    const ValueId v = tape.param(p);
+    // loss = 1000*(p0-t0)^2 + (p1-t1)^2 (built via scaled slices)
+    const ValueId d = tape.sub(v, tape.constant(target));
+    const ValueId d2 = tape.mul(d, d);
+    const ValueId heavy = tape.scale(tape.reduce_sum(tape.slice_cols(d2, 0, 1)),
+                                     1000.0f);
+    const ValueId light = tape.reduce_sum(tape.slice_cols(d2, 1, 2));
+    const ValueId loss = tape.add(heavy, light);
+    opt.zero_grad();
+    tape.backward(loss);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value.at(0, 0), 1.0f, 1e-2);
+  EXPECT_NEAR(p.value.at(0, 1), 2.0f, 1e-2);
+}
+
+TEST(ZeroGrad, ClearsAccumulatedGradients) {
+  Parameter p("p", Tensor::scalar(1.0f));
+  Sgd opt({&p}, 0.1f);
+  {
+    Tape tape;
+    tape.backward(tape.reduce_sum(tape.param(p)));
+  }
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 1.0f);
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 0.0f);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  Parameter p("p", Tensor::from_rows({{0.0f, 0.0f}}));
+  p.grad.at(0, 0) = 3.0f;
+  p.grad.at(0, 1) = 4.0f;  // norm 5
+  const double pre = clip_grad_norm({&p}, 1.0);
+  EXPECT_DOUBLE_EQ(pre, 5.0);
+  EXPECT_NEAR(std::sqrt(p.grad.squared_norm()), 1.0, 1e-6);
+  EXPECT_NEAR(p.grad.at(0, 0), 0.6f, 1e-6);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  Parameter p("p", Tensor::from_rows({{0.0f}}));
+  p.grad.at(0, 0) = 0.5f;
+  const double pre = clip_grad_norm({&p}, 1.0);
+  EXPECT_DOUBLE_EQ(pre, 0.5);
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 0.5f);
+}
+
+TEST(Optimizer, RejectsNullParams) {
+  EXPECT_THROW(Sgd({nullptr}, 0.1f), std::runtime_error);
+}
+
+TEST(Optimizer, RejectsBadLearningRate) {
+  Parameter p("p", Tensor::scalar(0.0f));
+  EXPECT_THROW(Sgd({&p}, 0.0f), std::runtime_error);
+  EXPECT_THROW(Adam({&p}, -1.0f), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rn::ag

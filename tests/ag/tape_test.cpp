@@ -1,0 +1,408 @@
+#include "ag/tape.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+
+namespace rn::ag {
+namespace {
+
+using rn::testing::expect_gradients_match;
+
+TEST(TapeForward, AddSubMul) {
+  Tape tape;
+  const ValueId a = tape.constant(Tensor::from_rows({{1.0f, 2.0f}}));
+  const ValueId b = tape.constant(Tensor::from_rows({{3.0f, -1.0f}}));
+  EXPECT_FLOAT_EQ(tape.value(tape.add(a, b)).at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(tape.value(tape.sub(a, b)).at(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(tape.value(tape.mul(a, b)).at(0, 1), -2.0f);
+}
+
+TEST(TapeForward, ShapeMismatchThrows) {
+  Tape tape;
+  const ValueId a = tape.constant(Tensor(1, 2));
+  const ValueId b = tape.constant(Tensor(2, 2));
+  EXPECT_THROW(tape.add(a, b), std::runtime_error);
+  EXPECT_THROW(tape.mul(a, b), std::runtime_error);
+}
+
+TEST(TapeForward, AddBiasBroadcasts) {
+  Tape tape;
+  const ValueId m = tape.constant(Tensor::from_rows({{1.0f, 2.0f},
+                                                     {3.0f, 4.0f}}));
+  const ValueId bias = tape.constant(Tensor::from_rows({{10.0f, 20.0f}}));
+  const Tensor& y = tape.value(tape.add_bias(m, bias));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 24.0f);
+}
+
+TEST(TapeForward, Nonlinearities) {
+  Tape tape;
+  const ValueId x = tape.constant(Tensor::from_rows({{0.0f, -1.0f, 2.0f}}));
+  const Tensor& sig = tape.value(tape.sigmoid(x));
+  EXPECT_NEAR(sig.at(0, 0), 0.5f, 1e-6);
+  const Tensor& th = tape.value(tape.tanh(x));
+  EXPECT_NEAR(th.at(0, 2), std::tanh(2.0f), 1e-6);
+  const Tensor& re = tape.value(tape.relu(x));
+  EXPECT_FLOAT_EQ(re.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(re.at(0, 2), 2.0f);
+  const Tensor& om = tape.value(tape.one_minus(x));
+  EXPECT_FLOAT_EQ(om.at(0, 1), 2.0f);
+}
+
+TEST(TapeForward, ConcatAndSlice) {
+  Tape tape;
+  const ValueId a = tape.constant(Tensor::from_rows({{1.0f}, {2.0f}}));
+  const ValueId b = tape.constant(Tensor::from_rows({{3.0f}, {4.0f}}));
+  const ValueId cc = tape.concat_cols(a, b);
+  EXPECT_EQ(tape.value(cc).cols(), 2);
+  EXPECT_FLOAT_EQ(tape.value(cc).at(1, 1), 4.0f);
+  const ValueId cr = tape.concat_rows({a, b});
+  EXPECT_EQ(tape.value(cr).rows(), 4);
+  EXPECT_FLOAT_EQ(tape.value(cr).at(3, 0), 4.0f);
+  const ValueId sl = tape.slice_cols(cc, 1, 2);
+  EXPECT_EQ(tape.value(sl).cols(), 1);
+  EXPECT_FLOAT_EQ(tape.value(sl).at(0, 0), 3.0f);
+}
+
+TEST(TapeForward, GatherScatterSegment) {
+  Tape tape;
+  const ValueId a = tape.constant(
+      Tensor::from_rows({{1.0f}, {2.0f}, {3.0f}}));
+  const ValueId g = tape.gather_rows(a, {2, 0, 2});
+  EXPECT_FLOAT_EQ(tape.value(g).at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(tape.value(g).at(2, 0), 3.0f);
+
+  const ValueId rows = tape.constant(Tensor::from_rows({{10.0f}, {20.0f}}));
+  const ValueId sc = tape.scatter_rows(a, {0, 2}, rows);
+  EXPECT_FLOAT_EQ(tape.value(sc).at(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(tape.value(sc).at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(tape.value(sc).at(2, 0), 20.0f);
+
+  const ValueId seg = tape.segment_sum(a, {1, 0, 1}, 2);
+  EXPECT_FLOAT_EQ(tape.value(seg).at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(tape.value(seg).at(1, 0), 4.0f);
+}
+
+TEST(TapeForward, ScatterDuplicateIndexThrows) {
+  Tape tape;
+  const ValueId a = tape.constant(Tensor(3, 1));
+  const ValueId rows = tape.constant(Tensor(2, 1));
+  EXPECT_THROW(tape.scatter_rows(a, {1, 1}, rows), std::runtime_error);
+}
+
+TEST(TapeForward, Reductions) {
+  Tape tape;
+  const ValueId a = tape.constant(Tensor::from_rows({{1.0f, 2.0f},
+                                                     {3.0f, 4.0f}}));
+  EXPECT_FLOAT_EQ(tape.value(tape.reduce_sum(a)).at(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(tape.value(tape.reduce_mean(a)).at(0, 0), 2.5f);
+}
+
+TEST(TapeForward, Losses) {
+  Tape tape;
+  const ValueId pred = tape.constant(Tensor::from_rows({{1.0f, 3.0f}}));
+  const Tensor target = Tensor::from_rows({{0.0f, 1.0f}});
+  EXPECT_FLOAT_EQ(tape.value(tape.mse(pred, target)).at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(tape.value(tape.mae(pred, target)).at(0, 0), 1.5f);
+  // Huber(delta=1): |1| -> 0.5, |2| -> 1*(2-0.5) = 1.5; mean = 1.0
+  EXPECT_FLOAT_EQ(tape.value(tape.huber(pred, target, 1.0f)).at(0, 0), 1.0f);
+}
+
+TEST(TapeBackward, RootMustBeScalar) {
+  Tape tape;
+  Parameter p("p", Tensor::from_rows({{1.0f, 2.0f}}));
+  const ValueId v = tape.param(p);
+  EXPECT_THROW(tape.backward(v), std::runtime_error);
+}
+
+TEST(TapeBackward, SimpleChain) {
+  // loss = mean((2p)^2) with p = [1, -3] → dloss/dp_i = 8 p_i / n = 4 p_i.
+  Parameter p("p", Tensor::from_rows({{1.0f, -3.0f}}));
+  Tape tape;
+  const ValueId x = tape.scale(tape.param(p), 2.0f);
+  const ValueId loss = tape.reduce_mean(tape.mul(x, x));
+  p.zero_grad();
+  tape.backward(loss);
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(p.grad.at(0, 1), -12.0f);
+}
+
+TEST(TapeBackward, GradAccumulatesAcrossBackwards) {
+  Parameter p("p", Tensor::scalar(2.0f));
+  for (int i = 0; i < 2; ++i) {
+    Tape tape;
+    const ValueId loss = tape.reduce_sum(tape.param(p));
+    tape.backward(loss);
+  }
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 2.0f);  // 1 per backward
+}
+
+// --- Finite-difference checks: every op's backward ----------------------------
+
+TEST(GradCheck, MatmulAddBias) {
+  Parameter w("w", Tensor::from_rows({{0.3f, -0.2f}, {0.1f, 0.4f}}));
+  Parameter b("b", Tensor::from_rows({{0.05f, -0.1f}}));
+  const Tensor x = Tensor::from_rows({{1.0f, 2.0f}, {-1.0f, 0.5f},
+                                      {0.3f, 0.9f}});
+  const Tensor target(3, 2, 0.25f);
+  expect_gradients_match({&w, &b}, [&](Tape& tape) {
+    const ValueId y =
+        tape.add_bias(tape.matmul(tape.constant(x), tape.param(w)),
+                      tape.param(b));
+    return tape.mse(y, target);
+  });
+}
+
+TEST(GradCheck, ElementwiseOps) {
+  Parameter a("a", Tensor::from_rows({{0.4f, -0.7f}, {1.2f, 0.1f}}));
+  Parameter b("b", Tensor::from_rows({{-0.3f, 0.8f}, {0.2f, -1.1f}}));
+  const Tensor target(2, 2, 0.1f);
+  expect_gradients_match({&a, &b}, [&](Tape& tape) {
+    const ValueId va = tape.param(a);
+    const ValueId vb = tape.param(b);
+    const ValueId y = tape.add(tape.mul(va, vb),
+                               tape.sub(tape.one_minus(va), vb));
+    return tape.mse(y, target);
+  });
+}
+
+TEST(GradCheck, Nonlinearities) {
+  Parameter a("a", Tensor::from_rows({{0.4f, -0.7f, 1.3f, -2.0f}}));
+  const Tensor target(1, 4, 0.3f);
+  expect_gradients_match({&a}, [&](Tape& tape) {
+    const ValueId va = tape.param(a);
+    const ValueId y =
+        tape.add(tape.sigmoid(va), tape.add(tape.tanh(va), tape.relu(va)));
+    return tape.mse(y, target);
+  });
+}
+
+TEST(GradCheck, ConcatSliceScale) {
+  Parameter a("a", Tensor::from_rows({{0.5f}, {-0.2f}}));
+  Parameter b("b", Tensor::from_rows({{1.1f}, {0.7f}}));
+  const Tensor target(2, 1, 0.0f);
+  expect_gradients_match({&a, &b}, [&](Tape& tape) {
+    const ValueId cc = tape.concat_cols(tape.param(a), tape.param(b));
+    const ValueId sl = tape.slice_cols(cc, 1, 2);
+    const ValueId cr = tape.concat_rows({tape.param(a), sl});
+    return tape.mse(tape.scale(tape.slice_cols(cr, 0, 1), 1.5f),
+                    Tensor(4, 1, 0.0f));
+  });
+}
+
+TEST(GradCheck, GatherRowsWithDuplicates) {
+  Parameter a("a", Tensor::from_rows({{0.5f, 1.0f}, {-0.2f, 0.3f},
+                                      {0.8f, -0.9f}}));
+  const Tensor target(4, 2, 0.1f);
+  expect_gradients_match({&a}, [&](Tape& tape) {
+    const ValueId g = tape.gather_rows(tape.param(a), {2, 0, 2, 1});
+    return tape.mse(g, target);
+  });
+}
+
+TEST(GradCheck, ScatterRows) {
+  Parameter base("base", Tensor::from_rows({{0.5f}, {-0.2f}, {0.8f},
+                                            {0.0f}}));
+  Parameter rows("rows", Tensor::from_rows({{1.5f}, {-1.0f}}));
+  const Tensor target(4, 1, 0.2f);
+  expect_gradients_match({&base, &rows}, [&](Tape& tape) {
+    const ValueId y =
+        tape.scatter_rows(tape.param(base), {3, 1}, tape.param(rows));
+    return tape.mse(y, target);
+  });
+}
+
+TEST(TapeForward, ScaleRows) {
+  Tape tape;
+  const ValueId a = tape.constant(Tensor::from_rows({{1.0f, 2.0f},
+                                                     {3.0f, 4.0f}}));
+  const Tensor& y = tape.value(tape.scale_rows(a, {2.0f, 0.5f}));
+  EXPECT_FLOAT_EQ(y.at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 1.5f);
+}
+
+TEST(TapeForward, ScaleRowsWrongCountThrows) {
+  Tape tape;
+  const ValueId a = tape.constant(Tensor(3, 2));
+  EXPECT_THROW(tape.scale_rows(a, {1.0f, 2.0f}), std::runtime_error);
+}
+
+TEST(GradCheck, ScaleRows) {
+  Parameter a("a", Tensor::from_rows({{0.5f, 1.0f}, {-0.2f, 0.3f},
+                                      {0.8f, -0.9f}}));
+  const Tensor target(3, 2, 0.1f);
+  expect_gradients_match({&a}, [&](Tape& tape) {
+    return tape.mse(tape.scale_rows(tape.param(a), {2.0f, 0.0f, -1.5f}),
+                    target);
+  });
+}
+
+TEST(GradCheck, SegmentSum) {
+  Parameter a("a", Tensor::from_rows({{0.5f, 0.1f}, {-0.2f, 0.4f},
+                                      {0.8f, -0.3f}, {1.0f, 0.2f}}));
+  const Tensor target(3, 2, 0.25f);
+  expect_gradients_match({&a}, [&](Tape& tape) {
+    const ValueId y = tape.segment_sum(tape.param(a), {2, 0, 2, 1}, 3);
+    return tape.mse(y, target);
+  });
+}
+
+TEST(GradCheck, ReduceAndLossVariants) {
+  Parameter a("a", Tensor::from_rows({{0.5f, -1.2f}, {2.0f, 0.3f}}));
+  const Tensor target = Tensor::from_rows({{0.0f, 1.0f}, {1.5f, -0.5f}});
+  expect_gradients_match({&a}, [&](Tape& tape) {
+    const ValueId va = tape.param(a);
+    const ValueId l1 = tape.mse(va, target);
+    const ValueId l2 = tape.huber(va, target, 1.0f);
+    const ValueId l3 = tape.scale(tape.reduce_sum(va), 0.01f);
+    return tape.add(tape.add(l1, l2), l3);
+  });
+}
+
+TEST(GradCheck, MaeAwayFromKinks) {
+  Parameter a("a", Tensor::from_rows({{0.5f, -1.2f}}));
+  const Tensor target = Tensor::from_rows({{0.0f, 1.0f}});
+  expect_gradients_match({&a}, [&](Tape& tape) {
+    return tape.mae(tape.param(a), target);
+  }, /*eps=*/1e-3f);
+}
+
+TEST(Dropout, ZeroRateIsIdentity) {
+  Rng rng(1);
+  Tape tape;
+  const ValueId a = tape.constant(Tensor::from_rows({{1.0f, -2.0f}}));
+  const Tensor& y = tape.value(tape.dropout(a, 0.0f, rng));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), -2.0f);
+}
+
+TEST(Dropout, PreservesExpectationAndZeroesSome) {
+  Rng rng(2);
+  Tape tape;
+  const ValueId a = tape.constant(Tensor(1, 4000, 1.0f));
+  const Tensor& y = tape.value(tape.dropout(a, 0.4f, rng));
+  int zeros = 0;
+  double sum = 0.0;
+  for (int i = 0; i < y.size(); ++i) {
+    const float v = y[static_cast<std::size_t>(i)];
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.6f, 1e-5);
+    }
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.4, 0.03);
+  EXPECT_NEAR(sum / y.size(), 1.0, 0.05);  // inverted scaling keeps E[x]
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(3);
+  Parameter p("p", Tensor(1, 64, 2.0f));
+  Tape tape;
+  const ValueId dropped = tape.dropout(tape.param(p), 0.5f, rng);
+  const ValueId loss = tape.reduce_sum(dropped);
+  p.zero_grad();
+  tape.backward(loss);
+  const Tensor& y = tape.value(dropped);
+  for (int i = 0; i < y.size(); ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    if (y[k] == 0.0f) {
+      EXPECT_FLOAT_EQ(p.grad[k], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(p.grad[k], 2.0f);  // 1/(1-0.5)
+    }
+  }
+}
+
+TEST(Dropout, RejectsBadRate) {
+  Rng rng(4);
+  Tape tape;
+  const ValueId a = tape.constant(Tensor(1, 2));
+  EXPECT_THROW(tape.dropout(a, 1.0f, rng), std::runtime_error);
+  EXPECT_THROW(tape.dropout(a, -0.1f, rng), std::runtime_error);
+}
+
+TEST(TapeBackward, ParameterUsedTwiceAccumulatesBothPaths) {
+  // loss = sum(p) + sum(2p) → dloss/dp = 3 everywhere.
+  Parameter p("p", Tensor::from_rows({{1.0f, 2.0f}}));
+  Tape tape;
+  const ValueId a = tape.param(p);
+  const ValueId b = tape.scale(tape.param(p), 2.0f);
+  const ValueId loss = tape.add(tape.reduce_sum(a), tape.reduce_sum(b));
+  p.zero_grad();
+  tape.backward(loss);
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(p.grad.at(0, 1), 3.0f);
+}
+
+TEST(GradCheck, SharedParameterAcrossBranches) {
+  Parameter p("p", Tensor::from_rows({{0.4f, -0.3f}, {0.2f, 0.9f}}));
+  const Tensor target(2, 2, 0.1f);
+  expect_gradients_match({&p}, [&](Tape& tape) {
+    const ValueId a = tape.param(p);
+    const ValueId b = tape.tanh(tape.param(p));
+    return tape.mse(tape.mul(a, b), target);
+  });
+}
+
+TEST(TapeForward, IndexOutOfRangeThrows) {
+  Tape tape;
+  const ValueId a = tape.constant(Tensor(3, 2));
+  EXPECT_THROW(tape.gather_rows(a, {0, 3}), std::runtime_error);
+  EXPECT_THROW(tape.gather_rows(a, {-1}), std::runtime_error);
+  EXPECT_THROW(tape.segment_sum(a, {0, 1, 5}, 3), std::runtime_error);
+  EXPECT_THROW(tape.segment_sum(a, {0, 1}, 3), std::runtime_error);  // size
+  const ValueId rows = tape.constant(Tensor(1, 2));
+  EXPECT_THROW(tape.scatter_rows(a, {4}, rows), std::runtime_error);
+  EXPECT_THROW(tape.slice_cols(a, 1, 3), std::runtime_error);
+}
+
+TEST(TapeForward, MatmulMismatchThrows) {
+  Tape tape;
+  const ValueId a = tape.constant(Tensor(2, 3));
+  const ValueId b = tape.constant(Tensor(2, 3));
+  EXPECT_THROW(tape.matmul(a, b), std::runtime_error);
+  const ValueId bias = tape.constant(Tensor(1, 4));
+  EXPECT_THROW(tape.add_bias(a, bias), std::runtime_error);
+}
+
+TEST(TapeBackward, SecondBackwardOnSameTapeResetsNodeGrads) {
+  Parameter p("p", Tensor::scalar(3.0f));
+  Tape tape;
+  const ValueId v = tape.param(p);
+  const ValueId loss = tape.reduce_mean(tape.mul(v, v));
+  p.zero_grad();
+  tape.backward(loss);
+  const float g1 = p.grad.at(0, 0);
+  tape.backward(loss);  // node grads reset; parameter grads accumulate
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 2.0f * g1);
+}
+
+TEST(TapeForward, ValueReferencesSurviveLaterOps) {
+  // Nodes live in a deque: references from value() must stay valid while
+  // hundreds of further ops are recorded.
+  Tape tape;
+  const ValueId a = tape.constant(Tensor::from_rows({{7.5f}}));
+  const Tensor& ref = tape.value(a);
+  for (int i = 0; i < 500; ++i) {
+    tape.constant(Tensor(4, 4, static_cast<float>(i)));
+  }
+  EXPECT_FLOAT_EQ(ref.at(0, 0), 7.5f);
+}
+
+TEST(TapeBackward, ConstantsReceiveNoGradientWork) {
+  // A graph of pure constants must not blow up in backward (nothing needs
+  // grad except the root chain).
+  Tape tape;
+  const ValueId a = tape.constant(Tensor(3, 3, 1.0f));
+  const ValueId loss = tape.reduce_mean(tape.mul(a, a));
+  tape.backward(loss);  // no throw
+  EXPECT_EQ(tape.grad(a).size(), 0);  // never allocated
+}
+
+}  // namespace
+}  // namespace rn::ag

@@ -1,0 +1,134 @@
+#include "baseline/fcnn.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baseline/path_mlp.h"
+#include "topology/generators.h"
+
+namespace rn::baseline {
+namespace {
+
+std::vector<dataset::Sample> tiny_dataset(int count, std::uint64_t seed) {
+  dataset::GeneratorConfig cfg;
+  cfg.target_pkts_per_flow = 60.0;
+  cfg.warmup_s = 0.5;
+  cfg.min_delivered = 5;
+  cfg.k_paths = 1;  // FCNN has no routing input; keep routing fixed
+  dataset::DatasetGenerator gen(cfg, seed);
+  auto topology = std::make_shared<const topo::Topology>(topo::ring(6));
+  return gen.generate_many(topology, count);
+}
+
+FcnnConfig fast_config() {
+  FcnnConfig cfg;
+  cfg.hidden1 = 32;
+  cfg.hidden2 = 16;
+  cfg.epochs = 40;
+  cfg.batch_size = 8;
+  return cfg;
+}
+
+TEST(FcnnBaseline, PredictShape) {
+  const std::vector<dataset::Sample> data = tiny_dataset(4, 1);
+  FcnnBaseline model(data[0].num_pairs(), fast_config());
+  model.fit(data);
+  const std::vector<double> pred = model.predict_delay(data[0]);
+  EXPECT_EQ(static_cast<int>(pred.size()), data[0].num_pairs());
+  for (double d : pred) EXPECT_GT(d, 0.0);
+}
+
+TEST(FcnnBaseline, LearnsFixedTopologyDataset) {
+  const std::vector<dataset::Sample> data = tiny_dataset(16, 2);
+  FcnnBaseline model(data[0].num_pairs(), fast_config());
+  model.fit(data);
+  const double mre = model.evaluate_delay_mre(data);
+  EXPECT_LT(mre, 0.5);  // learns something usable on its training set
+}
+
+TEST(FcnnBaseline, RejectsMismatchedTopologySize) {
+  const std::vector<dataset::Sample> data = tiny_dataset(2, 3);
+  FcnnBaseline model(data[0].num_pairs(), fast_config());
+  model.fit(data);
+  // A 14-node sample cannot be encoded by a 6-node-ring-sized model —
+  // this is precisely the fixed-input-width limitation the paper contrasts
+  // RouteNet against.
+  dataset::GeneratorConfig cfg;
+  cfg.target_pkts_per_flow = 40.0;
+  cfg.warmup_s = 0.5;
+  dataset::DatasetGenerator gen(cfg, 4);
+  auto nsf = std::make_shared<const topo::Topology>(topo::nsfnet());
+  const dataset::Sample other = gen.generate(nsf);
+  EXPECT_THROW(model.predict_delay(other), std::runtime_error);
+}
+
+TEST(FcnnBaseline, ParamCountMatchesWidths) {
+  FcnnConfig cfg = fast_config();
+  const int pairs = 30;
+  FcnnBaseline model(pairs, cfg);
+  const std::size_t expected =
+      (2 * pairs * 32 + 32) + (32 * 16 + 16) + (16 * pairs + pairs);
+  EXPECT_EQ(model.num_parameters(), expected);
+}
+
+TEST(FcnnBaseline, RejectsBadNumPairs) {
+  EXPECT_THROW(FcnnBaseline(0, fast_config()), std::runtime_error);
+}
+
+PathMlpConfig fast_path_mlp() {
+  PathMlpConfig cfg;
+  cfg.hidden1 = 32;
+  cfg.hidden2 = 16;
+  cfg.epochs = 80;
+  cfg.learning_rate = 3e-3f;
+  return cfg;
+}
+
+TEST(PathMlpBaseline, PredictsOnAnyTopology) {
+  // Unlike the FCNN, the per-path encoding accepts any graph size.
+  const std::vector<dataset::Sample> train = tiny_dataset(8, 5);
+  PathMlpBaseline model(fast_path_mlp());
+  model.fit(train);
+  dataset::GeneratorConfig cfg;
+  cfg.target_pkts_per_flow = 40.0;
+  cfg.warmup_s = 0.5;
+  dataset::DatasetGenerator gen(cfg, 6);
+  auto nsf = std::make_shared<const topo::Topology>(topo::nsfnet());
+  const dataset::Sample other = gen.generate(nsf);
+  const std::vector<double> pred = model.predict_delay(other);
+  EXPECT_EQ(static_cast<int>(pred.size()), other.num_pairs());
+  for (double d : pred) EXPECT_GT(d, 0.0);
+}
+
+TEST(PathMlpBaseline, LearnsItsTrainingDistribution) {
+  const std::vector<dataset::Sample> train = tiny_dataset(16, 7);
+  PathMlpBaseline model(fast_path_mlp());
+  model.fit(train);
+  EXPECT_LT(model.evaluate_delay_mre(train), 0.35);
+}
+
+TEST(PathMlpBaseline, GeneralizesToUnseenTopologySize) {
+  // The features themselves are topology-agnostic, so a feature MLP should
+  // transfer at least roughly; RouteNet's advantage is quantitative.
+  const std::vector<dataset::Sample> train = tiny_dataset(16, 8);
+  PathMlpBaseline model(fast_path_mlp());
+  model.fit(train);
+  dataset::GeneratorConfig cfg;
+  cfg.target_pkts_per_flow = 60.0;
+  cfg.warmup_s = 0.5;
+  cfg.min_delivered = 5;
+  dataset::DatasetGenerator gen(cfg, 9);
+  auto ring8 = std::make_shared<const topo::Topology>(topo::ring(8));
+  const std::vector<dataset::Sample> unseen = gen.generate_many(ring8, 3);
+  EXPECT_LT(model.evaluate_delay_mre(unseen), 0.8);
+}
+
+TEST(PathMlpBaseline, ParamCountMatchesWidths) {
+  PathMlpBaseline model(fast_path_mlp());
+  const std::size_t expected = (8 * 32 + 32) + (32 * 16 + 16) + (16 + 1);
+  EXPECT_EQ(model.num_parameters(), expected);
+}
+
+}  // namespace
+}  // namespace rn::baseline

@@ -1,0 +1,71 @@
+#include "flags.h"
+
+#include <gtest/gtest.h>
+
+namespace rn::cli {
+namespace {
+
+Flags make_flags(std::vector<const char*> args,
+                 const std::vector<std::string>& bools = {}) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()), args.data(), 1, bools);
+}
+
+TEST(Flags, ParsesStringIntDouble) {
+  const Flags f = make_flags({"--name", "hello", "--count", "42",
+                              "--rate", "2.5"});
+  EXPECT_EQ(f.get_string("name", ""), "hello");
+  EXPECT_EQ(f.get_int("count", 0), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const Flags f = make_flags({});
+  EXPECT_EQ(f.get_string("name", "dflt"), "dflt");
+  EXPECT_EQ(f.get_int("count", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 1.5), 1.5);
+  EXPECT_FALSE(f.get_bool("verbose"));
+}
+
+TEST(Flags, BooleanFlagsTakeNoValue) {
+  const Flags f = make_flags({"--bursty", "--out", "x.bin"}, {"bursty"});
+  EXPECT_TRUE(f.get_bool("bursty"));
+  EXPECT_EQ(f.get_string("out", ""), "x.bin");
+}
+
+TEST(Flags, RequireStringThrowsWhenMissing) {
+  const Flags f = make_flags({});
+  EXPECT_THROW(f.require_string("out"), std::runtime_error);
+}
+
+TEST(Flags, MalformedNumberThrows) {
+  const Flags f = make_flags({"--count", "banana"});
+  EXPECT_THROW(f.get_int("count", 0), std::runtime_error);
+}
+
+TEST(Flags, MissingValueThrows) {
+  EXPECT_THROW(make_flags({"--out"}), std::runtime_error);
+}
+
+TEST(Flags, NonFlagArgumentThrows) {
+  EXPECT_THROW(make_flags({"stray"}), std::runtime_error);
+}
+
+TEST(Flags, RejectUnusedCatchesTypos) {
+  const Flags f = make_flags({"--epoch", "5"});  // should be --epochs
+  EXPECT_THROW(f.reject_unused(), std::runtime_error);
+}
+
+TEST(Flags, RejectUnusedPassesWhenAllRead) {
+  const Flags f = make_flags({"--epochs", "5"});
+  EXPECT_EQ(f.get_int("epochs", 0), 5);
+  EXPECT_NO_THROW(f.reject_unused());
+}
+
+TEST(Flags, SeedParsesLargeValues) {
+  const Flags f = make_flags({"--seed", "18446744073709551615"});
+  EXPECT_EQ(f.get_seed("seed", 0), 18446744073709551615ull);
+}
+
+}  // namespace
+}  // namespace rn::cli

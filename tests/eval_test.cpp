@@ -1,0 +1,226 @@
+#include "eval/metrics.h"
+
+#include <fstream>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "eval/export.h"
+#include "topology/generators.h"
+
+namespace rn::eval {
+namespace {
+
+TEST(RegressionStats, PerfectPrediction) {
+  const std::vector<double> truth = {0.1, 0.2, 0.3, 0.4};
+  const RegressionStats s = regression_stats(truth, truth);
+  EXPECT_DOUBLE_EQ(s.mae, 0.0);
+  EXPECT_DOUBLE_EQ(s.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(s.mre, 0.0);
+  EXPECT_NEAR(s.pearson_r, 1.0, 1e-12);
+  EXPECT_NEAR(s.r2, 1.0, 1e-12);
+}
+
+TEST(RegressionStats, KnownErrors) {
+  const std::vector<double> truth = {1.0, 2.0};
+  const std::vector<double> pred = {1.5, 1.0};
+  const RegressionStats s = regression_stats(truth, pred);
+  EXPECT_DOUBLE_EQ(s.mae, 0.75);          // (0.5 + 1.0)/2
+  EXPECT_DOUBLE_EQ(s.mre, 0.5);           // (0.5 + 0.5)/2
+  EXPECT_NEAR(s.rmse, std::sqrt((0.25 + 1.0) / 2.0), 1e-12);
+}
+
+TEST(RegressionStats, ConstantPredictionHasLowR2) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pred = {2.5, 2.5, 2.5, 2.5};
+  const RegressionStats s = regression_stats(truth, pred);
+  EXPECT_NEAR(s.r2, 0.0, 1e-9);  // predicting the mean gives R² = 0
+}
+
+TEST(RegressionStats, RejectsBadInput) {
+  EXPECT_THROW(regression_stats({1.0}, {1.0, 2.0}), std::runtime_error);
+  EXPECT_THROW(regression_stats({}, {}), std::runtime_error);
+  EXPECT_THROW(regression_stats({0.0}, {1.0}), std::runtime_error);
+}
+
+TEST(RelativeErrors, SignedValues) {
+  const std::vector<double> re = relative_errors({2.0, 4.0}, {1.0, 5.0});
+  EXPECT_DOUBLE_EQ(re[0], -0.5);
+  EXPECT_DOUBLE_EQ(re[1], 0.25);
+}
+
+TEST(EmpiricalCdf, MonotoneAndBounded) {
+  const std::vector<CdfPoint> cdf =
+      empirical_cdf({0.5, -0.2, 0.1, 0.9, 0.0, -0.4}, 21);
+  ASSERT_EQ(cdf.size(), 21u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].x, cdf[i - 1].x);
+    EXPECT_GE(cdf[i].p, cdf[i - 1].p);
+  }
+  EXPECT_GT(cdf.front().p, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().p, 1.0);
+}
+
+TEST(EmpiricalCdf, MedianOfSymmetricData) {
+  std::vector<double> xs;
+  for (int i = -50; i <= 50; ++i) xs.push_back(i / 50.0);
+  const std::vector<CdfPoint> cdf = empirical_cdf(xs, 101);
+  // x ≈ 0 should sit near p = 0.5.
+  double p_at_zero = 0.0;
+  for (const CdfPoint& pt : cdf) {
+    if (pt.x <= 0.0) p_at_zero = pt.p;
+  }
+  EXPECT_NEAR(p_at_zero, 0.5, 0.05);
+}
+
+dataset::Sample sample_with_delays(const std::vector<double>& delays) {
+  auto topology = std::make_shared<const topo::Topology>(topo::ring(3));
+  routing::RoutingScheme scheme = routing::shortest_path_routing(*topology);
+  traffic::TrafficMatrix tm(3);
+  dataset::Sample s{topology, std::move(scheme), std::move(tm), {}, {}, {},
+                    0.5};
+  s.delay_s = delays;
+  s.jitter_s.assign(delays.size(), 0.001);
+  s.valid.assign(delays.size(), 1);
+  return s;
+}
+
+TEST(TopNPaths, RanksByPredictedDelayDescending) {
+  const dataset::Sample s =
+      sample_with_delays({0.01, 0.02, 0.03, 0.04, 0.05, 0.06});
+  const std::vector<double> pred = {0.06, 0.01, 0.04, 0.03, 0.05, 0.02};
+  const std::vector<RankedPath> top = top_n_paths(s, pred, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_DOUBLE_EQ(top[0].predicted_delay_s, 0.06);
+  EXPECT_DOUBLE_EQ(top[1].predicted_delay_s, 0.05);
+  EXPECT_DOUBLE_EQ(top[2].predicted_delay_s, 0.04);
+  EXPECT_GE(top[0].hops, 1);
+}
+
+TEST(TopNPaths, SkipsInvalidPaths) {
+  dataset::Sample s = sample_with_delays({0.01, 0.02, 0.03, 0.04, 0.05, 0.06});
+  s.valid[0] = 0;
+  const std::vector<double> pred = {9.0, 0.01, 0.02, 0.03, 0.04, 0.05};
+  const std::vector<RankedPath> top = top_n_paths(s, pred, 2);
+  EXPECT_DOUBLE_EQ(top[0].predicted_delay_s, 0.05);  // 9.0 excluded
+}
+
+TEST(CollectDelayPairs, SkipsInvalid) {
+  dataset::Sample s = sample_with_delays({0.01, 0.02, 0.03, 0.04, 0.05, 0.06});
+  s.valid[1] = 0;
+  const PairedSeries series = collect_delay_pairs(
+      {s}, [](const dataset::Sample& smp) {
+        return std::vector<double>(
+            static_cast<std::size_t>(smp.num_pairs()), 0.02);
+      });
+  EXPECT_EQ(series.truth.size(), 5u);
+  EXPECT_EQ(series.pred.size(), 5u);
+}
+
+TEST(AsciiScatter, ContainsMarksAndDiagonal) {
+  const std::string plot =
+      ascii_scatter({0.1, 0.2, 0.3}, {0.12, 0.19, 0.33});
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find('.'), std::string::npos);
+  EXPECT_NE(plot.find("range"), std::string::npos);
+}
+
+TEST(AsciiCdf, RendersAllSeries) {
+  const std::vector<NamedCdf> series = {
+      {"a", empirical_cdf({0.1, 0.2, 0.3}, 11)},
+      {"b", empirical_cdf({-0.1, 0.0, 0.1}, 11)},
+  };
+  const std::string plot = ascii_cdf(series);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+  EXPECT_NE(plot.find("= a"), std::string::npos);
+  EXPECT_NE(plot.find("= b"), std::string::npos);
+}
+
+TEST(ErrorByUtilization, BucketsPartitionAndAggregate) {
+  // Two flows on a line: one through a hot link, one through a cold link.
+  auto topology = std::make_shared<const topo::Topology>(topo::line(3));
+  routing::RoutingScheme scheme = routing::shortest_path_routing(*topology);
+  traffic::TrafficMatrix tm(3);
+  tm.set_rate_bps(0, 1, 9'000.0);  // ρ = 0.9 on link 0→1
+  tm.set_rate_bps(1, 2, 1'000.0);  // ρ = 0.1 on link 1→2 (disjoint links)
+  dataset::Sample s{topology, std::move(scheme), std::move(tm), {}, {}, {},
+                    0.9};
+  s.delay_s.assign(6, 0.1);
+  s.jitter_s.assign(6, 0.01);
+  s.valid.assign(6, 0);
+  s.valid[static_cast<std::size_t>(topo::pair_index(0, 1, 3))] = 1;
+  s.valid[static_cast<std::size_t>(topo::pair_index(1, 2, 3))] = 1;
+
+  const std::vector<UtilizationBucket> buckets = error_by_utilization(
+      {s},
+      [](const dataset::Sample& smp) {
+        // Predict 0.2 everywhere → |rel err| = 1.0 for every valid path.
+        return std::vector<double>(
+            static_cast<std::size_t>(smp.num_pairs()), 0.2);
+      });
+  std::size_t total = 0;
+  for (const UtilizationBucket& b : buckets) {
+    total += b.paths;
+    if (b.paths > 0) {
+      EXPECT_NEAR(b.mre, 1.0, 1e-9);
+    }
+  }
+  EXPECT_EQ(total, 2u);
+  // The hot path (ρ=0.9) and cold path (ρ=0.1) land in different buckets.
+  std::size_t nonempty = 0;
+  for (const UtilizationBucket& b : buckets) {
+    if (b.paths > 0) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 2u);
+}
+
+TEST(ExportCsv, RegressionFileHasHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "reg.csv";
+  write_regression_csv(path, {0.1, 0.2}, {0.11, 0.19});
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "true_delay_s,predicted_delay_s");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(ExportCsv, CdfFileListsAllSeries) {
+  const std::string path = ::testing::TempDir() + "cdf.csv";
+  write_cdf_csv(path, {{"alpha", empirical_cdf({1.0, 2.0}, 3)},
+                       {"beta", empirical_cdf({3.0}, 2)}});
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("alpha,"), std::string::npos);
+  EXPECT_NE(all.find("beta,"), std::string::npos);
+}
+
+TEST(ExportCsv, TopPathsRanksSequentially) {
+  const dataset::Sample s =
+      sample_with_delays({0.01, 0.02, 0.03, 0.04, 0.05, 0.06});
+  const std::vector<RankedPath> top =
+      top_n_paths(s, {0.06, 0.01, 0.04, 0.03, 0.05, 0.02}, 3);
+  const std::string path = ::testing::TempDir() + "top.csv";
+  write_top_paths_csv(path, top);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line.rfind("1,", 0), 0u);  // first data row is rank 1
+}
+
+TEST(ExportCsv, UnwritablePathThrows) {
+  EXPECT_THROW(write_regression_csv("/nonexistent/dir/x.csv", {1.0}, {1.0}),
+               std::runtime_error);
+}
+
+TEST(AsciiRenderers, RejectTinyCanvas) {
+  EXPECT_THROW(ascii_scatter({1.0}, {1.0}, 2, 2), std::runtime_error);
+  EXPECT_THROW(ascii_cdf({}, 40, 10), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rn::eval

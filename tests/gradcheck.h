@@ -1,0 +1,59 @@
+// Finite-difference gradient checking shared by the autodiff tests.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ag/tape.h"
+
+namespace rn::testing {
+
+// Rebuilds the forward pass (via `build`) with central differences on every
+// element of every parameter and compares against the analytic gradient
+// from one backward() call. `build` must be a pure function of the current
+// parameter values.
+inline void expect_gradients_match(
+    const std::vector<ag::Parameter*>& params,
+    const std::function<ag::ValueId(ag::Tape&)>& build, float eps = 1e-2f,
+    float rel_tol = 5e-2f, float abs_tol = 1e-4f) {
+  // Analytic gradients.
+  for (ag::Parameter* p : params) p->zero_grad();
+  {
+    ag::Tape tape;
+    const ag::ValueId loss = build(tape);
+    tape.backward(loss);
+  }
+  std::vector<ag::Tensor> analytic;
+  analytic.reserve(params.size());
+  for (ag::Parameter* p : params) analytic.push_back(p->grad);
+
+  auto eval_loss = [&]() -> double {
+    ag::Tape tape;
+    return tape.value(build(tape)).at(0, 0);
+  };
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    ag::Parameter& p = *params[pi];
+    for (int i = 0; i < p.value.size(); ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      const float orig = p.value[k];
+      p.value[k] = orig + eps;
+      const double up = eval_loss();
+      p.value[k] = orig - eps;
+      const double down = eval_loss();
+      p.value[k] = orig;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double exact = analytic[pi][k];
+      const double denom = std::max({std::abs(numeric), std::abs(exact), 1.0e-6});
+      EXPECT_NEAR(exact, numeric,
+                  std::max(static_cast<double>(abs_tol),
+                           static_cast<double>(rel_tol) * denom))
+          << "param " << p.name << " element " << i;
+    }
+  }
+}
+
+}  // namespace rn::testing

@@ -1,0 +1,185 @@
+// End-to-end pipeline tests: dataset generation → training → evaluation on
+// unseen scenarios, exercising every library together the way the paper's
+// experiment does (at miniature scale so the suite stays fast).
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baseline/fcnn.h"
+#include "core/trainer.h"
+#include "eval/metrics.h"
+#include "planning/whatif.h"
+#include "queueing/queueing.h"
+#include "topology/generators.h"
+
+namespace rn {
+namespace {
+
+dataset::GeneratorConfig fast_gen_config() {
+  dataset::GeneratorConfig cfg;
+  cfg.target_pkts_per_flow = 80.0;
+  cfg.warmup_s = 0.5;
+  cfg.min_delivered = 8;
+  return cfg;
+}
+
+core::RouteNetConfig small_model_config() {
+  core::RouteNetConfig cfg;
+  cfg.link_state_dim = 10;
+  cfg.path_state_dim = 10;
+  cfg.iterations = 3;
+  cfg.readout_hidden = 16;
+  return cfg;
+}
+
+TEST(Integration, TrainOnOneTopologyPredictOnAnotherSize) {
+  // Miniature version of the paper's headline experiment: train on two
+  // topology sizes, predict on a third size never seen in training, and
+  // check the predictions correlate with the simulator's ground truth.
+  dataset::DatasetGenerator gen(fast_gen_config(), 21);
+  auto ring6 = std::make_shared<const topo::Topology>(topo::ring(6));
+  auto star5 = std::make_shared<const topo::Topology>(topo::star(5));
+  auto ring8 = std::make_shared<const topo::Topology>(topo::ring(8));
+
+  std::vector<dataset::Sample> train = gen.generate_many(ring6, 10);
+  {
+    std::vector<dataset::Sample> more = gen.generate_many(star5, 10);
+    for (dataset::Sample& s : more) train.push_back(std::move(s));
+  }
+  const std::vector<dataset::Sample> unseen = gen.generate_many(ring8, 4);
+
+  core::RouteNet model(small_model_config());
+  core::TrainConfig tcfg;
+  tcfg.epochs = 35;
+  tcfg.batch_size = 5;
+  tcfg.learning_rate = 5e-3f;
+  core::Trainer trainer(model, tcfg);
+  trainer.fit(train);
+
+  const eval::PairedSeries series = eval::collect_delay_pairs(
+      unseen,
+      [&](const dataset::Sample& s) { return model.predict(s).delay_s; });
+  ASSERT_GT(series.truth.size(), 50u);
+  const eval::RegressionStats stats =
+      eval::regression_stats(series.truth, series.pred);
+  // Unseen topology size: predictions must track the simulator.
+  EXPECT_GT(stats.pearson_r, 0.7);
+  EXPECT_LT(stats.mre, 0.6);
+}
+
+TEST(Integration, RouteNetBeatsUntrainedAndTracksQueueingOnMarkovTraffic) {
+  dataset::DatasetGenerator gen(fast_gen_config(), 22);
+  auto ring6 = std::make_shared<const topo::Topology>(topo::ring(6));
+  std::vector<dataset::Sample> data = gen.generate_many(ring6, 16);
+  auto [train, test] = dataset::split_dataset(std::move(data), 0.75, 5);
+
+  core::RouteNet model(small_model_config());
+  core::TrainConfig tcfg;
+  tcfg.epochs = 35;
+  tcfg.batch_size = 4;
+  tcfg.learning_rate = 5e-3f;
+  core::Trainer trainer(model, tcfg);
+  trainer.fit(train);
+  const double mre_routenet = core::Trainer::evaluate_delay_mre(model, test);
+
+  core::RouteNet untrained(small_model_config());
+  untrained.set_normalizer(dataset::fit_normalizer(train));
+  const double mre_untrained =
+      core::Trainer::evaluate_delay_mre(untrained, test);
+  EXPECT_LT(mre_routenet, mre_untrained);
+  EXPECT_LT(mre_routenet, 0.5);
+}
+
+TEST(Integration, FcnnCannotAcceptOtherTopologyButRouteNetCan) {
+  dataset::DatasetGenerator gen(fast_gen_config(), 23);
+  auto ring6 = std::make_shared<const topo::Topology>(topo::ring(6));
+  auto ring8 = std::make_shared<const topo::Topology>(topo::ring(8));
+  const std::vector<dataset::Sample> train = gen.generate_many(ring6, 6);
+  const dataset::Sample other = gen.generate(ring8);
+
+  baseline::FcnnConfig fcfg;
+  fcfg.epochs = 5;
+  baseline::FcnnBaseline fcnn(train[0].num_pairs(), fcfg);
+  fcnn.fit(train);
+  EXPECT_THROW(fcnn.predict_delay(other), std::runtime_error);
+
+  core::RouteNet model(small_model_config());
+  core::TrainConfig tcfg;
+  tcfg.epochs = 2;
+  core::Trainer trainer(model, tcfg);
+  trainer.fit(train);
+  EXPECT_NO_THROW(model.predict(other));
+}
+
+TEST(Integration, QueueingBaselineAccurateOnItsOwnAssumptions) {
+  // Sanity for the bench narrative: on Poisson/exponential traffic the
+  // analytic model should already be decent; it degrades on bursty traffic
+  // (covered in queueing_test).
+  dataset::GeneratorConfig gcfg = fast_gen_config();
+  gcfg.max_util = 0.6;  // keep away from instability for the M/M/1 sum
+  dataset::DatasetGenerator gen(gcfg, 24);
+  auto ring6 = std::make_shared<const topo::Topology>(topo::ring(6));
+  const std::vector<dataset::Sample> samples = gen.generate_many(ring6, 4);
+  const queueing::QueueingPredictor predictor{traffic::TrafficModel{}};
+  const eval::PairedSeries series = eval::collect_delay_pairs(
+      samples, [&](const dataset::Sample& s) {
+        return predictor.predict(*s.topology, s.routing, s.tm).delay_s;
+      });
+  const eval::RegressionStats stats =
+      eval::regression_stats(series.truth, series.pred);
+  EXPECT_GT(stats.pearson_r, 0.8);
+  EXPECT_LT(stats.mre, 0.45);
+}
+
+TEST(Integration, WhatIfEngineWithTrainedRouteNet) {
+  // Planning on top of the GNN: upgrading the hottest link of a loaded
+  // ring must be predicted to help, and the ranking must run end to end.
+  dataset::GeneratorConfig gcfg = fast_gen_config();
+  gcfg.min_util = 0.6;
+  gcfg.max_util = 0.8;
+  gcfg.k_paths = 1;
+  dataset::DatasetGenerator gen(gcfg, 26);
+  auto ring6 = std::make_shared<const topo::Topology>(topo::ring(6));
+  const std::vector<dataset::Sample> train = gen.generate_many(ring6, 14);
+
+  core::RouteNet model(small_model_config());
+  core::TrainConfig tcfg;
+  tcfg.epochs = 25;
+  tcfg.batch_size = 4;
+  tcfg.learning_rate = 5e-3f;
+  core::Trainer trainer(model, tcfg);
+  trainer.fit(train);
+
+  const dataset::Sample live = gen.generate(ring6);
+  planning::Scenario scenario{live.topology, live.routing, live.tm};
+  const planning::WhatIfEngine engine(
+      scenario, [&model](const planning::Scenario& sc) {
+        return model.predict(planning::scenario_to_sample(sc)).delay_s;
+      });
+  const std::vector<planning::UpgradeOption> options =
+      engine.rank_upgrades(3, 3.0);
+  ASSERT_EQ(options.size(), 3u);
+  EXPECT_GT(options.front().improvement, 0.0);
+}
+
+TEST(Integration, SavedModelPredictsIdenticallyAfterReload) {
+  dataset::DatasetGenerator gen(fast_gen_config(), 25);
+  auto ring6 = std::make_shared<const topo::Topology>(topo::ring(6));
+  const std::vector<dataset::Sample> train = gen.generate_many(ring6, 6);
+  core::RouteNet model(small_model_config());
+  core::TrainConfig tcfg;
+  tcfg.epochs = 3;
+  core::Trainer trainer(model, tcfg);
+  trainer.fit(train);
+  const std::string path = ::testing::TempDir() + "integration.model";
+  model.save(path);
+  const core::RouteNet loaded = core::RouteNet::load(path);
+  const core::RouteNet::Prediction a = model.predict(train[0]);
+  const core::RouteNet::Prediction b = loaded.predict(train[0]);
+  for (std::size_t i = 0; i < a.delay_s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.delay_s[i], b.delay_s[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rn

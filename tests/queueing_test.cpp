@@ -1,0 +1,147 @@
+#include "queueing/queueing.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "topology/generators.h"
+
+namespace rn::queueing {
+namespace {
+
+TEST(SizeMoments, Exponential) {
+  traffic::TrafficModel m;
+  m.mean_pkt_size_bits = 500.0;
+  const SizeMoments mm = size_moments(m);
+  EXPECT_DOUBLE_EQ(mm.m1, 500.0);
+  EXPECT_DOUBLE_EQ(mm.m2, 2.0 * 500.0 * 500.0);
+  EXPECT_DOUBLE_EQ(mm.m3, 6.0 * 500.0 * 500.0 * 500.0);
+}
+
+TEST(SizeMoments, Fixed) {
+  traffic::TrafficModel m;
+  m.sizes = traffic::PacketSizeModel::kFixed;
+  m.mean_pkt_size_bits = 800.0;
+  const SizeMoments mm = size_moments(m);
+  EXPECT_DOUBLE_EQ(mm.m1, 800.0);
+  EXPECT_DOUBLE_EQ(mm.m2, 800.0 * 800.0);
+}
+
+TEST(SizeMoments, BimodalFirstMomentIsMean) {
+  traffic::TrafficModel m;
+  m.sizes = traffic::PacketSizeModel::kBimodal;
+  m.mean_pkt_size_bits = 1000.0;
+  const SizeMoments mm = size_moments(m);
+  EXPECT_NEAR(mm.m1, 1000.0, 1e-9);
+  // Mixture of two point masses has higher m2 than a single point mass.
+  EXPECT_GT(mm.m2, 1000.0 * 1000.0);
+}
+
+// Single-link M/M/1 scenario shared with the simulator comparison.
+struct SingleLink {
+  SingleLink(double cap, double rate)
+      : topology("q", 2), scheme(2), tm(2) {
+    topology.add_link(0, 1, cap);
+    scheme.set_path(0, 1, {0});
+    scheme.set_path(1, 0, {});
+    tm.set_rate_bps(0, 1, rate);
+  }
+  topo::Topology topology;
+  routing::RoutingScheme scheme;
+  traffic::TrafficMatrix tm;
+};
+
+TEST(QueueingPredictor, MM1ClosedForm) {
+  // μ = 10 pkt/s, λ = 5 → W = 1/(μ−λ) = 0.2 s; Var = 1/(μ−λ)², std = 0.2.
+  SingleLink sc(10'000.0, 5'000.0);
+  const QueueingPredictor predictor{traffic::TrafficModel{}};
+  const AnalyticPrediction pred =
+      predictor.predict(sc.topology, sc.scheme, sc.tm);
+  const int idx = topo::pair_index(0, 1, 2);
+  EXPECT_NEAR(pred.delay_s[static_cast<std::size_t>(idx)], 0.2, 1e-9);
+  EXPECT_NEAR(pred.jitter_s[static_cast<std::size_t>(idx)], 0.2, 1e-9);
+  EXPECT_FALSE(pred.any_unstable);
+  EXPECT_NEAR(pred.link_utilization[0], 0.5, 1e-12);
+}
+
+TEST(QueueingPredictor, MD1HalvesWaitingTime) {
+  SingleLink sc(10'000.0, 5'000.0);
+  traffic::TrafficModel fixed;
+  fixed.sizes = traffic::PacketSizeModel::kFixed;
+  const AnalyticPrediction md1 =
+      QueueingPredictor{fixed}.predict(sc.topology, sc.scheme, sc.tm);
+  // M/D/1: Wq = ρ/(2μ(1−ρ)) = 0.05; sojourn = 0.05 + 0.1 = 0.15.
+  EXPECT_NEAR(md1.delay_s[static_cast<std::size_t>(topo::pair_index(0, 1, 2))],
+              0.15, 1e-9);
+}
+
+TEST(QueueingPredictor, PathDelayIsSumOfLinks) {
+  const topo::Topology t = topo::line(3, 10'000.0);
+  const routing::RoutingScheme scheme = routing::shortest_path_routing(t);
+  traffic::TrafficMatrix tm(3);
+  tm.set_rate_bps(0, 2, 5'000.0);
+  const AnalyticPrediction pred =
+      QueueingPredictor{traffic::TrafficModel{}}.predict(t, scheme, tm);
+  const int two_hop = topo::pair_index(0, 2, 3);
+  // Both links see λ=5, μ=10 → 0.2 each.
+  EXPECT_NEAR(pred.delay_s[static_cast<std::size_t>(two_hop)], 0.4, 1e-9);
+}
+
+TEST(QueueingPredictor, FlagsUnstableLinks) {
+  SingleLink sc(10'000.0, 12'000.0);
+  const AnalyticPrediction pred =
+      QueueingPredictor{traffic::TrafficModel{}}.predict(sc.topology,
+                                                         sc.scheme, sc.tm);
+  EXPECT_TRUE(pred.any_unstable);
+  // Clamped, finite, large.
+  EXPECT_GT(pred.delay_s[static_cast<std::size_t>(topo::pair_index(0, 1, 2))],
+            1.0);
+  EXPECT_TRUE(std::isfinite(
+      pred.delay_s[static_cast<std::size_t>(topo::pair_index(0, 1, 2))]));
+}
+
+TEST(QueueingPredictor, MatchesSimulatorOnPoissonExponential) {
+  // On its home turf (M/M/1) the analytic model must agree with the packet
+  // simulator — this cross-validates both.
+  SingleLink sc(10'000.0, 6'000.0);
+  sim::SimConfig cfg;
+  cfg.warmup_s = 50.0;
+  cfg.horizon_s = 2'050.0;
+  const sim::SimResult simres =
+      sim::PacketSimulator(cfg).run(sc.topology, sc.scheme, sc.tm);
+  const AnalyticPrediction pred =
+      QueueingPredictor{traffic::TrafficModel{}}.predict(sc.topology,
+                                                         sc.scheme, sc.tm);
+  const auto idx = static_cast<std::size_t>(topo::pair_index(0, 1, 2));
+  EXPECT_NEAR(pred.delay_s[idx], simres.paths[idx].mean_delay_s,
+              0.1 * pred.delay_s[idx]);
+}
+
+TEST(QueueingPredictor, UnderestimatesBurstyTraffic) {
+  // The paper's premise: analytic models miss non-Markovian behaviour. An
+  // ON/OFF source at the same mean rate queues much more than M/M/1 says.
+  SingleLink sc(10'000.0, 6'000.0);
+  sim::SimConfig cfg;
+  cfg.warmup_s = 50.0;
+  cfg.horizon_s = 2'050.0;
+  cfg.model.arrivals = traffic::ArrivalProcess::kOnOff;
+  cfg.model.on_fraction = 0.3;
+  cfg.model.mean_on_s = 0.5;
+  const sim::SimResult simres =
+      sim::PacketSimulator(cfg).run(sc.topology, sc.scheme, sc.tm);
+  // Analytic prediction knows only the average rate (Poisson assumption).
+  const AnalyticPrediction pred =
+      QueueingPredictor{traffic::TrafficModel{}}.predict(sc.topology,
+                                                         sc.scheme, sc.tm);
+  const auto idx = static_cast<std::size_t>(topo::pair_index(0, 1, 2));
+  EXPECT_GT(simres.paths[idx].mean_delay_s, 1.3 * pred.delay_s[idx]);
+}
+
+TEST(QueueingPredictor, RejectsBadUtilizationCap) {
+  EXPECT_THROW(QueueingPredictor(traffic::TrafficModel{}, 1.5),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rn::queueing

@@ -1,0 +1,163 @@
+#include "routing/routing.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "topology/generators.h"
+
+namespace rn::routing {
+namespace {
+
+TEST(ShortestPath, LineTopology) {
+  const topo::Topology t = topo::line(4);
+  const Path p = shortest_path(t, 0, 3);
+  ASSERT_EQ(p.size(), 3u);
+  const std::vector<topo::NodeId> nodes = path_nodes(t, p, 0);
+  EXPECT_EQ(nodes, (std::vector<topo::NodeId>{0, 1, 2, 3}));
+}
+
+TEST(ShortestPath, PrefersFewerHops) {
+  // Triangle with a direct edge: 0→2 direct beats 0→1→2.
+  topo::Topology t("t", 3);
+  t.add_duplex_link(0, 1, 10.0);
+  t.add_duplex_link(1, 2, 10.0);
+  t.add_duplex_link(0, 2, 10.0);
+  const Path p = shortest_path(t, 0, 2);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(ShortestPath, InverseCapacityWeightAvoidsSlowLink) {
+  // Direct link is very slow; the 2-hop fast detour wins under 1/capacity.
+  topo::Topology t("t", 3);
+  t.add_duplex_link(0, 2, 1.0);     // slow direct
+  t.add_duplex_link(0, 1, 100.0);
+  t.add_duplex_link(1, 2, 100.0);
+  const Path hops = shortest_path(t, 0, 2, LinkWeight::kHops);
+  EXPECT_EQ(hops.size(), 1u);
+  const Path inv = shortest_path(t, 0, 2, LinkWeight::kInverseCapacity);
+  EXPECT_EQ(inv.size(), 2u);
+}
+
+TEST(ShortestPath, UnreachableReturnsEmpty) {
+  topo::Topology t("t", 3);
+  t.add_link(0, 1, 10.0);  // no path to 2
+  EXPECT_TRUE(shortest_path(t, 0, 2).empty());
+}
+
+TEST(KShortestPaths, RingHasExactlyTwoDisjointRoutes) {
+  const topo::Topology t = topo::ring(6);
+  const std::vector<Path> ps = k_shortest_paths(t, 0, 3, 5);
+  // Clockwise (3 hops) and counterclockwise (3 hops) are the only
+  // loop-free simple routes in a ring.
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0].size(), 3u);
+  EXPECT_EQ(ps[1].size(), 3u);
+  EXPECT_NE(ps[0], ps[1]);
+}
+
+TEST(KShortestPaths, NondecreasingCost) {
+  const topo::Topology t = topo::nsfnet();
+  const std::vector<Path> ps = k_shortest_paths(t, 0, 9, 6);
+  ASSERT_GE(ps.size(), 2u);
+  for (std::size_t i = 1; i < ps.size(); ++i) {
+    EXPECT_GE(ps[i].size(), ps[i - 1].size());
+  }
+}
+
+TEST(KShortestPaths, AllDistinctAndValid) {
+  const topo::Topology t = topo::geant2();
+  const std::vector<Path> ps = k_shortest_paths(t, 2, 21, 8);
+  std::set<Path> unique(ps.begin(), ps.end());
+  EXPECT_EQ(unique.size(), ps.size());
+  for (const Path& p : ps) {
+    const std::vector<topo::NodeId> nodes = path_nodes(t, p, 2);
+    EXPECT_EQ(nodes.back(), 21);
+    std::set<topo::NodeId> distinct(nodes.begin(), nodes.end());
+    EXPECT_EQ(distinct.size(), nodes.size()) << "loop in path";
+  }
+}
+
+TEST(KShortestPaths, KOneMatchesShortest) {
+  const topo::Topology t = topo::nsfnet();
+  const std::vector<Path> ps = k_shortest_paths(t, 3, 8, 1);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0].size(), shortest_path(t, 3, 8).size());
+}
+
+TEST(KShortestPaths, ExhaustsPathSpaceGracefully) {
+  // A line has exactly one loop-free path per pair regardless of k.
+  const topo::Topology t = topo::line(5);
+  const std::vector<Path> ps = k_shortest_paths(t, 0, 4, 50);
+  EXPECT_EQ(ps.size(), 1u);
+}
+
+TEST(KShortestPaths, LargeKOnRingFindsBothAndOnlyBoth) {
+  const topo::Topology t = topo::ring(7);
+  EXPECT_EQ(k_shortest_paths(t, 1, 4, 100).size(), 2u);
+}
+
+TEST(RoutingScheme, ShortestPathRoutingValidates) {
+  const topo::Topology t = topo::nsfnet();
+  const RoutingScheme scheme = shortest_path_routing(t);
+  EXPECT_NO_THROW(validate_routing(t, scheme));
+  EXPECT_GT(scheme.mean_path_length(), 1.0);
+}
+
+TEST(RoutingScheme, RandomKShortestValidatesOnAllNamedTopologies) {
+  Rng rng(5);
+  for (const topo::Topology& t : {topo::nsfnet(), topo::geant2()}) {
+    const RoutingScheme scheme = random_k_shortest_routing(t, 3, rng);
+    EXPECT_NO_THROW(validate_routing(t, scheme));
+  }
+}
+
+TEST(RoutingScheme, RandomSchemesDifferAcrossSeeds) {
+  const topo::Topology t = topo::geant2();
+  Rng r1(1), r2(2);
+  const RoutingScheme a = random_k_shortest_routing(t, 4, r1);
+  const RoutingScheme b = random_k_shortest_routing(t, 4, r2);
+  int diffs = 0;
+  for (int idx = 0; idx < a.num_pairs(); ++idx) {
+    if (a.path_by_index(idx) != b.path_by_index(idx)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(RoutingScheme, RandomNeverLongerThanKWorstCase) {
+  // Every chosen path must still be one of the k shortest: its length can
+  // exceed the shortest by only a bounded amount on these small graphs.
+  const topo::Topology t = topo::nsfnet();
+  Rng rng(3);
+  const RoutingScheme scheme = random_k_shortest_routing(t, 3, rng);
+  for (topo::NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (topo::NodeId d = 0; d < t.num_nodes(); ++d) {
+      if (s == d) continue;
+      const std::vector<Path> ks = k_shortest_paths(t, s, d, 3);
+      EXPECT_NE(std::find(ks.begin(), ks.end(), scheme.path(s, d)), ks.end());
+    }
+  }
+}
+
+TEST(ValidateRouting, CatchesCorruptPath) {
+  const topo::Topology t = topo::ring(4);
+  RoutingScheme scheme = shortest_path_routing(t);
+  // Corrupt one entry with a discontinuous link sequence.
+  Path bad = scheme.path(0, 2);
+  std::reverse(bad.begin(), bad.end());
+  scheme.set_path(0, 2, bad);
+  EXPECT_THROW(validate_routing(t, scheme), std::runtime_error);
+}
+
+TEST(PathNodes, RejectsDiscontinuity) {
+  const topo::Topology t = topo::line(4);
+  // Link 0 is 0→1; link for 2→3 does not start at 1.
+  const auto l23 = t.find_link(2, 3);
+  ASSERT_TRUE(l23.has_value());
+  const Path broken = {0, *l23};
+  EXPECT_THROW(path_nodes(t, broken, 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rn::routing

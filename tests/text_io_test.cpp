@@ -1,0 +1,117 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "routing/text_io.h"
+#include "topology/generators.h"
+#include "topology/text_io.h"
+#include "traffic/text_io.h"
+
+namespace rn {
+namespace {
+
+TEST(TopologyTextIo, RoundTripPreservesGraph) {
+  const topo::Topology original = topo::nsfnet();
+  std::stringstream buf;
+  topo::save_topology(buf, original);
+  const topo::Topology loaded = topo::load_topology(buf);
+  EXPECT_EQ(loaded.name(), original.name());
+  ASSERT_EQ(loaded.num_links(), original.num_links());
+  for (topo::LinkId id = 0; id < original.num_links(); ++id) {
+    EXPECT_EQ(loaded.link(id).src, original.link(id).src);
+    EXPECT_EQ(loaded.link(id).dst, original.link(id).dst);
+    EXPECT_DOUBLE_EQ(loaded.link(id).capacity_bps,
+                     original.link(id).capacity_bps);
+  }
+}
+
+TEST(TopologyTextIo, ParsesDuplexAndComments) {
+  std::stringstream buf(
+      "# my test network\n"
+      "topology demo 3\n"
+      "duplex 0 1 10000   # fast pair\n"
+      "link 1 2 5000 0.002\n");
+  const topo::Topology t = topo::load_topology(buf);
+  EXPECT_EQ(t.name(), "demo");
+  EXPECT_EQ(t.num_nodes(), 3);
+  EXPECT_EQ(t.num_links(), 3);
+  EXPECT_TRUE(t.find_link(1, 0).has_value());
+  EXPECT_DOUBLE_EQ(t.link(2).prop_delay_s, 0.002);
+}
+
+TEST(TopologyTextIo, RejectsMissingHeader) {
+  std::stringstream buf("link 0 1 1000\n");
+  EXPECT_THROW(topo::load_topology(buf), std::runtime_error);
+}
+
+TEST(TopologyTextIo, RejectsUnknownDirective) {
+  std::stringstream buf("topology t 2\nedge 0 1 1000\n");
+  EXPECT_THROW(topo::load_topology(buf), std::runtime_error);
+}
+
+TEST(TopologyTextIo, RejectsMalformedLink) {
+  std::stringstream buf("topology t 2\nlink 0 1\n");
+  EXPECT_THROW(topo::load_topology(buf), std::runtime_error);
+}
+
+TEST(TrafficTextIo, RoundTripPreservesRates) {
+  Rng rng(1);
+  const traffic::TrafficMatrix original =
+      traffic::uniform_traffic(5, 10.0, 50.0, rng);
+  std::stringstream buf;
+  traffic::save_traffic_csv(buf, original);
+  const traffic::TrafficMatrix loaded = traffic::load_traffic_csv(buf, 5);
+  for (int idx = 0; idx < original.num_pairs(); ++idx) {
+    EXPECT_DOUBLE_EQ(loaded.rate_by_index(idx), original.rate_by_index(idx));
+  }
+}
+
+TEST(TrafficTextIo, OmitsZeroRows) {
+  traffic::TrafficMatrix tm(3);
+  tm.set_rate_bps(0, 1, 100.0);
+  std::stringstream buf;
+  traffic::save_traffic_csv(buf, tm);
+  int lines = 0;
+  std::string line;
+  while (std::getline(buf, line)) ++lines;
+  EXPECT_EQ(lines, 2);  // header + one row
+}
+
+TEST(TrafficTextIo, RejectsMissingHeader) {
+  std::stringstream buf("0,1,100\n");
+  EXPECT_THROW(traffic::load_traffic_csv(buf, 3), std::runtime_error);
+}
+
+TEST(RoutingTextIo, RoundTripPreservesPaths) {
+  const topo::Topology t = topo::geant2();
+  const routing::RoutingScheme original = routing::shortest_path_routing(t);
+  std::stringstream buf;
+  routing::save_routing(buf, t, original);
+  const routing::RoutingScheme loaded = routing::load_routing(buf, t);
+  for (int idx = 0; idx < original.num_pairs(); ++idx) {
+    EXPECT_EQ(loaded.path_by_index(idx), original.path_by_index(idx));
+  }
+  EXPECT_NO_THROW(routing::validate_routing(t, loaded));
+}
+
+TEST(RoutingTextIo, RejectsNonexistentHop) {
+  const topo::Topology t = topo::line(4);
+  std::stringstream buf("0 3 : 0 2 3\n");  // no 0->2 link in a line
+  EXPECT_THROW(routing::load_routing(buf, t), std::runtime_error);
+}
+
+TEST(RoutingTextIo, RejectsSequenceNotEndingAtDst) {
+  const topo::Topology t = topo::line(4);
+  std::stringstream buf("0 3 : 0 1 2\n");
+  EXPECT_THROW(routing::load_routing(buf, t), std::runtime_error);
+}
+
+TEST(RoutingTextIo, SkipsBlankAndCommentLines) {
+  const topo::Topology t = topo::line(3);
+  std::stringstream buf("# routes\n\n0 2 : 0 1 2\n");
+  const routing::RoutingScheme scheme = routing::load_routing(buf, t);
+  EXPECT_EQ(scheme.path(0, 2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace rn

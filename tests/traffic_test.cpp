@@ -1,0 +1,170 @@
+#include "traffic/traffic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "topology/generators.h"
+
+namespace rn::traffic {
+namespace {
+
+TEST(TrafficMatrix, SetGetByPairAndIndex) {
+  TrafficMatrix tm(4);
+  tm.set_rate_bps(0, 3, 123.0);
+  EXPECT_DOUBLE_EQ(tm.rate_bps(0, 3), 123.0);
+  EXPECT_DOUBLE_EQ(tm.rate_by_index(topo::pair_index(0, 3, 4)), 123.0);
+  EXPECT_DOUBLE_EQ(tm.rate_bps(3, 0), 0.0);
+}
+
+TEST(TrafficMatrix, RejectsNegativeRate) {
+  TrafficMatrix tm(3);
+  EXPECT_THROW(tm.set_rate_bps(0, 1, -5.0), std::runtime_error);
+}
+
+TEST(TrafficMatrix, TotalAndScale) {
+  TrafficMatrix tm(3);
+  tm.set_rate_bps(0, 1, 10.0);
+  tm.set_rate_bps(2, 1, 30.0);
+  EXPECT_DOUBLE_EQ(tm.total_rate_bps(), 40.0);
+  tm.scale(0.5);
+  EXPECT_DOUBLE_EQ(tm.total_rate_bps(), 20.0);
+}
+
+TEST(UniformTraffic, RatesWithinRange) {
+  Rng rng(1);
+  const TrafficMatrix tm = uniform_traffic(6, 10.0, 20.0, rng);
+  for (int idx = 0; idx < tm.num_pairs(); ++idx) {
+    EXPECT_GE(tm.rate_by_index(idx), 10.0);
+    EXPECT_LT(tm.rate_by_index(idx), 20.0);
+  }
+}
+
+TEST(GravityTraffic, SumsToTotal) {
+  Rng rng(2);
+  const TrafficMatrix tm = gravity_traffic(8, 5000.0, rng);
+  EXPECT_NEAR(tm.total_rate_bps(), 5000.0, 1e-6);
+  for (int idx = 0; idx < tm.num_pairs(); ++idx) {
+    EXPECT_GT(tm.rate_by_index(idx), 0.0);
+  }
+}
+
+TEST(HotspotTraffic, HotRowsCarryMoreTraffic) {
+  Rng rng(3);
+  const int n = 10;
+  const TrafficMatrix tm = hotspot_traffic(n, 2, 100.0, 5.0, rng);
+  // Mean per-source row rate: the two hottest rows should clearly exceed
+  // the coldest rows.
+  std::vector<double> row(n, 0.0);
+  for (topo::NodeId s = 0; s < n; ++s) {
+    for (topo::NodeId d = 0; d < n; ++d) {
+      if (s != d) row[static_cast<std::size_t>(s)] += tm.rate_bps(s, d);
+    }
+  }
+  std::sort(row.begin(), row.end());
+  EXPECT_GT(row[static_cast<std::size_t>(n - 1)],
+            2.0 * row[0]);
+}
+
+TEST(LinkLoads, SingleFlowLoadsItsPathOnly) {
+  const topo::Topology t = topo::line(4);
+  const routing::RoutingScheme scheme = routing::shortest_path_routing(t);
+  TrafficMatrix tm(4);
+  tm.set_rate_bps(0, 3, 7.0);
+  const std::vector<double> loads = link_loads_bps(t, scheme, tm);
+  double total = 0.0;
+  for (double l : loads) total += l;
+  EXPECT_DOUBLE_EQ(total, 21.0);  // 3 hops × 7
+  for (topo::LinkId id : scheme.path(0, 3)) {
+    EXPECT_DOUBLE_EQ(loads[static_cast<std::size_t>(id)], 7.0);
+  }
+}
+
+TEST(ScaleToMaxUtilization, HitsTarget) {
+  const topo::Topology t = topo::nsfnet();
+  const routing::RoutingScheme scheme = routing::shortest_path_routing(t);
+  Rng rng(4);
+  TrafficMatrix tm = uniform_traffic(t.num_nodes(), 10.0, 100.0, rng);
+  scale_to_max_utilization(tm, t, scheme, 0.7);
+  const std::vector<double> loads = link_loads_bps(t, scheme, tm);
+  double max_util = 0.0;
+  for (topo::LinkId id = 0; id < t.num_links(); ++id) {
+    max_util = std::max(max_util, loads[static_cast<std::size_t>(id)] /
+                                      t.link(id).capacity_bps);
+  }
+  EXPECT_NEAR(max_util, 0.7, 1e-9);
+}
+
+TEST(ScaleToMaxUtilization, RejectsUnstableTargets) {
+  const topo::Topology t = topo::line(3);
+  const routing::RoutingScheme scheme = routing::shortest_path_routing(t);
+  TrafficMatrix tm(3);
+  tm.set_rate_bps(0, 2, 1.0);
+  EXPECT_THROW(scale_to_max_utilization(tm, t, scheme, 1.2),
+               std::runtime_error);
+  EXPECT_THROW(scale_to_max_utilization(tm, t, scheme, 0.0),
+               std::runtime_error);
+}
+
+TEST(ScaleToMaxUtilization, RejectsAllZeroMatrix) {
+  const topo::Topology t = topo::line(3);
+  const routing::RoutingScheme scheme = routing::shortest_path_routing(t);
+  TrafficMatrix tm(3);
+  EXPECT_THROW(scale_to_max_utilization(tm, t, scheme, 0.5),
+               std::runtime_error);
+}
+
+TEST(TrafficModel, BimodalLargeSizePreservesMean) {
+  TrafficModel m;
+  m.sizes = PacketSizeModel::kBimodal;
+  m.mean_pkt_size_bits = 1000.0;
+  m.small_pkt_prob = 0.6;
+  m.small_pkt_bits = 300.0;
+  const double large = m.large_pkt_bits();
+  EXPECT_NEAR(0.6 * 300.0 + 0.4 * large, 1000.0, 1e-9);
+}
+
+TEST(TrafficModel, TruncatedParetoMeanMatchesConfig) {
+  TrafficModel m;
+  m.sizes = PacketSizeModel::kTruncatedPareto;
+  m.mean_pkt_size_bits = 1000.0;
+  EXPECT_NEAR(m.pareto_moment(1), 1000.0, 1e-9);
+  EXPECT_GT(m.pareto_xm_bits(), 0.0);
+  EXPECT_LT(m.pareto_xm_bits(), 1000.0);  // xm below the mean for alpha>1
+}
+
+TEST(TrafficModel, TruncatedParetoHeavierThanExponential) {
+  TrafficModel m;
+  m.sizes = PacketSizeModel::kTruncatedPareto;
+  m.mean_pkt_size_bits = 1000.0;
+  m.pareto_alpha = 1.2;
+  m.pareto_max_factor = 200.0;
+  // Second moment far above the exponential's 2·mean² — the property that
+  // makes Poisson-assumption analytics underestimate queueing delay.
+  EXPECT_GT(m.pareto_moment(2), 4.0 * 1000.0 * 1000.0);
+  EXPECT_GT(m.pareto_moment(3), m.pareto_moment(2) * m.pareto_moment(1));
+}
+
+TEST(TrafficModel, TruncatedParetoRejectsBadShape) {
+  TrafficModel m;
+  m.sizes = PacketSizeModel::kTruncatedPareto;
+  m.pareto_alpha = 0.9;  // infinite mean
+  EXPECT_THROW(m.pareto_moment(1), std::runtime_error);
+  m.pareto_alpha = 2.0;  // collides with the k=2 moment formula
+  EXPECT_THROW(m.pareto_moment(2), std::runtime_error);
+  m.pareto_alpha = 1.5;
+  m.pareto_max_factor = 0.5;  // truncation below the scale
+  EXPECT_THROW(m.pareto_moment(1), std::runtime_error);
+}
+
+TEST(TrafficModel, BimodalRejectsImpossibleMean) {
+  TrafficModel m;
+  m.sizes = PacketSizeModel::kBimodal;
+  m.mean_pkt_size_bits = 100.0;  // below the small packet size share
+  m.small_pkt_prob = 0.9;
+  m.small_pkt_bits = 300.0;
+  EXPECT_THROW(m.large_pkt_bits(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rn::traffic

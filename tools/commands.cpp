@@ -1,0 +1,420 @@
+#include "commands.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "core/trainer.h"
+#include "eval/export.h"
+#include "planning/whatif.h"
+#include "eval/metrics.h"
+#include "queueing/queueing.h"
+#include "routing/text_io.h"
+#include "sim/simulator.h"
+#include "topology/generators.h"
+#include "topology/text_io.h"
+#include "traffic/text_io.h"
+#include "util/stats.h"
+
+namespace rn::cli {
+
+namespace {
+
+// Named built-in, or a topology text file.
+std::shared_ptr<const topo::Topology> resolve_topology(
+    const std::string& spec, std::uint64_t seed) {
+  if (spec == "nsfnet") {
+    return std::make_shared<const topo::Topology>(topo::nsfnet());
+  }
+  if (spec == "geant2") {
+    return std::make_shared<const topo::Topology>(topo::geant2());
+  }
+  if (spec == "gbn") {
+    return std::make_shared<const topo::Topology>(topo::gbn());
+  }
+  if (spec == "ba50") {
+    Rng rng(seed);
+    return std::make_shared<const topo::Topology>(
+        topo::synthetic_ba(50, 2, rng));
+  }
+  return std::make_shared<const topo::Topology>(
+      topo::load_topology_file(spec));
+}
+
+traffic::TrafficModel traffic_model_from(const Flags& flags) {
+  traffic::TrafficModel model;
+  if (flags.get_bool("bursty")) {
+    model.arrivals = traffic::ArrivalProcess::kOnOff;
+    model.on_fraction = 0.3;
+    model.mean_on_s = 0.5;
+    model.sizes = traffic::PacketSizeModel::kBimodal;
+  }
+  return model;
+}
+
+// Loads the (topology, routing, traffic) triple shared by simulate/predict.
+struct Scenario {
+  std::shared_ptr<const topo::Topology> topology;
+  routing::RoutingScheme scheme;
+  traffic::TrafficMatrix tm;
+};
+
+Scenario load_scenario(const Flags& flags) {
+  auto topology =
+      resolve_topology(flags.require_string("topology"), /*seed=*/1);
+  routing::RoutingScheme scheme = routing::load_routing_file(
+      flags.require_string("routing"), *topology);
+  routing::validate_routing(*topology, scheme);
+  traffic::TrafficMatrix tm = traffic::load_traffic_csv_file(
+      flags.require_string("traffic"), topology->num_nodes());
+  return {std::move(topology), std::move(scheme), std::move(tm)};
+}
+
+}  // namespace
+
+int cmd_make_topology(const Flags& flags) {
+  const std::string kind = flags.require_string("kind");
+  const std::uint64_t seed = flags.get_seed("seed", 1);
+  const int nodes = flags.get_int("nodes", 16);
+  Rng rng(seed);
+  topo::Topology t = [&]() -> topo::Topology {
+    if (kind == "nsfnet") return topo::nsfnet();
+    if (kind == "geant2") return topo::geant2();
+    if (kind == "gbn") return topo::gbn();
+    if (kind == "ba") {
+      return topo::synthetic_ba(nodes, flags.get_int("edges", 2), rng);
+    }
+    if (kind == "er") {
+      return topo::synthetic_er(nodes, flags.get_double("prob", 0.15), rng);
+    }
+    if (kind == "ring") return topo::ring(nodes);
+    if (kind == "line") return topo::line(nodes);
+    if (kind == "star") return topo::star(nodes - 1);
+    throw std::runtime_error("unknown topology kind '" + kind + "'");
+  }();
+  const std::string out = flags.require_string("out");
+  flags.reject_unused();
+  topo::save_topology_file(out, t);
+  std::printf("%s: %d nodes, %d directed links -> %s\n", t.name().c_str(),
+              t.num_nodes(), t.num_links(), out.c_str());
+  return 0;
+}
+
+int cmd_make_routing(const Flags& flags) {
+  auto topology = resolve_topology(flags.require_string("topology"),
+                                   flags.get_seed("seed", 1));
+  const int k = flags.get_int("k", 1);
+  Rng rng(flags.get_seed("seed", 1));
+  const std::string out = flags.require_string("out");
+  flags.reject_unused();
+  const routing::RoutingScheme scheme =
+      k <= 1 ? routing::shortest_path_routing(*topology)
+             : routing::random_k_shortest_routing(*topology, k, rng);
+  routing::save_routing_file(out, *topology, scheme);
+  std::printf("routing for %s (k=%d): mean path length %.2f hops -> %s\n",
+              topology->name().c_str(), k, scheme.mean_path_length(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_make_traffic(const Flags& flags) {
+  auto topology = resolve_topology(flags.require_string("topology"),
+                                   flags.get_seed("seed", 1));
+  routing::RoutingScheme scheme = routing::load_routing_file(
+      flags.require_string("routing"), *topology);
+  const std::string kind = flags.get_string("kind", "uniform");
+  const double util = flags.get_double("util", 0.6);
+  Rng rng(flags.get_seed("seed", 1));
+  const std::string out = flags.require_string("out");
+  flags.reject_unused();
+
+  const int n = topology->num_nodes();
+  traffic::TrafficMatrix tm = [&] {
+    if (kind == "gravity") return traffic::gravity_traffic(n, 1.0e6, rng);
+    if (kind == "hotspot") {
+      return traffic::hotspot_traffic(n, std::max(1, n / 6), 100.0, 4.0, rng);
+    }
+    if (kind == "uniform") return traffic::uniform_traffic(n, 50.0, 150.0, rng);
+    throw std::runtime_error("unknown traffic kind '" + kind + "'");
+  }();
+  traffic::scale_to_max_utilization(tm, *topology, scheme, util);
+  traffic::save_traffic_csv_file(out, tm);
+  std::printf("%s traffic, max link utilization %.2f, total %.1f bps -> %s\n",
+              kind.c_str(), util, tm.total_rate_bps(), out.c_str());
+  return 0;
+}
+
+int cmd_simulate(const Flags& flags) {
+  Scenario sc = load_scenario(flags);
+  sim::SimConfig cfg;
+  cfg.model = traffic_model_from(flags);
+  cfg.warmup_s = 1.0;
+  cfg.horizon_s = sim::horizon_for_target_packets(
+      sc.tm, cfg.model, cfg.warmup_s,
+      flags.get_double("pkts-per-flow", 100.0));
+  cfg.seed = flags.get_seed("seed", 1);
+  const std::string out = flags.get_string("out", "");
+  flags.reject_unused();
+
+  const sim::SimResult res =
+      sim::PacketSimulator(cfg).run(*sc.topology, sc.scheme, sc.tm);
+  std::printf("simulated %.1fs of network time, %zu packets, %zu events\n",
+              res.simulated_time_s, res.packets_created, res.total_events);
+  std::printf("path coverage (>=10 pkts): %.1f%%\n",
+              100.0 * res.coverage(10));
+  Welford delays;
+  for (const sim::PathStats& ps : res.paths) {
+    if (ps.delivered >= 10) delays.add(ps.mean_delay_s);
+  }
+  std::printf("mean per-path delay: %.3f ms (std %.3f ms across paths)\n",
+              delays.mean() * 1e3, delays.stddev() * 1e3);
+  if (!out.empty()) {
+    std::ofstream csv(out);
+    RN_CHECK(csv.good(), "cannot open " + out);
+    csv << "src,dst,delivered,mean_delay_s,jitter_s,drops\n";
+    for (int idx = 0; idx < sc.topology->num_pairs(); ++idx) {
+      const auto [s, d] =
+          topo::pair_from_index(idx, sc.topology->num_nodes());
+      const sim::PathStats& ps = res.paths[static_cast<std::size_t>(idx)];
+      csv << s << ',' << d << ',' << ps.delivered << ',' << ps.mean_delay_s
+          << ',' << ps.jitter_s << ',' << ps.dropped << '\n';
+    }
+    std::printf("per-path results -> %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_gen_dataset(const Flags& flags) {
+  auto topology = resolve_topology(flags.require_string("topology"),
+                                   flags.get_seed("seed", 1));
+  dataset::GeneratorConfig cfg;
+  cfg.k_paths = flags.get_int("k", 3);
+  cfg.min_util = flags.get_double("min-util", 0.3);
+  cfg.max_util = flags.get_double("max-util", 0.8);
+  cfg.target_pkts_per_flow = flags.get_double("pkts-per-flow", 100.0);
+  cfg.model = traffic_model_from(flags);
+  const int count = flags.get_int("count", 50);
+  const std::uint64_t seed = flags.get_seed("seed", 1);
+  const std::string out = flags.require_string("out");
+  flags.reject_unused();
+
+  dataset::DatasetGenerator gen(cfg, seed);
+  const std::vector<dataset::Sample> samples =
+      gen.generate_many(topology, count, [](int i, int n) {
+        if (i % 10 == 0 || i == n) {
+          std::printf("  %d/%d\n", i, n);
+          std::fflush(stdout);
+        }
+      });
+  dataset::save_dataset(out, samples);
+  std::printf("%d samples on %s -> %s\n", count, topology->name().c_str(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_train(const Flags& flags) {
+  const std::vector<dataset::Sample> train =
+      dataset::load_dataset(flags.require_string("dataset"));
+  std::vector<dataset::Sample> eval_set;
+  if (flags.has("eval")) {
+    eval_set = dataset::load_dataset(flags.require_string("eval"));
+  }
+  core::RouteNetConfig mcfg;
+  mcfg.link_state_dim = flags.get_int("dim", 32);
+  mcfg.path_state_dim = mcfg.link_state_dim;
+  mcfg.iterations = flags.get_int("iterations", 8);
+  mcfg.readout_hidden = 2 * mcfg.link_state_dim;
+  mcfg.seed = flags.get_seed("seed", 42);
+  core::TrainConfig tcfg;
+  tcfg.epochs = flags.get_int("epochs", 25);
+  tcfg.batch_size = flags.get_int("batch", 4);
+  tcfg.learning_rate = static_cast<float>(flags.get_double("lr", 4e-3));
+  tcfg.verbose = true;
+  const std::string out = flags.require_string("out");
+  tcfg.checkpoint_path = eval_set.empty() ? "" : out;
+  flags.reject_unused();
+
+  core::RouteNet model(mcfg);
+  std::printf("training on %zu samples (%zu parameters)...\n", train.size(),
+              model.num_parameters());
+  core::Trainer trainer(model, tcfg);
+  const core::TrainReport report =
+      trainer.fit(train, eval_set.empty() ? nullptr : &eval_set);
+  if (eval_set.empty()) {
+    model.save(out);
+  } else {
+    std::printf("best eval MRE %.4f at epoch %d (checkpointed)\n",
+                report.best_eval_mre, report.best_epoch);
+  }
+  std::printf("model -> %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_eval(const Flags& flags) {
+  const core::RouteNet model =
+      core::RouteNet::load(flags.require_string("model"));
+  const std::vector<dataset::Sample> samples =
+      dataset::load_dataset(flags.require_string("dataset"));
+  flags.reject_unused();
+  const eval::PairedSeries series = eval::collect_delay_pairs(
+      samples,
+      [&](const dataset::Sample& s) { return model.predict(s).delay_s; });
+  const eval::RegressionStats stats =
+      eval::regression_stats(series.truth, series.pred);
+  std::printf("samples: %zu   valid paths: %zu\n", samples.size(),
+              series.truth.size());
+  std::printf("delay:  MRE %.4f   median RE %.4f   Pearson r %.4f   "
+              "R^2 %.4f\n",
+              stats.mre, stats.median_re, stats.pearson_r, stats.r2);
+  std::printf("jitter: MRE %.4f\n",
+              core::Trainer::evaluate_jitter_mre(model, samples));
+  return 0;
+}
+
+int cmd_predict(const Flags& flags) {
+  const core::RouteNet model =
+      core::RouteNet::load(flags.require_string("model"));
+  Scenario sc = load_scenario(flags);
+  const int top_n = flags.get_int("top", 10);
+  const std::string out = flags.get_string("out", "");
+  flags.reject_unused();
+
+  dataset::Sample sample{sc.topology, std::move(sc.scheme), std::move(sc.tm),
+                         {},          {},                   {},
+                         0.0};
+  const int pairs = sc.topology->num_pairs();
+  sample.delay_s.assign(static_cast<std::size_t>(pairs), 0.0);
+  sample.jitter_s.assign(static_cast<std::size_t>(pairs), 0.0);
+  sample.valid.assign(static_cast<std::size_t>(pairs), 1);
+
+  const core::RouteNet::Prediction pred = model.predict(sample);
+  const std::vector<eval::RankedPath> top =
+      eval::top_n_paths(sample, pred.delay_s, top_n);
+  std::printf("Top-%d predicted delays on %s:\n", top_n,
+              sc.topology->name().c_str());
+  std::printf("%4s %10s %5s %15s %15s\n", "rank", "path", "hops",
+              "delay (ms)", "jitter (ms)");
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const int idx = topo::pair_index(top[i].src, top[i].dst,
+                                     sc.topology->num_nodes());
+    std::printf("%4zu %4d->%-5d %5d %15.3f %15.3f\n", i + 1, top[i].src,
+                top[i].dst, top[i].hops, top[i].predicted_delay_s * 1e3,
+                pred.jitter_s[static_cast<std::size_t>(idx)] * 1e3);
+  }
+  if (!out.empty()) {
+    std::ofstream csv(out);
+    RN_CHECK(csv.good(), "cannot open " + out);
+    csv << "src,dst,predicted_delay_s,predicted_jitter_s\n";
+    for (int idx = 0; idx < pairs; ++idx) {
+      const auto [s, d] =
+          topo::pair_from_index(idx, sc.topology->num_nodes());
+      csv << s << ',' << d << ',' << pred.delay_s[static_cast<std::size_t>(idx)]
+          << ',' << pred.jitter_s[static_cast<std::size_t>(idx)] << '\n';
+    }
+    std::printf("all %d pairs -> %s\n", pairs, out.c_str());
+  }
+  return 0;
+}
+
+int cmd_whatif(const Flags& flags) {
+  const core::RouteNet model =
+      core::RouteNet::load(flags.require_string("model"));
+  Scenario sc = load_scenario(flags);
+  const int upgrades = flags.get_int("upgrades", 5);
+  const double factor = flags.get_double("factor", 2.5);
+  const int failures = flags.get_int("failures", 5);
+  flags.reject_unused();
+
+  planning::Scenario scenario{sc.topology, std::move(sc.scheme),
+                              std::move(sc.tm)};
+  const planning::PredictDelaysFn predictor =
+      [&model](const planning::Scenario& s) {
+        return model.predict(planning::scenario_to_sample(s)).delay_s;
+      };
+  const planning::WhatIfEngine engine(scenario, predictor);
+  std::printf("baseline mean predicted delay: %.3f ms\n",
+              engine.baseline_objective() * 1e3);
+
+  if (upgrades > 0) {
+    std::printf("\ntop upgrades (x%.2g capacity):\n", factor);
+    std::printf("%10s %8s %18s %9s\n", "link", "util", "pred delay (ms)",
+                "gain");
+    for (const planning::UpgradeOption& opt :
+         engine.rank_upgrades(upgrades, factor)) {
+      std::printf("%4d<->%-4d %8.2f %18.3f %+8.1f%%\n", opt.src, opt.dst,
+                  opt.utilization, opt.objective * 1e3,
+                  100.0 * opt.improvement);
+    }
+  }
+  if (failures > 0) {
+    std::printf("\nworst single-cable failures (re-routed):\n");
+    std::printf("(affected pairs are re-routed on shortest paths; use a "
+                "--k 1 baseline routing for policy-consistent numbers)\n");
+    std::printf("%10s %18s %13s\n", "link", "pred delay (ms)", "impact");
+    for (const planning::FailureImpact& impact :
+         engine.rank_failures(failures)) {
+      if (impact.disconnects) {
+        std::printf("%4d<->%-4d %18s %13s\n", impact.src, impact.dst, "n/a",
+                    "partitions!");
+      } else {
+        std::printf("%4d<->%-4d %18.3f %+12.1f%%\n", impact.src, impact.dst,
+                    impact.objective * 1e3, 100.0 * impact.degradation);
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_info(const Flags& flags) {
+  if (flags.has("topology")) {
+    auto t = resolve_topology(flags.require_string("topology"), 1);
+    flags.reject_unused();
+    std::printf("topology %s: %d nodes, %d directed links, capacities "
+                "[%.0f, %.0f] bps, strongly connected: %s\n",
+                t->name().c_str(), t->num_nodes(), t->num_links(),
+                t->min_capacity_bps(), t->max_capacity_bps(),
+                t->is_strongly_connected() ? "yes" : "no");
+    return 0;
+  }
+  if (flags.has("dataset")) {
+    const std::vector<dataset::Sample> samples =
+        dataset::load_dataset(flags.require_string("dataset"));
+    flags.reject_unused();
+    RN_CHECK(!samples.empty(), "dataset is empty");
+    Welford delays;
+    for (const dataset::Sample& s : samples) {
+      for (int idx = 0; idx < s.num_pairs(); ++idx) {
+        if (s.valid[static_cast<std::size_t>(idx)]) {
+          delays.add(s.delay_s[static_cast<std::size_t>(idx)]);
+        }
+      }
+    }
+    std::printf("dataset: %zu samples on %s (%d nodes); %zu valid paths, "
+                "mean delay %.3f ms\n",
+                samples.size(), samples.front().topology->name().c_str(),
+                samples.front().topology->num_nodes(), delays.count(),
+                delays.mean() * 1e3);
+    return 0;
+  }
+  if (flags.has("model")) {
+    const core::RouteNet model =
+        core::RouteNet::load(flags.require_string("model"));
+    flags.reject_unused();
+    const core::RouteNetConfig& cfg = model.config();
+    std::printf("RouteNet model: %d-dim link / %d-dim path states, T=%d "
+                "iterations, readout %d, %zu parameters\n",
+                cfg.link_state_dim, cfg.path_state_dim, cfg.iterations,
+                cfg.readout_hidden, model.num_parameters());
+    const dataset::Normalizer& n = model.normalizer();
+    std::printf("normalizer: capacity x%.3g, traffic x%.3g, log-delay "
+                "mean %.3f std %.3f\n",
+                n.capacity_scale, n.traffic_scale, n.log_delay_mean,
+                n.log_delay_std);
+    return 0;
+  }
+  std::printf("info: pass one of --topology, --dataset, --model\n");
+  return 2;
+}
+
+}  // namespace rn::cli

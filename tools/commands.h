@@ -1,0 +1,50 @@
+// Subcommand implementations for the routenet CLI. Each returns a process
+// exit code and reads its options from Flags.
+#pragma once
+
+#include "flags.h"
+
+namespace rn::cli {
+
+// Writes a topology text file: --kind nsfnet|geant2|gbn|ba|er|ring|line|star
+// [--nodes N] [--seed S] [--edges M] [--prob P] --out FILE
+int cmd_make_topology(const Flags& flags);
+
+// Writes a routing file: --topology FILE [--k K] [--seed S] --out FILE
+int cmd_make_routing(const Flags& flags);
+
+// Writes a traffic CSV: --topology FILE --routing FILE
+// [--kind uniform|gravity|hotspot] [--util U] [--seed S] --out FILE
+int cmd_make_traffic(const Flags& flags);
+
+// Runs the packet simulator on a scenario and writes per-path results:
+// --topology FILE --routing FILE --traffic FILE [--pkts-per-flow N]
+// [--bursty] [--out CSV]
+int cmd_simulate(const Flags& flags);
+
+// Generates a labeled dataset: --topology FILE|nsfnet|geant2|gbn
+// --count N [--seed S] [--k K] [--min-util U] [--max-util U]
+// [--pkts-per-flow N] [--bursty] --out FILE
+int cmd_gen_dataset(const Flags& flags);
+
+// Trains RouteNet: --dataset FILE [--eval FILE] [--epochs N] [--batch N]
+// [--lr F] [--dim N] [--iterations N] [--seed S] --out MODEL
+int cmd_train(const Flags& flags);
+
+// Evaluates a model on a dataset: --model FILE --dataset FILE
+int cmd_eval(const Flags& flags);
+
+// Predicts one scenario and prints/writes per-path KPIs:
+// --model FILE --topology FILE --routing FILE --traffic FILE
+// [--top N] [--out CSV]
+int cmd_predict(const Flags& flags);
+
+// Describes an artifact: --topology FILE | --dataset FILE | --model FILE
+int cmd_info(const Flags& flags);
+
+// What-if planning on a scenario with a trained model:
+// --model FILE --topology FILE --routing FILE --traffic FILE
+// [--upgrades K] [--factor F] [--failures K]
+int cmd_whatif(const Flags& flags);
+
+}  // namespace rn::cli

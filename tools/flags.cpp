@@ -1,0 +1,96 @@
+#include "flags.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rn::cli {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error(msg);
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv, int start,
+             const std::vector<std::string>& bool_names) {
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      fail("unexpected argument '" + arg + "' (flags look like --name value)");
+    }
+    const std::string name = arg.substr(2);
+    const bool is_bool = std::find(bool_names.begin(), bool_names.end(),
+                                   name) != bool_names.end();
+    if (is_bool) {
+      values_[name] = "true";
+      used_[name] = false;
+      continue;
+    }
+    if (i + 1 >= argc) fail("flag --" + name + " needs a value");
+    values_[name] = argv[++i];
+    used_[name] = false;
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  used_[name] = true;
+  return true;
+}
+
+const std::string& Flags::raw(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) fail("missing required flag --" + name);
+  used_[name] = true;
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  return has(name) ? raw(name) : fallback;
+}
+
+std::string Flags::require_string(const std::string& name) const {
+  return raw(name);
+}
+
+int Flags::get_int(const std::string& name, int fallback) const {
+  if (!has(name)) return fallback;
+  try {
+    return std::stoi(raw(name));
+  } catch (const std::exception&) {
+    fail("flag --" + name + " expects an integer, got '" + raw(name) + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  if (!has(name)) return fallback;
+  try {
+    return std::stod(raw(name));
+  } catch (const std::exception&) {
+    fail("flag --" + name + " expects a number, got '" + raw(name) + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name) const { return has(name); }
+
+std::uint64_t Flags::get_seed(const std::string& name,
+                              std::uint64_t fallback) const {
+  if (!has(name)) return fallback;
+  try {
+    return std::stoull(raw(name));
+  } catch (const std::exception&) {
+    fail("flag --" + name + " expects a seed, got '" + raw(name) + "'");
+  }
+}
+
+void Flags::reject_unused() const {
+  for (const auto& [name, used] : used_) {
+    if (!used) fail("unknown flag --" + name);
+  }
+}
+
+}  // namespace rn::cli

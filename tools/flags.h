@@ -1,0 +1,43 @@
+// Minimal command-line flag parser for the routenet CLI.
+//
+// Supports `--name value` and boolean `--name` forms. Values are fetched
+// typed, with defaults; unknown or malformed flags raise with a message the
+// CLI turns into usage help.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rn::cli {
+
+class Flags {
+ public:
+  // Parses argv[start..argc); boolean flags are those listed in bool_names.
+  Flags(int argc, const char* const* argv, int start,
+        const std::vector<std::string>& bool_names = {});
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  // Overload without fallback: flag is required.
+  std::string require_string(const std::string& name) const;
+
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name) const;  // false unless present
+  std::uint64_t get_seed(const std::string& name,
+                         std::uint64_t fallback) const;
+
+  // Throws if any parsed flag was never read — catches typos like --epoch.
+  void reject_unused() const;
+
+ private:
+  const std::string& raw(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace rn::cli

@@ -1,0 +1,69 @@
+// routenet — command-line interface to the library.
+//
+//   routenet make-topology --kind geant2 --out net.topo
+//   routenet make-routing  --topology net.topo --k 3 --seed 2 --out net.routes
+//   routenet make-traffic  --topology net.topo --routing net.routes
+//                          --kind gravity --util 0.7 --out net.traffic
+//   routenet simulate      --topology net.topo --routing net.routes
+//                          --traffic net.traffic --out sim.csv
+//   routenet gen-dataset   --topology nsfnet --count 100 --out train.ds
+//   routenet train         --dataset train.ds --eval eval.ds --out net.model
+//   routenet eval          --model net.model --dataset eval.ds
+//   routenet predict       --model net.model --topology net.topo
+//                          --routing net.routes --traffic net.traffic --top 10
+//   routenet whatif        --model net.model --topology net.topo
+//                          --routing net.routes --traffic net.traffic
+//   routenet info          --model net.model
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "commands.h"
+
+namespace {
+
+int usage() {
+  std::printf(
+      "routenet — RouteNet GNN network modeling toolkit\n\n"
+      "commands:\n"
+      "  make-topology  build a named or synthetic topology file\n"
+      "  make-routing   derive a (k-)shortest-path routing file\n"
+      "  make-traffic   draw a traffic matrix at a target utilization\n"
+      "  simulate       run the packet-level simulator on a scenario\n"
+      "  gen-dataset    generate a labeled training/eval dataset\n"
+      "  train          train RouteNet on a dataset\n"
+      "  eval           report MRE / Pearson r / R^2 of a model\n"
+      "  predict        per-path delay/jitter for a scenario + Top-N\n"
+      "  whatif         rank link upgrades & failures with a trained model\n"
+      "  info           describe a topology / dataset / model artifact\n\n"
+      "run `routenet <command> --help` semantics: see README.md for the\n"
+      "flag list of each command.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const std::vector<std::string> bool_flags = {"bursty"};
+    const rn::cli::Flags flags(argc, argv, 2, bool_flags);
+    if (cmd == "make-topology") return rn::cli::cmd_make_topology(flags);
+    if (cmd == "make-routing") return rn::cli::cmd_make_routing(flags);
+    if (cmd == "make-traffic") return rn::cli::cmd_make_traffic(flags);
+    if (cmd == "simulate") return rn::cli::cmd_simulate(flags);
+    if (cmd == "gen-dataset") return rn::cli::cmd_gen_dataset(flags);
+    if (cmd == "train") return rn::cli::cmd_train(flags);
+    if (cmd == "eval") return rn::cli::cmd_eval(flags);
+    if (cmd == "predict") return rn::cli::cmd_predict(flags);
+    if (cmd == "info") return rn::cli::cmd_info(flags);
+    if (cmd == "whatif") return rn::cli::cmd_whatif(flags);
+    std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
