@@ -24,8 +24,9 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rn;
+  bench::init_bench_telemetry(argc, argv);
   const bench::ExperimentScale scale = bench::scale_from_env();
   const bool quick = scale.name == "quick";
 
@@ -77,5 +78,6 @@ int main() {
   std::printf("\nexpected shape: the reference configuration (sum + log) "
               "wins on the unseen topology; linear targets inflate relative "
               "error on short paths and can predict negative delays.\n");
+  bench::finish_bench_telemetry("ablation_design", scale);
   return 0;
 }

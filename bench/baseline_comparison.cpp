@@ -51,8 +51,9 @@ struct TrafficCase {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rn;
+  bench::init_bench_telemetry(argc, argv);
   const bench::ExperimentScale scale = bench::scale_from_env();
   const int train_n = scale.name == "quick" ? 12 : 32;
   const int eval_n = scale.name == "quick" ? 4 : 8;
@@ -146,5 +147,6 @@ int main() {
               "traffic but degrades once sizes are heavy-tailed or arrivals "
               "are correlated, while the learned model tracks the simulator "
               "on both topologies.\n");
+  bench::finish_bench_telemetry("baseline_comparison", scale);
   return 0;
 }

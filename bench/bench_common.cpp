@@ -3,8 +3,79 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/event.h"
+#include "obs/json.h"
+#include "obs/timer.h"
 
 namespace rn::bench {
+
+namespace {
+
+// Wall clock for the whole bench run, started by init_bench_telemetry.
+obs::Stopwatch& bench_watch() {
+  static obs::Stopwatch watch;
+  return watch;
+}
+
+// Publishes the training cost of the (possibly cached) model into the
+// registry, so BENCH_*.json always carries the training telemetry that
+// produced the model — fresh or replayed.
+void record_train_telemetry(double wall_s, double epochs, double final_loss,
+                            double samples, bool from_cache) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge("bench.train.wall_s").set(wall_s);
+  reg.gauge("bench.train.epochs").set(epochs);
+  reg.gauge("bench.train.final_loss").set(final_loss);
+  reg.gauge("bench.train.samples").set(samples);
+  reg.gauge("bench.train.from_cache").set(from_cache ? 1.0 : 0.0);
+  obs::EventSink& sink = obs::EventSink::global();
+  if (sink.enabled()) {
+    obs::Event ev(from_cache ? "bench.cache.replay" : "bench.train");
+    ev.f("wall_s", wall_s)
+        .f("epochs", epochs)
+        .f("final_train_loss", final_loss)
+        .f("samples", samples);
+    sink.emit(ev);
+  }
+}
+
+void save_train_telemetry(const std::string& path, double wall_s,
+                          double epochs, double final_loss, double samples) {
+  std::ofstream out(path);
+  if (!out.good()) return;  // telemetry cache is best-effort
+  out << "{\"train_wall_s\":" << obs::json_number(wall_s)
+      << ",\"epochs\":" << obs::json_number(epochs)
+      << ",\"final_train_loss\":" << obs::json_number(final_loss)
+      << ",\"samples\":" << obs::json_number(samples) << "}\n";
+}
+
+// Replays `<model>.telemetry.json` written when the cached model was
+// trained. Returns false when the sidecar is missing or unparseable (old
+// caches), in which case the registry reports from_cache with zero cost.
+bool replay_train_telemetry(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  obs::JsonValue root;
+  std::string err;
+  if (!obs::parse_json(buf.str(), &root, &err) || !root.is_object()) {
+    return false;
+  }
+  auto num = [&root](const char* key) {
+    const obs::JsonValue* v = root.find(key);
+    return v != nullptr && v->is_number() ? v->number : 0.0;
+  };
+  record_train_telemetry(num("train_wall_s"), num("epochs"),
+                         num("final_train_loss"), num("samples"),
+                         /*from_cache=*/true);
+  return true;
+}
+
+}  // namespace
 
 ExperimentScale scale_from_env() {
   ExperimentScale s;
@@ -107,6 +178,11 @@ PaperSetup load_or_train_paper_setup(const ExperimentScale& scale) {
   if (std::filesystem::exists(model_path)) {
     std::printf("  [cache] trained model <- %s\n", model_path.c_str());
     setup.model = core::RouteNet::load(model_path);
+    if (!replay_train_telemetry(model_path + ".telemetry.json")) {
+      // Sidecar missing (pre-telemetry cache): report the hit honestly
+      // rather than a fake zero-cost training run.
+      record_train_telemetry(0.0, 0.0, 0.0, 0.0, /*from_cache=*/true);
+    }
     return setup;
   }
 
@@ -131,10 +207,51 @@ PaperSetup load_or_train_paper_setup(const ExperimentScale& scale) {
               train.size());
   std::fflush(stdout);
   core::Trainer trainer(setup.model, tcfg);
-  trainer.fit(train);
+  obs::Stopwatch train_watch;
+  const core::TrainReport report = trainer.fit(train);
+  const double train_wall_s = train_watch.elapsed_s();
+  record_train_telemetry(train_wall_s,
+                         static_cast<double>(report.epochs.size()),
+                         report.final_train_loss,
+                         static_cast<double>(train.size()),
+                         /*from_cache=*/false);
   setup.model.save(model_path);
-  std::printf("  model saved -> %s\n", model_path.c_str());
+  save_train_telemetry(model_path + ".telemetry.json", train_wall_s,
+                       static_cast<double>(report.epochs.size()),
+                       report.final_train_loss,
+                       static_cast<double>(train.size()));
+  std::printf("  model saved -> %s (%.1fs training)\n", model_path.c_str(),
+              train_wall_s);
   return setup;
+}
+
+void init_bench_telemetry(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics-out") path = argv[i + 1];
+  }
+  obs::EventSink::global().open_or_env(path);
+  bench_watch().restart();
+}
+
+std::string finish_bench_telemetry(const std::string& bench_name,
+                                   const ExperimentScale& scale) {
+  obs::Registry::global().gauge("bench.wall_s").set(
+      bench_watch().elapsed_s());
+  const std::string path = cache_dir() + "/BENCH_" + bench_name + ".json";
+  {
+    std::ofstream out(path);
+    if (out.good()) {
+      out << "{\"bench\":\"" << obs::json_escape(bench_name)
+          << "\",\"scale\":\"" << obs::json_escape(scale.name)
+          << "\",\"telemetry\":"
+          << obs::Registry::global().snapshot().to_json() << "}\n";
+    }
+  }
+  std::printf("\ntelemetry -> %s\n", path.c_str());
+  obs::emit_registry_snapshot();
+  obs::EventSink::global().close();
+  return path;
 }
 
 }  // namespace rn::bench

@@ -48,8 +48,23 @@ struct PaperSetup {
 };
 
 // Trains (or loads from cache) the paper's experiment and returns the model
-// plus the three evaluation sets. Prints progress to stdout.
+// plus the three evaluation sets. Prints progress to stdout. Training wall
+// time and final loss are recorded in the obs registry; on a cache hit the
+// telemetry that produced the cached model is replayed from
+// `<model>.telemetry.json` instead of reporting zero training time.
 PaperSetup load_or_train_paper_setup(const ExperimentScale& scale);
+
+// Opens the global JSONL telemetry sink from a `--metrics-out PATH` argv
+// pair (or the RN_METRICS_OUT env var) and starts the bench wall clock.
+// Call first in every report bench's main().
+void init_bench_telemetry(int argc, char** argv);
+
+// Writes `BENCH_<name>.json` into the cache dir — run metadata plus the
+// metrics-registry snapshot as a stable `telemetry` section every perf PR
+// reports against — then emits the final metrics.snapshot event and closes
+// the sink. Returns the JSON path.
+std::string finish_bench_telemetry(const std::string& bench_name,
+                                   const ExperimentScale& scale);
 
 // The three topologies of the experiment.
 std::shared_ptr<const topo::Topology> nsfnet_topology();

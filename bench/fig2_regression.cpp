@@ -11,8 +11,9 @@
 #include "eval/export.h"
 #include "eval/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rn;
+  bench::init_bench_telemetry(argc, argv);
   const bench::ExperimentScale scale = bench::scale_from_env();
   bench::PaperSetup setup = bench::load_or_train_paper_setup(scale);
 
@@ -59,5 +60,6 @@ int main() {
   }
   std::printf("\npaper shape check: points concentrate on the y=x diagonal "
               "on a topology unseen during training.\n");
+  bench::finish_bench_telemetry("fig2_regression", scale);
   return 0;
 }

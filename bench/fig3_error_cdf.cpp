@@ -43,8 +43,9 @@ std::vector<double> jitter_errors_for(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rn;
+  bench::init_bench_telemetry(argc, argv);
   const bench::ExperimentScale scale = bench::scale_from_env();
   bench::PaperSetup setup = bench::load_or_train_paper_setup(scale);
 
@@ -98,5 +99,6 @@ int main() {
     std::printf("%-28s %+8.3f %+8.3f %+8.3f\n", name, quantile(errs, 0.25),
                 quantile(errs, 0.50), quantile(errs, 0.75));
   }
+  bench::finish_bench_telemetry("fig3_error_cdf", scale);
   return 0;
 }

@@ -13,8 +13,9 @@
 #include "eval/export.h"
 #include "eval/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rn;
+  bench::init_bench_telemetry(argc, argv);
   const bench::ExperimentScale scale = bench::scale_from_env();
   bench::PaperSetup setup = bench::load_or_train_paper_setup(scale);
 
@@ -56,5 +57,6 @@ int main() {
   std::printf("paper shape check: the predicted worst paths are "
               "(mostly) the true worst paths, enabling visibility/planning "
               "without running the simulator.\n");
+  bench::finish_bench_telemetry("fig4_top_paths", scale);
   return 0;
 }

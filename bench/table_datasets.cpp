@@ -71,8 +71,9 @@ DatasetReport report_for(const char* role,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rn;
+  bench::init_bench_telemetry(argc, argv);
   const bench::ExperimentScale scale = bench::scale_from_env();
   const dataset::GeneratorConfig gcfg = bench::paper_generator_config(scale);
 
@@ -114,5 +115,6 @@ int main() {
   }
   std::printf("\n(eval* = Geant2, the topology NEVER seen in training; the "
               "paper's generalization test)\n");
+  bench::finish_bench_telemetry("table_datasets", scale);
   return 0;
 }

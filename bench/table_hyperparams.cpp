@@ -24,8 +24,9 @@ struct SweepPoint {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rn;
+  bench::init_bench_telemetry(argc, argv);
   const bench::ExperimentScale scale = bench::scale_from_env();
   const bool quick = scale.name == "quick";
 
@@ -72,5 +73,6 @@ int main() {
   std::printf("\npaper shape check: a single message-passing iteration "
               "underfits; the tuned setting (wide state, T>=4) generalizes "
               "best to the unseen, larger topology.\n");
+  bench::finish_bench_telemetry("table_hyperparams", scale);
   return 0;
 }

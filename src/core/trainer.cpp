@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "ag/optim.h"
+#include "obs/event.h"
+#include "obs/timer.h"
 #include "util/rng.h"
 
 namespace rn::core {
@@ -74,9 +76,23 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
     order[i] = static_cast<int>(i);
   }
 
+  // Telemetry: histograms always aggregate (lock-free, a few ns per batch);
+  // structured events are only built when a sink is attached, and the
+  // console line for verbose mode is rendered from the same Event so both
+  // outputs share one code path.
+  obs::EventSink& sink = obs::EventSink::global();
+  obs::Registry& reg = obs::Registry::global();
+  obs::Histogram& h_forward = reg.histogram("trainer.batch.forward_s");
+  obs::Histogram& h_backward = reg.histogram("trainer.batch.backward_s");
+  obs::Histogram& h_step = reg.histogram("trainer.batch.step_s");
+  obs::Histogram& h_epoch = reg.histogram("trainer.epoch_s");
+  obs::Counter& c_batches = reg.counter("trainer.batches_total");
+  obs::Counter& c_samples = reg.counter("trainer.samples_total");
+
   TrainReport report;
   int epochs_since_best = 0;
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    obs::Stopwatch epoch_watch;
     // Fisher–Yates shuffle of the sample order.
     for (std::size_t i = order.size(); i > 1; --i) {
       const auto j = static_cast<std::size_t>(
@@ -86,6 +102,7 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
 
     double loss_sum = 0.0;
     int batches = 0;
+    std::size_t samples_seen = 0;
     for (std::size_t start = 0; start < order.size();
          start += static_cast<std::size_t>(cfg_.batch_size)) {
       const std::size_t end = std::min(
@@ -99,6 +116,7 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
           chunk, model_.normalizer(), /*with_targets=*/true);
       if (batch.valid_paths.empty()) continue;  // nothing to learn from
 
+      obs::Stopwatch phase;
       ag::Tape tape;
       const RouteNet::Output out =
           model_.forward(tape, batch, &dropout_rng);
@@ -112,12 +130,43 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
             loss, tape.scale(tape.mse(jitter_sel, batch.jitter_targets),
                              cfg_.jitter_loss_weight));
       }
+      const double forward_s = phase.elapsed_s();
+      h_forward.record(forward_s);
+
+      phase.restart();
       optimizer.zero_grad();
       tape.backward(loss);
-      ag::clip_grad_norm(optimizer.params(), cfg_.clip_norm);
+      const double grad_norm =
+          ag::clip_grad_norm(optimizer.params(), cfg_.clip_norm);
+      const double backward_s = phase.elapsed_s();
+      h_backward.record(backward_s);
+
+      phase.restart();
       optimizer.step();
-      loss_sum += tape.value(loss).at(0, 0);
+      const double step_s = phase.elapsed_s();
+      h_step.record(step_s);
+
+      const double batch_loss = tape.value(loss).at(0, 0);
+      loss_sum += batch_loss;
       ++batches;
+      samples_seen += end - start;
+      c_batches.add(1);
+      c_samples.add(end - start);
+      if (sink.enabled()) {
+        obs::Event ev("trainer.batch");
+        ev.f("epoch", epoch)
+            .f("batch", batches - 1)
+            .f("samples", end - start)
+            .f("loss", batch_loss)
+            .f("grad_norm", grad_norm)
+            .f("grad_norm_clipped",
+               std::min(grad_norm, static_cast<double>(cfg_.clip_norm)))
+            .f("lr", static_cast<double>(optimizer.lr()))
+            .f("forward_s", forward_s)
+            .f("backward_s", backward_s)
+            .f("step_s", step_s);
+        sink.emit(ev);
+      }
     }
 
     EpochLog log;
@@ -137,14 +186,25 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
         ++epochs_since_best;
       }
     }
-    if (cfg_.verbose) {
-      std::printf("epoch %3d  loss %.5f  lr %.2e", epoch, log.train_loss,
-                  static_cast<double>(optimizer.lr()));
-      if (log.eval_delay_mre >= 0.0) {
-        std::printf("  eval MRE %.4f", log.eval_delay_mre);
+    const double epoch_s = epoch_watch.elapsed_s();
+    h_epoch.record(epoch_s);
+    if (sink.enabled() || cfg_.verbose) {
+      obs::Event ev("trainer.epoch");
+      ev.f("epoch", epoch)
+          .f("loss", log.train_loss)
+          .f("lr", static_cast<double>(optimizer.lr()))
+          .f("batches", batches)
+          .f("epoch_s", epoch_s)
+          .f("samples_per_s",
+             epoch_s > 0.0 ? static_cast<double>(samples_seen) / epoch_s : 0.0);
+      if (log.eval_delay_mre >= 0.0) ev.f("eval_mre", log.eval_delay_mre);
+      sink.emit(ev);
+      if (cfg_.verbose) {
+        const std::string line = ev.console_line();
+        std::fwrite(line.data(), 1, line.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
       }
-      std::printf("\n");
-      std::fflush(stdout);
     }
     report.epochs.push_back(log);
     report.final_train_loss = log.train_loss;
@@ -153,6 +213,14 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
         epochs_since_best >= cfg_.patience) {
       break;
     }
+  }
+  if (sink.enabled()) {
+    obs::Event done("trainer.done");
+    done.f("epochs", report.epochs.size())
+        .f("final_train_loss", report.final_train_loss)
+        .f("best_epoch", report.best_epoch)
+        .f("best_eval_mre", report.best_eval_mre);
+    sink.emit(done);
   }
   return report;
 }

@@ -1,0 +1,167 @@
+#include "obs/event.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace rn::obs {
+
+Event& Event::f(std::string_view key, double v) {
+  Field field;
+  field.key = std::string(key);
+  field.kind = Field::Kind::kDouble;
+  field.num = v;
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+Event& Event::f(std::string_view key, std::int64_t v) {
+  Field field;
+  field.key = std::string(key);
+  field.kind = Field::Kind::kInt;
+  field.integer = v;
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+Event& Event::f(std::string_view key, std::string_view v) {
+  Field field;
+  field.key = std::string(key);
+  field.kind = Field::Kind::kString;
+  field.str = std::string(v);
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+std::string Event::jsonl(double ts) const {
+  std::string out = "{\"ts\":";
+  char ts_buf[48];
+  std::snprintf(ts_buf, sizeof(ts_buf), "%.6f", ts);
+  out += ts_buf;
+  out += ",\"kind\":\"";
+  out += json_escape(kind_);
+  out += "\",\"fields\":{";
+  bool first = true;
+  for (const Field& field : fields_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(field.key);
+    out += "\":";
+    switch (field.kind) {
+      case Field::Kind::kDouble: out += json_number(field.num); break;
+      case Field::Kind::kInt: out += std::to_string(field.integer); break;
+      case Field::Kind::kString:
+        out += '"';
+        out += json_escape(field.str);
+        out += '"';
+        break;
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Event::console_line() const {
+  std::string out = "[";
+  out += kind_;
+  out += ']';
+  for (const Field& field : fields_) {
+    out += ' ';
+    out += field.key;
+    out += '=';
+    switch (field.kind) {
+      case Field::Kind::kDouble: {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.6g", field.num);
+        out += buf;
+        break;
+      }
+      case Field::Kind::kInt: out += std::to_string(field.integer); break;
+      case Field::Kind::kString: out += field.str; break;
+    }
+  }
+  return out;
+}
+
+double unix_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+EventSink& EventSink::global() {
+  static EventSink* instance = new EventSink();  // never destroyed
+  return *instance;
+}
+
+void EventSink::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ != nullptr && owns_file_) std::fclose(out_);
+  out_ = nullptr;
+  owns_file_ = false;
+  if (path == "-" || path == "stderr") {
+    out_ = stderr;
+  } else {
+    out_ = std::fopen(path.c_str(), "w");
+    if (out_ == nullptr) {
+      enabled_.store(false, std::memory_order_relaxed);
+      throw std::runtime_error("cannot open metrics sink: " + path);
+    }
+    owns_file_ = true;
+  }
+  path_ = path;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void EventSink::open_or_env(const std::string& path) {
+  if (!path.empty()) {
+    open(path);
+    return;
+  }
+  const char* env = std::getenv("RN_METRICS_OUT");
+  if (env != nullptr && env[0] != '\0') open(env);
+}
+
+void EventSink::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  if (out_ != nullptr) {
+    std::fflush(out_);
+    if (owns_file_) std::fclose(out_);
+  }
+  out_ = nullptr;
+  owns_file_ = false;
+  path_.clear();
+}
+
+void EventSink::emit(const Event& ev) {
+  if (!enabled()) return;
+  const std::string line = ev.jsonl(unix_now_s());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fputc('\n', out_);
+  std::fflush(out_);
+}
+
+void emit_registry_snapshot() {
+  EventSink& sink = EventSink::global();
+  if (!sink.enabled()) return;
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  Event ev("metrics.snapshot");
+  for (const auto& [name, v] : snap.counters) ev.f(name, v);
+  for (const auto& [name, v] : snap.gauges) ev.f(name, v);
+  for (const RegistrySnapshot::HistogramStats& h : snap.histograms) {
+    ev.f(h.name + ".count", h.count);
+    ev.f(h.name + ".p50", h.p50);
+    ev.f(h.name + ".p95", h.p95);
+    ev.f(h.name + ".max", h.max);
+  }
+  sink.emit(ev);
+}
+
+}  // namespace rn::obs

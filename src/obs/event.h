@@ -1,0 +1,102 @@
+// Structured-event sink: JSONL records `{"ts":…,"kind":…,"fields":{…}}`
+// streamed to a file or stderr. The sink is process-global and disabled by
+// default; when disabled, the intended hot-path pattern is
+//
+//   if (obs::EventSink::global().enabled()) {
+//     obs::Event ev("trainer.batch");
+//     ev.f("loss", loss).f("forward_s", fwd);
+//     obs::EventSink::global().emit(ev);
+//   }
+//
+// so the disabled path is a single relaxed atomic load — no Event is ever
+// constructed and nothing allocates (covered by obs_test).
+//
+// The same Event doubles as the console line for verbose modes
+// (console_line), so human output and machine telemetry share one code
+// path instead of drifting apart.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace rn::obs {
+
+class Event {
+ public:
+  explicit Event(std::string_view kind) : kind_(kind) {}
+
+  Event& f(std::string_view key, double v);
+  Event& f(std::string_view key, std::int64_t v);
+  // Any other integer type (int, size_t, uint64_t, ...) funnels into the
+  // int64 overload; a single template avoids platform-dependent overload
+  // clashes between size_t and the fixed-width types.
+  template <typename T,
+            typename std::enable_if<std::is_integral<T>::value, int>::type = 0>
+  Event& f(std::string_view key, T v) {
+    return f(key, static_cast<std::int64_t>(v));
+  }
+  Event& f(std::string_view key, std::string_view v);
+
+  const std::string& kind() const { return kind_; }
+
+  // One JSONL record (no trailing newline). `ts` is Unix time in seconds.
+  std::string jsonl(double ts) const;
+
+  // Human-readable one-liner: "[kind] k=v k=v" (doubles at 6 significant
+  // digits, the console analogue of the JSONL record).
+  std::string console_line() const;
+
+ private:
+  struct Field {
+    std::string key;
+    enum class Kind { kDouble, kInt, kString } kind;
+    double num = 0.0;
+    std::int64_t integer = 0;
+    std::string str;
+  };
+
+  std::string kind_;
+  std::vector<Field> fields_;
+};
+
+// Unix time in seconds (microsecond resolution) used for event timestamps.
+double unix_now_s();
+
+class EventSink {
+ public:
+  static EventSink& global();
+
+  // Enables the sink. "-" or "stderr" stream to stderr, anything else is
+  // opened (truncated) as a file. Throws if the file cannot be opened.
+  void open(const std::string& path);
+  // Opens from `path` if non-empty, else from $RN_METRICS_OUT if set,
+  // else stays disabled.
+  void open_or_env(const std::string& path);
+  void close();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  const std::string& path() const { return path_; }
+
+  // Writes the event as one JSONL line (no-op when disabled). Thread-safe.
+  void emit(const Event& ev);
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;
+  std::FILE* out_ = nullptr;
+  bool owns_file_ = false;
+  std::string path_;
+};
+
+// Emits a `metrics.snapshot` event carrying the registry's counters,
+// gauges, and histogram p50/p95/max as flattened fields — the final record
+// a run appends so `obs summarize` can report counter totals.
+void emit_registry_snapshot();
+
+}  // namespace rn::obs

@@ -1,0 +1,253 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rn::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view with an explicit cursor.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : text_(text), err_(err) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out, /*depth=*/0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (err_ != nullptr) {
+      *err_ = msg + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > 32) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, depth);
+    if (c == '[') return parse_array(out, depth);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return parse_string(&out->string);
+    }
+    if (c == 't' || c == 'f') return parse_literal(out);
+    if (c == 'n') return parse_literal(out);
+    return parse_number(out);
+  }
+
+  bool parse_literal(JsonValue* out) {
+    auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) != word) return false;
+      pos_ += word.size();
+      return true;
+    };
+    if (match("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    out->type = JsonValue::Type::kNumber;
+    out->number = v;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("bad \\u escape");
+              }
+            }
+            // Telemetry strings are ASCII; keep it simple for the BMP only.
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        continue;
+      }
+      *out += c;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    consume('{');
+    out->type = JsonValue::Type::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    consume('[');
+    out->type = JsonValue::Type::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value, depth + 1)) return false;
+      out->array.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue* out, std::string* err) {
+  Parser parser(text, err);
+  return parser.parse(out);
+}
+
+}  // namespace rn::obs

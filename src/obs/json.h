@@ -1,0 +1,44 @@
+// Minimal JSON support for the telemetry pipeline: enough writer helpers to
+// emit JSONL event records and a strict recursive-descent parser to read
+// them back (`obs summarize`, bench cache replay, tests). Not a
+// general-purpose JSON library — no \uXXXX escapes beyond pass-through, no
+// streaming — but strict: any malformed record is an error, never a guess.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rn::obs {
+
+// Escapes a string for inclusion inside JSON double quotes.
+std::string json_escape(std::string_view s);
+
+// Formats a double with enough digits to survive a round trip through the
+// parser at ~1e-12 relative error (trailing-zero free).
+std::string json_number(double v);
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+  std::vector<JsonValue> array;
+
+  // First member with this key, or nullptr. Only meaningful for objects.
+  const JsonValue* find(std::string_view key) const;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+};
+
+// Parses exactly one JSON document (trailing whitespace allowed). Returns
+// false and fills *err with a position-annotated message on failure.
+bool parse_json(std::string_view text, JsonValue* out, std::string* err);
+
+}  // namespace rn::obs

@@ -1,0 +1,227 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.h"
+
+namespace rn::obs {
+
+namespace {
+
+// Precomputed upper bounds of the log buckets: bounds[i] is the upper edge
+// of log bucket i (i in [0, kBucketsPerDecade*kDecades)). Computed once so
+// placement uses exact comparisons instead of log10 rounding.
+const std::array<double, Histogram::kBucketsPerDecade* Histogram::kDecades>&
+log_bucket_bounds() {
+  static const auto bounds = [] {
+    std::array<double, Histogram::kBucketsPerDecade * Histogram::kDecades> b{};
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = Histogram::kMinBound *
+             std::pow(10.0, static_cast<double>(i + 1) /
+                                Histogram::kBucketsPerDecade);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void append_json_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void Gauge::set_max(double v) { atomic_max(v_, v); }
+
+int Histogram::bucket_index(double x) {
+  if (!(x >= kMinBound)) return 0;  // underflow; NaN also lands here
+  const auto& bounds = log_bucket_bounds();
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), x);
+  if (it == bounds.end()) return kNumBuckets - 1;  // overflow
+  return static_cast<int>(it - bounds.begin()) + 1;
+}
+
+double Histogram::bucket_lower(int idx) {
+  RN_CHECK(idx >= 0 && idx < kNumBuckets, "histogram bucket out of range");
+  if (idx == 0) return 0.0;
+  if (idx == 1) return kMinBound;
+  return log_bucket_bounds()[static_cast<std::size_t>(idx - 2)];
+}
+
+double Histogram::bucket_upper(int idx) {
+  RN_CHECK(idx >= 0 && idx < kNumBuckets, "histogram bucket out of range");
+  if (idx == 0) return kMinBound;
+  if (idx == kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return log_bucket_bounds()[static_cast<std::size_t>(idx - 1)];
+}
+
+void Histogram::record(double x) {
+  counts_[static_cast<std::size_t>(bucket_index(x))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+  atomic_max(max_, x);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::quantile(double q) const {
+  RN_CHECK(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const auto n = static_cast<double>(bucket_count(i));
+    if (n == 0.0) continue;
+    if (cum + n >= target) {
+      const double frac = std::clamp((target - cum) / n, 0.0, 1.0);
+      const double lo = bucket_lower(i);
+      // Cap open-ended/top buckets at the exact observed maximum.
+      const double hi = std::min(bucket_upper(i), max());
+      return lo + frac * (std::max(hi, lo) - lo);
+    }
+    cum += n;
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::string RegistrySnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_json_number(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramStats& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += h.name;
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"mean\":";
+    append_json_number(out, h.mean);
+    out += ",\"p50\":";
+    append_json_number(out, h.p50);
+    out += ",\"p95\":";
+    append_json_number(out, h.p95);
+    out += ",\"max\":";
+    append_json_number(out, h.max);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    RegistrySnapshot::HistogramStats s;
+    s.name = name;
+    s.count = h->count();
+    s.mean = h->mean();
+    s.p50 = h->quantile(0.5);
+    s.p95 = h->quantile(0.95);
+    s.max = h->max();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace rn::obs

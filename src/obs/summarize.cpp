@@ -1,0 +1,123 @@
+#include "obs/summarize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/stats.h"
+
+namespace rn::obs {
+
+namespace {
+
+struct FieldSeries {
+  std::vector<double> values;
+};
+
+std::string format_row(const std::string& kind, const std::string& field,
+                       const std::vector<double>& xs) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  %-24s %-22s %8zu %11.6g %11.6g %11.6g %11.6g\n",
+                kind.c_str(), field.c_str(), xs.size(), mean_of(xs),
+                quantile(xs, 0.5), quantile(xs, 0.95), quantile(xs, 1.0));
+  return buf;
+}
+
+}  // namespace
+
+std::string summarize_jsonl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open telemetry file: " + path);
+  }
+
+  std::map<std::string, std::size_t> kind_counts;
+  // (kind, field) → all numeric values seen, in file order.
+  std::map<std::pair<std::string, std::string>, FieldSeries> series;
+  // Counter/gauge totals from the last metrics.snapshot event.
+  std::vector<std::pair<std::string, double>> snapshot_fields;
+
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t events = 0;
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue record;
+    std::string err;
+    if (!parse_json(line, &record, &err)) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": malformed JSON (" + err + ")");
+    }
+    if (!record.is_object()) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": record is not a JSON object");
+    }
+    const JsonValue* ts = record.find("ts");
+    const JsonValue* kind = record.find("kind");
+    const JsonValue* fields = record.find("fields");
+    if (ts == nullptr || !ts->is_number() || kind == nullptr ||
+        !kind->is_string() || fields == nullptr || !fields->is_object()) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": record is missing ts/kind/fields");
+    }
+    ++events;
+    if (events == 1) first_ts = ts->number;
+    last_ts = ts->number;
+    ++kind_counts[kind->string];
+    if (kind->string == "metrics.snapshot") {
+      snapshot_fields.clear();
+      for (const auto& [key, value] : fields->object) {
+        if (value.is_number()) snapshot_fields.emplace_back(key, value.number);
+      }
+      continue;
+    }
+    for (const auto& [key, value] : fields->object) {
+      if (value.is_number()) {
+        series[{kind->string, key}].values.push_back(value.number);
+      }
+    }
+  }
+
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "telemetry summary: %zu events, %zu kinds, %.3f s span (%s)\n",
+                events, kind_counts.size(),
+                events > 0 ? last_ts - first_ts : 0.0, path.c_str());
+  out += buf;
+  if (events == 0) return out;
+
+  out += "\nevents by kind:\n";
+  for (const auto& [kind, n] : kind_counts) {
+    std::snprintf(buf, sizeof(buf), "  %-24s %8zu\n", kind.c_str(), n);
+    out += buf;
+  }
+
+  if (!series.empty()) {
+    out += "\nnumeric fields (per kind):\n";
+    std::snprintf(buf, sizeof(buf), "  %-24s %-22s %8s %11s %11s %11s %11s\n",
+                  "kind", "field", "count", "mean", "p50", "p95", "max");
+    out += buf;
+    for (const auto& [key, fs] : series) {
+      out += format_row(key.first, key.second, fs.values);
+    }
+  }
+
+  if (!snapshot_fields.empty()) {
+    out += "\nfinal metrics snapshot:\n";
+    for (const auto& [name, v] : snapshot_fields) {
+      std::snprintf(buf, sizeof(buf), "  %-48s %14.6g\n", name.c_str(), v);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace rn::obs

@@ -1,0 +1,18 @@
+// Rollup of a JSONL telemetry file (`routenet obs summarize <file>`):
+// validates that every line parses as a `{"ts":…,"kind":…,"fields":{…}}`
+// record, then prints per-kind distributions of numeric fields (count /
+// mean / p50 / p95 / max) and the counter totals carried by the final
+// `metrics.snapshot` event.
+#pragma once
+
+#include <string>
+
+namespace rn::obs {
+
+// Reads and validates the file, returning the formatted human-readable
+// summary. Throws std::runtime_error on an unreadable file or on the first
+// malformed line (with its line number) — which is what makes this the
+// python-free telemetry smoke check in CTest.
+std::string summarize_jsonl_file(const std::string& path);
+
+}  // namespace rn::obs

@@ -5,6 +5,8 @@
 #include <deque>
 #include <queue>
 
+#include "obs/event.h"
+#include "obs/timer.h"
 #include "util/stats.h"
 
 namespace rn::sim {
@@ -63,6 +65,7 @@ struct LinkState {
   double busy_accum = 0.0;
   double q_integral = 0.0;
   double last_q_change = 0.0;
+  std::size_t peak_queue = 0;
   std::size_t tx = 0;
   std::size_t drops = 0;
 };
@@ -211,12 +214,15 @@ class Run {
     note_queue_change(ls, now);
     q.push_back(pkt);
     ++ls.total_queued;
+    ls.peak_queue = std::max(ls.peak_queue, ls.total_queued);
+    queue_depth_hist_->record(static_cast<double>(ls.total_queued));
   }
 
   void deliver(Packet pkt, double now) {
     const routing::Path& path = scheme_.path_by_index(pkt.pair_idx);
     if (pkt.hop >= static_cast<std::int32_t>(path.size())) {
       // Destination reached.
+      ++packets_delivered_;
       if (pkt.created_s >= cfg_.warmup_s) {
         const double delay = now - pkt.created_s;
         auto& acc = path_delay_[static_cast<std::size_t>(pkt.pair_idx)];
@@ -294,7 +300,11 @@ class Run {
   std::vector<std::size_t> path_drops_;
   std::vector<std::vector<double>> path_samples_;
   std::size_t packets_created_ = 0;
+  std::size_t packets_delivered_ = 0;  // all deliveries, warmup included
   std::size_t processed_ = 0;
+  // Cached registry reference; the event loop records lock-free.
+  obs::Histogram* queue_depth_hist_ =
+      &obs::Registry::global().histogram("sim.queue_depth_pkts");
 };
 
 SimResult Run::execute() {
@@ -347,6 +357,7 @@ SimResult Run::execute() {
     }
   }
 
+  obs::Stopwatch wall;
   double now = 0.0;
   while (!events_.empty()) {
     const Event ev = events_.top();
@@ -368,10 +379,17 @@ SimResult Run::execute() {
   // `now` is the time of the last event; in-flight packets at that point are
   // simply not counted (standard truncation).
 
+  const double wall_s = wall.elapsed_s();
+
   SimResult result;
   result.simulated_time_s = now;
+  result.warmup_s = cfg_.warmup_s;
   result.total_events = processed_;
   result.packets_created = packets_created_;
+  result.packets_delivered = packets_delivered_;
+  result.wall_time_s = wall_s;
+  result.events_per_wall_s =
+      wall_s > 0.0 ? static_cast<double>(processed_) / wall_s : 0.0;
   result.paths.resize(static_cast<std::size_t>(num_pairs));
   for (int idx = 0; idx < num_pairs; ++idx) {
     const Welford& acc = path_delay_[static_cast<std::size_t>(idx)];
@@ -399,8 +417,42 @@ SimResult Run::execute() {
     LinkStats& out = result.links[static_cast<std::size_t>(id)];
     out.utilization = std::clamp(ls.busy_accum / window, 0.0, 1.0);
     out.mean_queue_pkts = ls.q_integral / window;
+    out.peak_queue_pkts = ls.peak_queue;
     out.tx_pkts = ls.tx;
     out.drops = ls.drops;
+    result.packets_dropped += ls.drops;
+    result.peak_queue_pkts = std::max(result.peak_queue_pkts, ls.peak_queue);
+  }
+  // Whatever was neither delivered nor dropped is still in a queue, in
+  // service, or in propagation when the horizon truncates the run.
+  result.packets_in_flight =
+      packets_created_ - packets_delivered_ - result.packets_dropped;
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("sim.events_total").add(processed_);
+  reg.counter("sim.packets_created_total").add(packets_created_);
+  reg.counter("sim.packets_delivered_total").add(packets_delivered_);
+  reg.counter("sim.packets_dropped_total").add(result.packets_dropped);
+  reg.counter("sim.runs_total").add(1);
+  reg.histogram("sim.run_wall_s").record(wall_s);
+  reg.gauge("sim.peak_queue_pkts")
+      .set_max(static_cast<double>(result.peak_queue_pkts));
+
+  obs::EventSink& sink = obs::EventSink::global();
+  if (sink.enabled()) {
+    obs::Event ev("sim.run");
+    ev.f("events", result.total_events)
+        .f("events_per_wall_s", result.events_per_wall_s)
+        .f("wall_s", result.wall_time_s)
+        .f("packets_created", result.packets_created)
+        .f("packets_delivered", result.packets_delivered)
+        .f("packets_dropped", result.packets_dropped)
+        .f("packets_in_flight", result.packets_in_flight)
+        .f("peak_queue_pkts", result.peak_queue_pkts)
+        .f("simulated_s", result.simulated_time_s)
+        .f("warmup_s", result.warmup_s)
+        .f("measured_s", result.measured_time_s());
+    sink.emit(ev);
   }
   return result;
 }

@@ -64,6 +64,7 @@ struct PathStats {
 struct LinkStats {
   double utilization = 0.0;      // busy fraction of post-warmup time
   double mean_queue_pkts = 0.0;  // time-averaged waiting-queue length
+  std::size_t peak_queue_pkts = 0;  // max waiting packets (all classes)
   std::size_t tx_pkts = 0;
   std::size_t drops = 0;
 };
@@ -72,8 +73,27 @@ struct SimResult {
   std::vector<PathStats> paths;  // indexed by topo::pair_index
   std::vector<LinkStats> links;
   double simulated_time_s = 0.0;
+  double warmup_s = 0.0;  // copied from the config; measured window start
   std::size_t total_events = 0;
   std::size_t packets_created = 0;
+
+  // Whole-run packet accounting (warmup included, unlike PathStats):
+  // packets_created == packets_delivered + packets_dropped +
+  // packets_in_flight holds for every scheduling discipline.
+  std::size_t packets_delivered = 0;
+  std::size_t packets_dropped = 0;
+  std::size_t packets_in_flight = 0;  // still queued/in service at the end
+
+  // Run-level telemetry: host wall time of the event loop, its throughput,
+  // and the deepest any link queue got.
+  double wall_time_s = 0.0;
+  double events_per_wall_s = 0.0;
+  std::size_t peak_queue_pkts = 0;
+
+  // Simulated time covered by statistics (post-warmup).
+  double measured_time_s() const {
+    return simulated_time_s > warmup_s ? simulated_time_s - warmup_s : 0.0;
+  }
 
   // Fraction of pairs that delivered at least min_pkts packets — a quick
   // health check that the horizon was long enough.

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -330,6 +331,78 @@ TEST(PacketSimulator, RejectsBadConfig) {
   cfg.warmup_s = 10.0;
   cfg.horizon_s = 5.0;
   EXPECT_THROW(PacketSimulator{cfg}, std::runtime_error);
+}
+
+// Whole-run packet accounting must reconcile exactly for every scheduling
+// discipline: created == delivered + dropped + in_flight.
+class PacketReconciliation : public ::testing::TestWithParam<Scheduling> {};
+
+TEST_P(PacketReconciliation, CreatedEqualsDeliveredPlusDroppedPlusInFlight) {
+  // Overloaded bottleneck with a tiny finite buffer so all three outcomes
+  // (delivered, dropped, and potentially in-flight) actually occur.
+  SingleLinkScenario sc(10'000.0, 18'000.0);
+  SimConfig cfg;
+  cfg.warmup_s = 1.0;
+  cfg.horizon_s = 41.0;
+  cfg.link_buffer_pkts = 4;
+  cfg.seed = 17;
+  cfg.scheduling = GetParam();
+  if (cfg.scheduling != Scheduling::kFifo) {
+    cfg.num_classes = 2;
+    cfg.class_of_flow = [](int pair_idx) { return pair_idx % 2; };
+  }
+  const SimResult res =
+      PacketSimulator(cfg).run(sc.topology, sc.scheme, sc.tm);
+  EXPECT_EQ(res.packets_created,
+            res.packets_delivered + res.packets_dropped +
+                res.packets_in_flight);
+  EXPECT_GT(res.packets_delivered, 0u);
+  EXPECT_GT(res.packets_dropped, 0u);  // ρ=1.8 with 4-pkt buffer must drop
+  // Run-level telemetry sanity.
+  EXPECT_GT(res.events_per_wall_s, 0.0);
+  EXPECT_GT(res.wall_time_s, 0.0);
+  EXPECT_GT(res.peak_queue_pkts, 0u);
+  EXPECT_LE(res.peak_queue_pkts, 4u);  // bounded by the buffer cap
+  EXPECT_EQ(res.warmup_s, cfg.warmup_s);
+  EXPECT_NEAR(res.measured_time_s(), res.simulated_time_s - cfg.warmup_s,
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDisciplines, PacketReconciliation,
+                         ::testing::Values(Scheduling::kFifo,
+                                           Scheduling::kStrictPriority,
+                                           Scheduling::kDeficitRoundRobin),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Scheduling::kFifo: return "Fifo";
+                             case Scheduling::kStrictPriority:
+                               return "StrictPriority";
+                             default: return "DeficitRoundRobin";
+                           }
+                         });
+
+TEST(PacketSimulator, PerLinkPeakQueueBoundsRunPeak) {
+  // The run-level peak is the max over per-link peaks, and each per-link
+  // peak is at least the time-averaged queue depth.
+  const topo::Topology t = topo::nsfnet();
+  const routing::RoutingScheme scheme = routing::shortest_path_routing(t);
+  Rng rng(8);
+  traffic::TrafficMatrix tm =
+      traffic::uniform_traffic(t.num_nodes(), 10.0, 50.0, rng);
+  traffic::scale_to_max_utilization(tm, t, scheme, 0.7);
+  SimConfig cfg;
+  cfg.warmup_s = 0.5;
+  cfg.horizon_s = 20.5;
+  const SimResult res = PacketSimulator(cfg).run(t, scheme, tm);
+  std::size_t max_link_peak = 0;
+  for (const LinkStats& ls : res.links) {
+    EXPECT_GE(static_cast<double>(ls.peak_queue_pkts), ls.mean_queue_pkts);
+    max_link_peak = std::max(max_link_peak, ls.peak_queue_pkts);
+  }
+  EXPECT_EQ(res.peak_queue_pkts, max_link_peak);
+  EXPECT_EQ(res.packets_created,
+            res.packets_delivered + res.packets_dropped +
+                res.packets_in_flight);
 }
 
 TEST(HorizonForTargetPackets, ScalesInversely) {

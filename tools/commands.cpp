@@ -7,6 +7,7 @@
 
 #include "core/trainer.h"
 #include "eval/export.h"
+#include "obs/summarize.h"
 #include "planning/whatif.h"
 #include "eval/metrics.h"
 #include "queueing/queueing.h"
@@ -161,6 +162,11 @@ int cmd_simulate(const Flags& flags) {
       sim::PacketSimulator(cfg).run(*sc.topology, sc.scheme, sc.tm);
   std::printf("simulated %.1fs of network time, %zu packets, %zu events\n",
               res.simulated_time_s, res.packets_created, res.total_events);
+  std::printf("throughput %.0f events/s wall, peak queue %zu pkts, "
+              "%zu delivered / %zu dropped / %zu in flight\n",
+              res.events_per_wall_s, res.peak_queue_pkts,
+              res.packets_delivered, res.packets_dropped,
+              res.packets_in_flight);
   std::printf("path coverage (>=10 pkts): %.1f%%\n",
               100.0 * res.coverage(10));
   Welford delays;
@@ -414,6 +420,15 @@ int cmd_info(const Flags& flags) {
     return 0;
   }
   std::printf("info: pass one of --topology, --dataset, --model\n");
+  return 2;
+}
+
+int cmd_obs(const std::vector<std::string>& args) {
+  if (args.size() == 2 && args[0] == "summarize") {
+    std::fputs(obs::summarize_jsonl_file(args[1]).c_str(), stdout);
+    return 0;
+  }
+  std::printf("usage: routenet obs summarize <metrics.jsonl>\n");
   return 2;
 }
 

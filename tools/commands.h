@@ -2,6 +2,9 @@
 // exit code and reads its options from Flags.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "flags.h"
 
 namespace rn::cli {
@@ -46,5 +49,11 @@ int cmd_info(const Flags& flags);
 // --model FILE --topology FILE --routing FILE --traffic FILE
 // [--upgrades K] [--factor F] [--failures K]
 int cmd_whatif(const Flags& flags);
+
+// Telemetry utilities (positional, not flag-based):
+//   obs summarize <file.jsonl>  — validate and roll up a metrics file
+// Every line must parse as a {"ts","kind","fields"} JSON record; the first
+// malformed line is an error, making this a telemetry-format check too.
+int cmd_obs(const std::vector<std::string>& args);
 
 }  // namespace rn::cli

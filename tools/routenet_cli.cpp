@@ -14,12 +14,18 @@
 //   routenet whatif        --model net.model --topology net.topo
 //                          --routing net.routes --traffic net.traffic
 //   routenet info          --model net.model
+//   routenet obs summarize m.jsonl
+//
+// Every flag command also accepts --metrics-out PATH (or the RN_METRICS_OUT
+// env var) to stream JSONL telemetry; "-" streams to stderr.
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "commands.h"
+#include "obs/event.h"
 
 namespace {
 
@@ -36,7 +42,10 @@ int usage() {
       "  eval           report MRE / Pearson r / R^2 of a model\n"
       "  predict        per-path delay/jitter for a scenario + Top-N\n"
       "  whatif         rank link upgrades & failures with a trained model\n"
-      "  info           describe a topology / dataset / model artifact\n\n"
+      "  info           describe a topology / dataset / model artifact\n"
+      "  obs            telemetry tools: `obs summarize <file.jsonl>`\n\n"
+      "global flag: --metrics-out PATH (or RN_METRICS_OUT) streams JSONL\n"
+      "telemetry events; run `routenet obs summarize PATH` to roll it up.\n"
       "run `routenet <command> --help` semantics: see README.md for the\n"
       "flag list of each command.\n");
   return 2;
@@ -48,20 +57,35 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "obs") {
+      const std::vector<std::string> args(argv + 2, argv + argc);
+      return rn::cli::cmd_obs(args);
+    }
     const std::vector<std::string> bool_flags = {"bursty"};
     const rn::cli::Flags flags(argc, argv, 2, bool_flags);
-    if (cmd == "make-topology") return rn::cli::cmd_make_topology(flags);
-    if (cmd == "make-routing") return rn::cli::cmd_make_routing(flags);
-    if (cmd == "make-traffic") return rn::cli::cmd_make_traffic(flags);
-    if (cmd == "simulate") return rn::cli::cmd_simulate(flags);
-    if (cmd == "gen-dataset") return rn::cli::cmd_gen_dataset(flags);
-    if (cmd == "train") return rn::cli::cmd_train(flags);
-    if (cmd == "eval") return rn::cli::cmd_eval(flags);
-    if (cmd == "predict") return rn::cli::cmd_predict(flags);
-    if (cmd == "info") return rn::cli::cmd_info(flags);
-    if (cmd == "whatif") return rn::cli::cmd_whatif(flags);
-    std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
-    return usage();
+    // Telemetry sink is process-global: open it before dispatch so every
+    // layer (trainer, simulator, message passing) streams to one file.
+    rn::obs::EventSink::global().open_or_env(
+        flags.get_string("metrics-out", ""));
+    const int rc = [&]() -> int {
+      if (cmd == "make-topology") return rn::cli::cmd_make_topology(flags);
+      if (cmd == "make-routing") return rn::cli::cmd_make_routing(flags);
+      if (cmd == "make-traffic") return rn::cli::cmd_make_traffic(flags);
+      if (cmd == "simulate") return rn::cli::cmd_simulate(flags);
+      if (cmd == "gen-dataset") return rn::cli::cmd_gen_dataset(flags);
+      if (cmd == "train") return rn::cli::cmd_train(flags);
+      if (cmd == "eval") return rn::cli::cmd_eval(flags);
+      if (cmd == "predict") return rn::cli::cmd_predict(flags);
+      if (cmd == "info") return rn::cli::cmd_info(flags);
+      if (cmd == "whatif") return rn::cli::cmd_whatif(flags);
+      std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
+      return usage();
+    }();
+    // Append the final registry rollup so `obs summarize` reports counter
+    // totals and timer percentiles even without per-event reconstruction.
+    rn::obs::emit_registry_snapshot();
+    rn::obs::EventSink::global().close();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
