@@ -9,6 +9,7 @@
 #include "obs/event.h"
 #include "obs/json.h"
 #include "obs/timer.h"
+#include "par/thread_pool.h"
 
 namespace rn::bench {
 
@@ -227,10 +228,13 @@ PaperSetup load_or_train_paper_setup(const ExperimentScale& scale) {
 
 void init_bench_telemetry(int argc, char** argv) {
   std::string path;
+  int threads = 0;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--metrics-out") path = argv[i + 1];
+    if (std::string(argv[i]) == "--threads") threads = std::atoi(argv[i + 1]);
   }
   obs::EventSink::global().open_or_env(path);
+  par::set_global_threads(threads);
   bench_watch().restart();
 }
 

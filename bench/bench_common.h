@@ -55,8 +55,9 @@ struct PaperSetup {
 PaperSetup load_or_train_paper_setup(const ExperimentScale& scale);
 
 // Opens the global JSONL telemetry sink from a `--metrics-out PATH` argv
-// pair (or the RN_METRICS_OUT env var) and starts the bench wall clock.
-// Call first in every report bench's main().
+// pair (or the RN_METRICS_OUT env var), sizes the worker pool from a
+// `--threads N` pair (default: RN_THREADS, then hardware_concurrency), and
+// starts the bench wall clock. Call first in every report bench's main().
 void init_bench_telemetry(int argc, char** argv);
 
 // Writes `BENCH_<name>.json` into the cache dir — run metadata plus the

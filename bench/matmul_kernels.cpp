@@ -1,0 +1,168 @@
+// Microbenchmark for the blocked matmul kernels against the original
+// unblocked loops — the single-threaded regression guard for the parallel
+// execution layer (no blocked kernel may be >10% slower than its naive
+// counterpart at 1 thread), plus the threaded variants at the default pool
+// width.
+//
+//   ./matmul_kernels [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include "ag/tensor.h"
+#include "par/thread_pool.h"
+#include "util/rng.h"
+
+namespace {
+
+using rn::ag::Tensor;
+
+// RouteNet batch shape: thousands of path/link rows, 32–64-wide states.
+constexpr int kM = 4096, kK = 64, kN = 64;
+
+Tensor random_tensor(int rows, int cols, std::uint64_t seed) {
+  rn::Rng rng(seed);
+  Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) {
+    t[static_cast<std::size_t>(i)] =
+        static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+const Tensor& A() {
+  static const Tensor t = random_tensor(kM, kK, 1);
+  return t;
+}
+const Tensor& B() {
+  static const Tensor t = random_tensor(kK, kN, 2);
+  return t;
+}
+const Tensor& At() {
+  static const Tensor t = random_tensor(kK, kM, 3);
+  return t;
+}
+const Tensor& Bt() {
+  static const Tensor t = random_tensor(kN, kK, 4);
+  return t;
+}
+
+void set_flops(benchmark::State& state) {
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * kM * kK * kN * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
+// The pre-blocking kernels, kept verbatim as the baseline.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    float* crow = c.row(i);
+    const float* arow = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor naive_matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor c(a.cols(), b.cols());
+  const int k = a.rows(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int i = 0; i < c.rows(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor naive_matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+  return c;
+}
+
+void BM_naive_matmul(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(naive_matmul(A(), B()));
+  set_flops(state);
+}
+
+void BM_naive_matmul_tn(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(naive_matmul_tn(At(), B()));
+  set_flops(state);
+}
+
+void BM_naive_matmul_nt(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(naive_matmul_nt(A(), Bt()));
+  set_flops(state);
+}
+
+// Blocked kernels pinned to one thread: compare directly against BM_naive_*
+// — the regression bound is 1.10x.
+void BM_blocked_matmul_1t(benchmark::State& state) {
+  rn::par::set_global_threads(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rn::ag::matmul(A(), B()));
+  set_flops(state);
+}
+
+void BM_blocked_matmul_tn_1t(benchmark::State& state) {
+  rn::par::set_global_threads(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rn::ag::matmul_tn(At(), B()));
+  }
+  set_flops(state);
+}
+
+void BM_blocked_matmul_nt_1t(benchmark::State& state) {
+  rn::par::set_global_threads(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rn::ag::matmul_nt(A(), Bt()));
+  }
+  set_flops(state);
+}
+
+// Blocked kernels on the full pool (RN_THREADS / hardware width).
+void BM_blocked_matmul_nt_pool(benchmark::State& state) {
+  rn::par::set_global_threads(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rn::ag::matmul_nt(A(), Bt()));
+  }
+  set_flops(state);
+}
+
+void BM_blocked_matmul_pool(benchmark::State& state) {
+  rn::par::set_global_threads(0);
+  for (auto _ : state) benchmark::DoNotOptimize(rn::ag::matmul(A(), B()));
+  set_flops(state);
+}
+
+BENCHMARK(BM_naive_matmul);
+BENCHMARK(BM_blocked_matmul_1t);
+BENCHMARK(BM_blocked_matmul_pool);
+BENCHMARK(BM_naive_matmul_tn);
+BENCHMARK(BM_blocked_matmul_tn_1t);
+BENCHMARK(BM_naive_matmul_nt);
+BENCHMARK(BM_blocked_matmul_nt_1t);
+BENCHMARK(BM_blocked_matmul_nt_pool);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,289 @@
+// Throughput bench: dataset-generation samples/s, matmul-kernel GFLOP/s,
+// and training step time at 1, 2, and N worker threads, plus the
+// single-threaded blocked-vs-naive kernel ratio. Writes
+// BENCH_throughput.json so the perf trajectory (and the determinism
+// contract) is tracked across PRs.
+//
+//   ./throughput [--metrics-out PATH] [--threads N]
+//
+// N defaults to RN_THREADS / hardware_concurrency; RN_BENCH_SCALE sizes the
+// dataset-generation and training phases as usual.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ag/tensor.h"
+#include "bench_common.h"
+#include "obs/event.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "par/thread_pool.h"
+#include "util/rng.h"
+
+namespace {
+
+using rn::ag::Tensor;
+
+std::vector<int> thread_sweep() {
+  std::vector<int> t = {1, 2, rn::par::default_threads()};
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  return t;
+}
+
+Tensor random_tensor(int rows, int cols, rn::Rng& rng) {
+  Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) {
+    t[static_cast<std::size_t>(i)] =
+        static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+// Times fn until it has run for at least min_wall_s; returns seconds/call.
+template <typename Fn>
+double time_per_call(const Fn& fn, double min_wall_s = 0.15) {
+  fn();  // warm caches and the pool
+  int reps = 0;
+  rn::obs::Stopwatch watch;
+  do {
+    fn();
+    ++reps;
+  } while (watch.elapsed_s() < min_wall_s);
+  return watch.elapsed_s() / reps;
+}
+
+// The original pre-blocking kernels, kept verbatim as the single-threaded
+// regression baseline: the blocked kernels must stay within 10% of these.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    float* crow = c.row(i);
+    const float* arow = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor naive_matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor c(a.cols(), b.cols());
+  const int m = a.cols(), k = a.rows(), n = b.cols();
+  (void)m;
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int i = 0; i < c.rows(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor naive_matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+  return c;
+}
+
+struct Series {
+  std::vector<int> threads;
+  std::vector<double> value;  // samples/s or GFLOP/s or step seconds
+
+  std::string to_json(const char* value_key) const {
+    std::string out = "{\"threads\":[";
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(threads[i]);
+    }
+    out += "],\"";
+    out += value_key;
+    out += "\":[";
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      if (i > 0) out += ',';
+      out += rn::obs::json_number(value[i]);
+    }
+    out += "]}";
+    return out;
+  }
+
+  // value at max threads over value at 1 thread (or its inverse for
+  // durations, chosen by the caller feeding "rate" values).
+  double speedup() const {
+    return value.front() > 0.0 ? value.back() / value.front() : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rn::bench::init_bench_telemetry(argc, argv);
+  const rn::bench::ExperimentScale scale = rn::bench::scale_from_env();
+  const std::vector<int> sweep = thread_sweep();
+  rn::obs::Registry& reg = rn::obs::Registry::global();
+
+  std::printf("== throughput bench (scale: %s, sweep:", scale.name.c_str());
+  for (int t : sweep) std::printf(" %d", t);
+  std::printf(" threads) ==\n");
+
+  // --- Phase 1: dataset generation -------------------------------------
+  const int gen_count = std::max(4, scale.eval_nsfnet);
+  Series gen_series;
+  bool gen_deterministic = true;
+  std::vector<std::vector<double>> first_delays;
+  for (int t : sweep) {
+    rn::par::set_global_threads(t);
+    rn::dataset::DatasetGenerator gen(
+        rn::bench::paper_generator_config(scale), 101);
+    rn::obs::Stopwatch watch;
+    const std::vector<rn::dataset::Sample> samples =
+        gen.generate_many(rn::bench::nsfnet_topology(), gen_count);
+    const double wall_s = watch.elapsed_s();
+    gen_series.threads.push_back(t);
+    gen_series.value.push_back(wall_s > 0.0 ? gen_count / wall_s : 0.0);
+    std::printf("  gen  %2d thread(s): %6.2f samples/s (%.2fs)\n", t,
+                gen_series.value.back(), wall_s);
+    if (first_delays.empty()) {
+      for (const rn::dataset::Sample& s : samples) {
+        first_delays.push_back(s.delay_s);
+      }
+    } else {
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (samples[i].delay_s != first_delays[i]) gen_deterministic = false;
+      }
+    }
+  }
+  std::printf("  gen  deterministic across thread counts: %s\n",
+              gen_deterministic ? "yes" : "NO — BUG");
+
+  // --- Phase 2: matmul kernel GFLOP/s ----------------------------------
+  // RouteNet-batch-shaped operands: thousands of path/link rows times
+  // 32/64-wide states.
+  const int m = 4096, k = 64, n = 64;
+  const double gflop = 2.0 * m * k * n / 1e9;
+  rn::Rng rng(17);
+  const Tensor a = random_tensor(m, k, rng);
+  const Tensor b = random_tensor(k, n, rng);
+  const Tensor at = random_tensor(k, m, rng);
+  const Tensor bt = random_tensor(n, k, rng);
+
+  Series mm, mm_tn, mm_nt;
+  for (int t : sweep) {
+    rn::par::set_global_threads(t);
+    mm.threads.push_back(t);
+    mm_tn.threads.push_back(t);
+    mm_nt.threads.push_back(t);
+    mm.value.push_back(gflop /
+                       time_per_call([&] { rn::ag::matmul(a, b); }));
+    mm_tn.value.push_back(gflop /
+                          time_per_call([&] { rn::ag::matmul_tn(at, b); }));
+    mm_nt.value.push_back(gflop /
+                          time_per_call([&] { rn::ag::matmul_nt(a, bt); }));
+    std::printf("  mm   %2d thread(s): nn %6.2f / tn %6.2f / nt %6.2f "
+                "GFLOP/s\n",
+                t, mm.value.back(), mm_tn.value.back(), mm_nt.value.back());
+  }
+
+  // Single-thread regression: blocked vs the original unblocked kernels
+  // (ratio > 1 means the blocked kernel is faster).
+  rn::par::set_global_threads(1);
+  const double r_nn = time_per_call([&] { naive_matmul(a, b); }) /
+                      time_per_call([&] { rn::ag::matmul(a, b); });
+  const double r_tn = time_per_call([&] { naive_matmul_tn(at, b); }) /
+                      time_per_call([&] { rn::ag::matmul_tn(at, b); });
+  const double r_nt = time_per_call([&] { naive_matmul_nt(a, bt); }) /
+                      time_per_call([&] { rn::ag::matmul_nt(a, bt); });
+  std::printf("  mm   blocked/naive single-thread speedup: nn %.2fx / "
+              "tn %.2fx / nt %.2fx\n",
+              r_nn, r_tn, r_nt);
+
+  // --- Phase 3: training step time -------------------------------------
+  rn::par::set_global_threads(sweep.front());
+  rn::dataset::DatasetGenerator train_gen(
+      rn::bench::paper_generator_config(scale), 303);
+  const std::vector<rn::dataset::Sample> train =
+      train_gen.generate_many(rn::bench::nsfnet_topology(), gen_count);
+  Series step_series;
+  for (int t : sweep) {
+    rn::core::RouteNet model(rn::bench::paper_model_config());
+    rn::core::TrainConfig tcfg;
+    tcfg.epochs = 2;
+    tcfg.batch_size = 4;
+    tcfg.threads = t;
+    rn::core::Trainer trainer(model, tcfg);
+    rn::obs::Stopwatch watch;
+    trainer.fit(train);
+    const double wall_s = watch.elapsed_s();
+    const int batches =
+        tcfg.epochs * ((gen_count + tcfg.batch_size - 1) / tcfg.batch_size);
+    step_series.threads.push_back(t);
+    step_series.value.push_back(wall_s / batches);
+    std::printf("  trn  %2d thread(s): %7.2f ms/step\n", t,
+                1e3 * step_series.value.back());
+  }
+  const double train_speedup =
+      step_series.value.back() > 0.0
+          ? step_series.value.front() / step_series.value.back()
+          : 0.0;
+
+  // --- Report -----------------------------------------------------------
+  reg.gauge("bench.throughput.gen_speedup").set(gen_series.speedup());
+  reg.gauge("bench.throughput.train_step_speedup").set(train_speedup);
+  reg.gauge("bench.throughput.gen_deterministic")
+      .set(gen_deterministic ? 1.0 : 0.0);
+  reg.gauge("bench.throughput.single_thread_ratio_nn").set(r_nn);
+  reg.gauge("bench.throughput.single_thread_ratio_tn").set(r_tn);
+  reg.gauge("bench.throughput.single_thread_ratio_nt").set(r_nt);
+
+  const std::string path =
+      rn::bench::cache_dir() + "/BENCH_throughput.json";
+  {
+    std::ofstream out(path);
+    if (out.good()) {
+      out << "{\"bench\":\"throughput\",\"scale\":\""
+          << rn::obs::json_escape(scale.name) << "\""
+          << ",\"dataset_gen\":" << gen_series.to_json("samples_per_s")
+          << ",\"dataset_gen_speedup\":"
+          << rn::obs::json_number(gen_series.speedup())
+          << ",\"dataset_gen_deterministic\":"
+          << (gen_deterministic ? "true" : "false")
+          << ",\"matmul_gflops\":" << mm.to_json("gflops")
+          << ",\"matmul_tn_gflops\":" << mm_tn.to_json("gflops")
+          << ",\"matmul_nt_gflops\":" << mm_nt.to_json("gflops")
+          << ",\"single_thread_blocked_over_naive\":{\"nn\":"
+          << rn::obs::json_number(r_nn)
+          << ",\"tn\":" << rn::obs::json_number(r_tn)
+          << ",\"nt\":" << rn::obs::json_number(r_nt) << "}"
+          << ",\"train_step_s\":" << step_series.to_json("seconds")
+          << ",\"train_step_speedup\":" << rn::obs::json_number(train_speedup)
+          << ",\"telemetry\":" << reg.snapshot().to_json() << "}\n";
+    }
+  }
+  std::printf("\nspeedups at %d threads: gen %.2fx, train step %.2fx\n",
+              sweep.back(), gen_series.speedup(), train_speedup);
+  std::printf("telemetry -> %s\n", path.c_str());
+  rn::obs::emit_registry_snapshot();
+  rn::obs::EventSink::global().close();
+  return gen_deterministic ? 0 : 1;
+}

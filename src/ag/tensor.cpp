@@ -1,5 +1,11 @@
 #include "ag/tensor.h"
 
+#include <algorithm>
+#include <atomic>
+
+#include "obs/metrics.h"
+#include "par/thread_pool.h"
+
 namespace rn::ag {
 
 Tensor::Tensor(int rows, int cols)
@@ -56,21 +62,159 @@ double Tensor::squared_norm() const {
   return acc;
 }
 
+namespace {
+
+// C-row tile: one chunk's working set of output rows; also the grain of the
+// row-range parallelism so a chunk never splits a tile.
+constexpr int kTileRows = 32;
+// Inner-dimension tile: the reused B panel (kTileK x n floats) stays cache
+// resident across a whole row tile.
+constexpr int kTileK = 240;
+
+std::atomic<long long> g_parallel_macs{1LL << 18};
+
+struct KernelMetrics {
+  obs::Counter& calls =
+      obs::Registry::global().counter("ag.matmul.calls_total");
+  obs::Counter& flops =
+      obs::Registry::global().counter("ag.matmul.flops_total");
+  obs::Counter& parallel =
+      obs::Registry::global().counter("ag.matmul.parallel_total");
+};
+
+KernelMetrics& kernel_metrics() {
+  static KernelMetrics m;
+  return m;
+}
+
+// Runs body over C's row range [0, rows), threaded when the kernel is big
+// enough. Every kernel below computes a C row entirely within its chunk, in
+// the serial accumulation order, so chunking never changes results.
+template <typename Body>
+void run_rows(int rows, long long macs, const Body& body) {
+  KernelMetrics& m = kernel_metrics();
+  m.calls.add(1);
+  m.flops.add(static_cast<std::uint64_t>(2 * macs));
+  if (macs >= g_parallel_macs.load(std::memory_order_relaxed) &&
+      par::global_threads() > 1) {
+    m.parallel.add(1);
+    par::parallel_for(0, rows, kTileRows, [&body](std::int64_t lo,
+                                                  std::int64_t hi) {
+      body(static_cast<int>(lo), static_cast<int>(hi));
+    });
+  } else {
+    body(0, rows);
+  }
+}
+
+// Kernel bodies take raw pointers and by-value dimensions so the optimizer
+// sees loop bounds that cannot alias the output stores — captured-by-
+// reference bounds inside a lambda defeat vectorization of the j loops.
+// c is always a freshly allocated output, so __restrict__ is sound and lets
+// the vectorizer skip runtime alias checks and the scalar fallback.
+
+// c[r0:r1) += a[r0:r1) * b for row-major a (m x k), b (k x n).
+void matmul_block(const float* __restrict__ a, const float* __restrict__ b,
+                  float* __restrict__ c, int r0, int r1, int k, int n) {
+  for (int ib = r0; ib < r1; ib += kTileRows) {
+    const int iend = std::min(r1, ib + kTileRows);
+    for (int pb = 0; pb < k; pb += kTileK) {
+      const int pend = std::min(k, pb + kTileK);
+      for (int i = ib; i < iend; ++i) {
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        const float* arow = a + static_cast<std::size_t>(i) * k;
+        for (int p = pb; p < pend; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b + static_cast<std::size_t>(p) * n;
+          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+// c[r0:r1) += aᵀ[r0:r1) * b for row-major a (k x m), b (k x n); C rows are
+// A's columns. Tiling i keeps the C tile cache-resident across the whole p
+// sweep instead of re-streaming all of C per p; each row still accumulates
+// in ascending p exactly like the untiled kernel, so results are bitwise
+// identical.
+void matmul_tn_block(const float* __restrict__ a, const float* __restrict__ b,
+                     float* __restrict__ c, int r0, int r1, int m, int k,
+                     int n) {
+  for (int ib = r0; ib < r1; ib += kTileRows) {
+    const int iend = std::min(r1, ib + kTileRows);
+    int p = 0;
+    // p unrolled by two: one pass over the C tile per pair of A/B rows
+    // halves the read-modify-write traffic on C and doubles the ILP of the
+    // j loop.
+    for (; p + 1 < k; p += 2) {
+      const float* arow0 = a + static_cast<std::size_t>(p) * m;
+      const float* arow1 = arow0 + m;
+      const float* brow0 = b + static_cast<std::size_t>(p) * n;
+      const float* brow1 = brow0 + n;
+      for (int i = ib; i < iend; ++i) {
+        const float av0 = arow0[i];
+        const float av1 = arow1[i];
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) {
+          crow[j] += av0 * brow0[j] + av1 * brow1[j];
+        }
+      }
+    }
+    for (; p < k; ++p) {
+      const float* arow = a + static_cast<std::size_t>(p) * m;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int i = ib; i < iend; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// c[r0:r1) += a[r0:r1) * bᵀ for row-major a (m x k), b (n x k).
+void matmul_nt_block(const float* __restrict__ a, const float* __restrict__ b,
+                     float* __restrict__ c, int r0, int r1, int k, int n) {
+  for (int ib = r0; ib < r1; ib += kTileRows) {
+    const int iend = std::min(r1, ib + kTileRows);
+    for (int jb = 0; jb < n; jb += kTileRows) {
+      const int jend = std::min(n, jb + kTileRows);
+      for (int i = ib; i < iend; ++i) {
+        const float* arow = a + static_cast<std::size_t>(i) * k;
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        for (int j = jb; j < jend; ++j) {
+          const float* brow = b + static_cast<std::size_t>(j) * k;
+          float acc = 0.0f;
+          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          crow[j] += acc;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+long long matmul_parallel_threshold() {
+  return g_parallel_macs.load(std::memory_order_relaxed);
+}
+
+void set_matmul_parallel_threshold(long long macs) {
+  g_parallel_macs.store(std::max(0LL, macs), std::memory_order_relaxed);
+}
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   RN_CHECK(a.cols() == b.rows(), "matmul inner-dimension mismatch");
   Tensor c(a.rows(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j loop order: streams through b and c rows, cache-friendly.
-  for (int i = 0; i < m; ++i) {
-    float* crow = c.row(i);
-    const float* arow = a.row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(p);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // i-k-j loop order: streams through b and c rows; tiling over (i, p)
+  // keeps the active B panel hot across a block of output rows.
+  run_rows(m, static_cast<long long>(m) * k * n, [&](int r0, int r1) {
+    matmul_block(a.row(0), b.row(0), c.row(0), r0, r1, k, n);
+  });
   return c;
 }
 
@@ -78,16 +222,11 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   RN_CHECK(a.rows() == b.rows(), "matmul_tn dimension mismatch");
   Tensor c(a.cols(), b.cols());
   const int m = a.cols(), k = a.rows(), n = b.cols();
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a.row(p);
-    const float* brow = b.row(p);
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.row(i);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // C rows are A's columns; chunks own disjoint i-ranges and keep the
+  // p-ascending accumulation of the serial kernel, streaming A and B rows.
+  run_rows(m, static_cast<long long>(m) * k * n, [&](int r0, int r1) {
+    matmul_tn_block(a.row(0), b.row(0), c.row(0), r0, r1, m, k, n);
+  });
   return c;
 }
 
@@ -95,16 +234,11 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   RN_CHECK(a.cols() == b.cols(), "matmul_nt dimension mismatch");
   Tensor c(a.rows(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
-  }
+  // Dot-product kernel; tiling over (i, j) reuses a B-row panel across a
+  // block of A rows instead of re-streaming all of B per output row.
+  run_rows(m, static_cast<long long>(m) * k * n, [&](int r0, int r1) {
+    matmul_nt_block(a.row(0), b.row(0), c.row(0), r0, r1, k, n);
+  });
   return c;
 }
 

@@ -83,6 +83,12 @@ class Tensor {
 };
 
 // Non-autodiff matrix kernels shared by forward and backward passes.
+//
+// All three are cache-blocked and run row-ranges of C on the global thread
+// pool once the multiply-add count crosses matmul_parallel_threshold().
+// Each output row is produced entirely by one chunk with the same inner
+// accumulation order as the serial kernel, so results are bitwise identical
+// at any thread count.
 
 // C = A B.
 Tensor matmul(const Tensor& a, const Tensor& b);
@@ -90,5 +96,11 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
 // C = A Bᵀ.
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// Multiply-add count (m*n*k) above which the kernels go parallel. The
+// default amortizes task overhead on realistic batch shapes; tests lower it
+// to force the threaded path on small matrices.
+long long matmul_parallel_threshold();
+void set_matmul_parallel_threshold(long long macs);
 
 }  // namespace rn::ag

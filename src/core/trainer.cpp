@@ -7,6 +7,7 @@
 #include "ag/optim.h"
 #include "obs/event.h"
 #include "obs/timer.h"
+#include "par/thread_pool.h"
 #include "util/rng.h"
 
 namespace rn::core {
@@ -64,6 +65,7 @@ double Trainer::evaluate_jitter_mre(
 TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
                          const std::vector<dataset::Sample>* eval) {
   RN_CHECK(!train.empty(), "empty training set");
+  if (cfg_.threads > 0) par::set_global_threads(cfg_.threads);
   model_.set_normalizer(
       dataset::fit_normalizer(train, cfg_.log_space_targets));
 
@@ -194,6 +196,7 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
           .f("loss", log.train_loss)
           .f("lr", static_cast<double>(optimizer.lr()))
           .f("batches", batches)
+          .f("threads", par::global_threads())
           .f("epoch_s", epoch_s)
           .f("samples_per_s",
              epoch_s > 0.0 ? static_cast<double>(samples_seen) / epoch_s : 0.0);

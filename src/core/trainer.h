@@ -27,6 +27,9 @@ struct TrainConfig {
   // Early stopping: stop after `patience` epochs without eval improvement
   // (0 disables; requires an eval set).
   int patience = 0;
+  // Worker threads for the matmul kernels (0 = leave the global pool as
+  // configured by --threads / RN_THREADS / hardware_concurrency).
+  int threads = 0;
   bool verbose = false;
   // When non-empty, the best-eval model is saved here each time it improves.
   std::string checkpoint_path;

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <mutex>
+#include <optional>
 
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "par/thread_pool.h"
 #include "util/stats.h"
 
 namespace rn::dataset {
@@ -12,6 +18,11 @@ namespace {
 // Floor for log-space targets; below ~1 µs the simulator resolution and the
 // log transform both stop being meaningful.
 constexpr double kMinPositive = 1e-6;
+
+// Stream tags separating the per-sample scenario RNG from the simulator
+// seed (util/rng.h derive_seed).
+constexpr std::uint64_t kScenarioStream = 0x5ce7a210;
+constexpr std::uint64_t kSimStream = 0x51317ead;
 }  // namespace
 
 int Sample::num_valid() const {
@@ -21,7 +32,7 @@ int Sample::num_valid() const {
 }
 
 DatasetGenerator::DatasetGenerator(GeneratorConfig cfg, std::uint64_t seed)
-    : cfg_(cfg), rng_(seed), next_sim_seed_(seed * 2654435761u + 1) {
+    : cfg_(cfg), seed_(seed) {
   RN_CHECK(cfg_.k_paths >= 1, "k_paths must be at least 1");
   RN_CHECK(0.0 < cfg_.min_util && cfg_.min_util <= cfg_.max_util &&
                cfg_.max_util < 1.0,
@@ -29,33 +40,34 @@ DatasetGenerator::DatasetGenerator(GeneratorConfig cfg, std::uint64_t seed)
   RN_CHECK(!cfg_.matrix_kinds.empty(), "need at least one matrix kind");
 }
 
-Sample DatasetGenerator::generate(
-    std::shared_ptr<const topo::Topology> topology) {
+Sample DatasetGenerator::generate_at(
+    std::shared_ptr<const topo::Topology> topology,
+    std::uint64_t sample_index) const {
   RN_CHECK(topology != nullptr, "null topology");
   const topo::Topology& topo = *topology;
   const int n = topo.num_nodes();
 
+  Rng rng(derive_seed(seed_, kScenarioStream, sample_index));
   routing::RoutingScheme scheme =
       cfg_.k_paths == 1
           ? routing::shortest_path_routing(topo)
-          : routing::random_k_shortest_routing(topo, cfg_.k_paths, rng_);
+          : routing::random_k_shortest_routing(topo, cfg_.k_paths, rng);
 
-  const MatrixKind kind =
-      cfg_.matrix_kinds[sample_counter_ % cfg_.matrix_kinds.size()];
-  ++sample_counter_;
+  const MatrixKind kind = cfg_.matrix_kinds[static_cast<std::size_t>(
+      sample_index % cfg_.matrix_kinds.size())];
   traffic::TrafficMatrix tm = [&] {
     switch (kind) {
       case MatrixKind::kGravity:
-        return traffic::gravity_traffic(n, 1.0e6, rng_);
+        return traffic::gravity_traffic(n, 1.0e6, rng);
       case MatrixKind::kHotspot:
         return traffic::hotspot_traffic(n, std::max(1, n / 6), 100.0, 4.0,
-                                        rng_);
+                                        rng);
       case MatrixKind::kUniform:
       default:
-        return traffic::uniform_traffic(n, 50.0, 150.0, rng_);
+        return traffic::uniform_traffic(n, 50.0, 150.0, rng);
     }
   }();
-  const double target_util = rng_.uniform(cfg_.min_util, cfg_.max_util);
+  const double target_util = rng.uniform(cfg_.min_util, cfg_.max_util);
   traffic::scale_to_max_utilization(tm, topo, scheme, target_util);
 
   sim::SimConfig sim_cfg;
@@ -63,7 +75,7 @@ Sample DatasetGenerator::generate(
   sim_cfg.warmup_s = cfg_.warmup_s;
   sim_cfg.horizon_s = sim::horizon_for_target_packets(
       tm, cfg_.model, cfg_.warmup_s, cfg_.target_pkts_per_flow);
-  sim_cfg.seed = next_sim_seed_++;
+  sim_cfg.seed = derive_seed(seed_, kSimStream, sample_index);
   const sim::PacketSimulator simulator(sim_cfg);
   const sim::SimResult result = simulator.run(topo, scheme, tm);
 
@@ -86,15 +98,55 @@ Sample DatasetGenerator::generate(
   return sample;
 }
 
+Sample DatasetGenerator::generate(
+    std::shared_ptr<const topo::Topology> topology) {
+  return generate_at(std::move(topology), next_index_++);
+}
+
 std::vector<Sample> DatasetGenerator::generate_many(
     std::shared_ptr<const topo::Topology> topology, int count,
     const std::function<void(int, int)>& progress) {
   RN_CHECK(count >= 0, "negative sample count");
+  const std::uint64_t first = next_index_;
+  next_index_ += static_cast<std::uint64_t>(count);
+
+  obs::Registry& reg = obs::Registry::global();
+  obs::Histogram& h_sample = reg.histogram("dataset.sample_gen_s");
+  obs::Counter& c_samples = reg.counter("dataset.samples_total");
+
+  // Simulations are independent given their index-derived seeds; one task
+  // per sample (simulations are seconds-long, so task overhead is noise).
+  obs::Stopwatch watch;
+  std::vector<std::optional<Sample>> slots(static_cast<std::size_t>(count));
+  std::mutex progress_mu;
+  int completed = 0;
+  par::parallel_for(0, count, /*grain=*/1, [&](std::int64_t lo,
+                                               std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      obs::ScopedTimer timer(h_sample);
+      slots[static_cast<std::size_t>(i)] =
+          generate_at(topology, first + static_cast<std::uint64_t>(i));
+      c_samples.add(1);
+      if (progress) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        progress(++completed, count);
+      }
+    }
+  });
+
   std::vector<Sample> out;
   out.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    out.push_back(generate(topology));
-    if (progress) progress(i + 1, count);
+  for (std::optional<Sample>& slot : slots) out.push_back(std::move(*slot));
+
+  const double wall_s = watch.elapsed_s();
+  obs::EventSink& sink = obs::EventSink::global();
+  if (sink.enabled() && count > 0) {
+    obs::Event ev("dataset.generate_many");
+    ev.f("samples", count)
+        .f("threads", par::global_threads())
+        .f("wall_s", wall_s)
+        .f("samples_per_s", wall_s > 0.0 ? count / wall_s : 0.0);
+    sink.emit(ev);
   }
   return out;
 }

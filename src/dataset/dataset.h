@@ -58,14 +58,26 @@ struct GeneratorConfig {
   std::size_t min_delivered = 20;  // validity threshold per path
 };
 
+// Every random decision behind sample i (routing draw, matrix kind, matrix
+// values, intensity, simulation seed) is derived from (seed, i) alone, so a
+// dataset is a pure function of its seed: generation order, interleaving
+// with other generators, and thread count never change the output.
 class DatasetGenerator {
  public:
   DatasetGenerator(GeneratorConfig cfg, std::uint64_t seed);
 
-  // One (routing, matrix, intensity) scenario on the given topology.
+  // The scenario at an explicit sample index — the deterministic core both
+  // entry points below delegate to. Thread-safe.
+  Sample generate_at(std::shared_ptr<const topo::Topology> topology,
+                     std::uint64_t sample_index) const;
+
+  // One (routing, matrix, intensity) scenario on the given topology, at the
+  // next sample index.
   Sample generate(std::shared_ptr<const topo::Topology> topology);
 
-  // `count` scenarios; optional progress callback (index, count).
+  // `count` scenarios, simulated concurrently on the global thread pool
+  // (bitwise identical at any thread count); optional progress callback
+  // (completed, count), serialized and monotone.
   std::vector<Sample> generate_many(
       std::shared_ptr<const topo::Topology> topology, int count,
       const std::function<void(int, int)>& progress = {});
@@ -74,9 +86,8 @@ class DatasetGenerator {
 
  private:
   GeneratorConfig cfg_;
-  Rng rng_;
-  std::uint64_t next_sim_seed_ = 1;
-  std::size_t sample_counter_ = 0;
+  std::uint64_t seed_;
+  std::uint64_t next_index_ = 0;
 };
 
 // Normalization constants shared between training and inference. Inputs are

@@ -13,6 +13,23 @@
 
 namespace rn {
 
+// SplitMix64 finalizer: a cheap, statistically strong 64-bit mix.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Derives an independent seed for (base seed, named stream, element index).
+// Every per-sample random decision in the dataset pipeline draws from a
+// seed built this way, so the stream a sample sees depends only on its
+// index — never on generation order or thread count.
+inline std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream,
+                                 std::uint64_t index) {
+  return splitmix64(splitmix64(splitmix64(seed) ^ stream) ^ index);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}

@@ -2,8 +2,32 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rng.h"
+
 namespace rn::ag {
 namespace {
+
+// Textbook triple loop: the reference the blocked kernels must match.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < a.cols(); ++p) acc += a.at(i, p) * b.at(p, j);
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Tensor random_tensor(int rows, int cols, Rng& rng) {
+  Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) {
+    t[static_cast<std::size_t>(i)] =
+        static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
 
 TEST(Tensor, ZeroInitialized) {
   const Tensor t(3, 4);
@@ -109,6 +133,56 @@ TEST(Matmul, TransposedVariantsAgree) {
       EXPECT_FLOAT_EQ(b_at.at(r, c), expect2.at(r, c));
     }
   }
+}
+
+// The blocked kernels tile over rows and the inner dimension; exercise
+// shapes that are not multiples of any tile size against the naive loop.
+TEST(Matmul, BlockedKernelsMatchNaiveOnOddShapes) {
+  Rng rng(3);
+  const int shapes[][3] = {{1, 1, 1},   {5, 3, 2},    {33, 31, 7},
+                           {65, 240, 3}, {70, 241, 37}, {129, 65, 33}};
+  for (const auto& s : shapes) {
+    const int m = s[0], k = s[1], n = s[2];
+    const Tensor a = random_tensor(m, k, rng);
+    const Tensor b = random_tensor(k, n, rng);
+    const Tensor expect = naive_matmul(a, b);
+    const Tensor c = matmul(a, b);
+    ASSERT_TRUE(c.same_shape(expect));
+    for (int i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i)], 1e-4f)
+          << m << "x" << k << "x" << n << " element " << i;
+    }
+
+    // aᵀ shaped (k, m): matmul_tn(aT, b) must equal a b as well.
+    Tensor at(k, m);
+    for (int r = 0; r < m; ++r) {
+      for (int col = 0; col < k; ++col) at.at(col, r) = a.at(r, col);
+    }
+    const Tensor c_tn = matmul_tn(at, b);
+    for (int i = 0; i < c_tn.size(); ++i) {
+      ASSERT_NEAR(c_tn[static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i)], 1e-4f);
+    }
+
+    // bᵀ shaped (n, k): matmul_nt(a, bT) must equal a b too.
+    Tensor bt(n, k);
+    for (int r = 0; r < k; ++r) {
+      for (int col = 0; col < n; ++col) bt.at(col, r) = b.at(r, col);
+    }
+    const Tensor c_nt = matmul_nt(a, bt);
+    for (int i = 0; i < c_nt.size(); ++i) {
+      ASSERT_NEAR(c_nt[static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i)], 1e-4f);
+    }
+  }
+}
+
+TEST(Matmul, ParallelThresholdRoundTrips) {
+  const long long saved = matmul_parallel_threshold();
+  set_matmul_parallel_threshold(12345);
+  EXPECT_EQ(matmul_parallel_threshold(), 12345);
+  set_matmul_parallel_threshold(saved);
 }
 
 TEST(Matmul, IdentityIsNeutral) {

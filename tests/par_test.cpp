@@ -1,0 +1,138 @@
+#include "par/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace rn::par {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsFutureValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto fut = pool.submit([caller] { return std::this_thread::get_id() == caller; });
+  EXPECT_TRUE(fut.get());
+}
+
+TEST(ThreadPool, ExceptionsSurfaceFromFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  set_global_threads(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesAreNoOps) {
+  set_global_threads(2);
+  int calls = 0;
+  parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for(9, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, RespectsGrainAsMinimumChunk) {
+  set_global_threads(4);
+  std::mutex mu;
+  std::vector<std::int64_t> sizes;
+  parallel_for(0, 100, 16, [&](std::int64_t lo, std::int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    sizes.push_back(hi - lo);
+  });
+  // Chunks complete in any order; at most one (the remainder) may be
+  // smaller than the grain.
+  std::int64_t total = 0;
+  int below_grain = 0;
+  for (const std::int64_t size : sizes) {
+    total += size;
+    if (size < 16) ++below_grain;
+  }
+  EXPECT_EQ(total, 100);
+  EXPECT_LE(below_grain, 1);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  set_global_threads(4);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(0, 8, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      // Inner loop from (possibly) a worker thread must not deadlock.
+      parallel_for(0, 10, 1, [&](std::int64_t ilo, std::int64_t ihi) {
+        sum.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(sum.load(), 80);
+}
+
+TEST(ParallelFor, PropagatesChunkExceptions) {
+  set_global_threads(4);
+  EXPECT_THROW(
+      parallel_for(0, 100, 1,
+                   [&](std::int64_t lo, std::int64_t) {
+                     if (lo == 0) throw std::runtime_error("chunk failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(GlobalPool, SetThreadsResizesAndIsIdempotent) {
+  set_global_threads(3);
+  EXPECT_EQ(global_threads(), 3);
+  ThreadPool* before = &global_pool();
+  set_global_threads(3);  // same width: pool object must survive
+  EXPECT_EQ(&global_pool(), before);
+  set_global_threads(1);
+  EXPECT_EQ(global_threads(), 1);
+}
+
+TEST(GlobalPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(default_threads(), 1);
+}
+
+TEST(Telemetry, PoolEmitsParMetrics) {
+  obs::Registry& reg = obs::Registry::global();
+  set_global_threads(4);
+  const std::uint64_t tasks_before =
+      reg.counter("par.tasks_total").value();
+  const std::uint64_t loops_before =
+      reg.counter("par.parallel_for_total").value();
+  parallel_for(0, 64, 1, [](std::int64_t, std::int64_t) {});
+  EXPECT_GT(reg.counter("par.tasks_total").value(), tasks_before);
+  EXPECT_GT(reg.counter("par.parallel_for_total").value(), loops_before);
+  EXPECT_EQ(reg.gauge("par.pool.threads").value(), 4.0);
+  EXPECT_GT(reg.histogram("par.task_s").count(), 0u);
+}
+
+}  // namespace
+}  // namespace rn::par

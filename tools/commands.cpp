@@ -236,6 +236,7 @@ int cmd_train(const Flags& flags) {
   tcfg.epochs = flags.get_int("epochs", 25);
   tcfg.batch_size = flags.get_int("batch", 4);
   tcfg.learning_rate = static_cast<float>(flags.get_double("lr", 4e-3));
+  tcfg.threads = flags.get_int("threads", 0);
   tcfg.verbose = true;
   const std::string out = flags.require_string("out");
   tcfg.checkpoint_path = eval_set.empty() ? "" : out;

@@ -17,7 +17,9 @@
 //   routenet obs summarize m.jsonl
 //
 // Every flag command also accepts --metrics-out PATH (or the RN_METRICS_OUT
-// env var) to stream JSONL telemetry; "-" streams to stderr.
+// env var) to stream JSONL telemetry; "-" streams to stderr. --threads N
+// (or RN_THREADS) sets the worker-pool width for dataset generation and
+// the training kernels; the default is one thread per hardware core.
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -26,6 +28,7 @@
 
 #include "commands.h"
 #include "obs/event.h"
+#include "par/thread_pool.h"
 
 namespace {
 
@@ -44,8 +47,11 @@ int usage() {
       "  whatif         rank link upgrades & failures with a trained model\n"
       "  info           describe a topology / dataset / model artifact\n"
       "  obs            telemetry tools: `obs summarize <file.jsonl>`\n\n"
-      "global flag: --metrics-out PATH (or RN_METRICS_OUT) streams JSONL\n"
+      "global flags: --metrics-out PATH (or RN_METRICS_OUT) streams JSONL\n"
       "telemetry events; run `routenet obs summarize PATH` to roll it up.\n"
+      "--threads N (or RN_THREADS) sets the worker-pool width (default:\n"
+      "one per hardware core); generation and training are bitwise\n"
+      "deterministic at any thread count.\n"
       "run `routenet <command> --help` semantics: see README.md for the\n"
       "flag list of each command.\n");
   return 2;
@@ -67,6 +73,9 @@ int main(int argc, char** argv) {
     // layer (trainer, simulator, message passing) streams to one file.
     rn::obs::EventSink::global().open_or_env(
         flags.get_string("metrics-out", ""));
+    // Worker threads for dataset generation and the matmul kernels:
+    // --threads N beats RN_THREADS beats hardware_concurrency.
+    rn::par::set_global_threads(flags.get_int("threads", 0));
     const int rc = [&]() -> int {
       if (cmd == "make-topology") return rn::cli::cmd_make_topology(flags);
       if (cmd == "make-routing") return rn::cli::cmd_make_routing(flags);
