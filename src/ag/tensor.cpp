@@ -146,8 +146,10 @@ void matmul_tn_block(const float* __restrict__ a, const float* __restrict__ b,
     const int iend = std::min(r1, ib + kTileRows);
     int p = 0;
     // p unrolled by two: one pass over the C tile per pair of A/B rows
-    // halves the read-modify-write traffic on C and doubles the ILP of the
-    // j loop.
+    // halves the read-modify-write traffic on C. The two adds stay
+    // sequential (never fused into av0*b0 + av1*b1) and zero A entries
+    // skip their add exactly like the tail loop, so rounding is bitwise
+    // identical to the one-p-at-a-time serial kernel.
     for (; p + 1 < k; p += 2) {
       const float* arow0 = a + static_cast<std::size_t>(p) * m;
       const float* arow1 = arow0 + m;
@@ -157,8 +159,15 @@ void matmul_tn_block(const float* __restrict__ a, const float* __restrict__ b,
         const float av0 = arow0[i];
         const float av1 = arow1[i];
         float* crow = c + static_cast<std::size_t>(i) * n;
-        for (int j = 0; j < n; ++j) {
-          crow[j] += av0 * brow0[j] + av1 * brow1[j];
+        if (av0 != 0.0f && av1 != 0.0f) {
+          for (int j = 0; j < n; ++j) {
+            crow[j] += av0 * brow0[j];
+            crow[j] += av1 * brow1[j];
+          }
+        } else if (av0 != 0.0f) {
+          for (int j = 0; j < n; ++j) crow[j] += av0 * brow0[j];
+        } else if (av1 != 0.0f) {
+          for (int j = 0; j < n; ++j) crow[j] += av1 * brow1[j];
         }
       }
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <exception>
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
@@ -95,8 +96,8 @@ int env_threads() {
   return n > 0 ? n : 0;
 }
 
-std::unique_ptr<ThreadPool>& pool_slot() {
-  static std::unique_ptr<ThreadPool> pool;
+std::shared_ptr<ThreadPool>& pool_slot() {
+  static std::shared_ptr<ThreadPool> pool;
   return pool;
 }
 
@@ -116,19 +117,26 @@ int default_threads() {
 
 void set_global_threads(int threads) {
   const int n = threads > 0 ? threads : default_threads();
-  std::lock_guard<std::mutex> lock(pool_mu());
-  std::unique_ptr<ThreadPool>& pool = pool_slot();
-  if (pool != nullptr && pool->size() == n) return;
-  pool = std::make_unique<ThreadPool>(n);
+  std::shared_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu());
+    std::shared_ptr<ThreadPool>& pool = pool_slot();
+    if (pool != nullptr && pool->size() == n) return;
+    old = std::move(pool);
+    pool = std::make_shared<ThreadPool>(n);
+  }
+  // `old` drops here, outside pool_mu: if this is the last reference the
+  // destructor joins the old workers, and a worker blocked in
+  // global_pool() must be able to take the lock for that join to finish.
 }
 
-int global_threads() { return global_pool().size(); }
+int global_threads() { return global_pool()->size(); }
 
-ThreadPool& global_pool() {
+std::shared_ptr<ThreadPool> global_pool() {
   std::lock_guard<std::mutex> lock(pool_mu());
-  std::unique_ptr<ThreadPool>& pool = pool_slot();
-  if (pool == nullptr) pool = std::make_unique<ThreadPool>(default_threads());
-  return *pool;
+  std::shared_ptr<ThreadPool>& pool = pool_slot();
+  if (pool == nullptr) pool = std::make_shared<ThreadPool>(default_threads());
+  return pool;
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
@@ -137,33 +145,53 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   if (begin >= end) return;
   grain = std::max<std::int64_t>(1, grain);
   const std::int64_t range = end - begin;
-  ThreadPool& pool = global_pool();
+  // The shared_ptr copy keeps this pool alive even if another thread
+  // rebuilds the global slot (set_global_threads) while chunks are
+  // in flight.
+  const std::shared_ptr<ThreadPool> pool = global_pool();
   // Inline when parallelism cannot help (or would deadlock: a worker
   // waiting on futures served by its own queue).
-  if (range <= grain || pool.size() <= 1 || ThreadPool::on_worker_thread()) {
+  if (range <= grain || pool->size() <= 1 || ThreadPool::on_worker_thread()) {
     body(begin, end);
     return;
   }
   metrics().loops.add(1);
   // Cap the chunk count at ~4 per worker so task overhead stays bounded
-  // while the tail still load-balances.
+  // while the tail still load-balances; round the chunk size up to a grain
+  // multiple so boundaries stay aligned to the caller's tiles.
   const std::int64_t max_chunks =
-      static_cast<std::int64_t>(pool.size()) * 4;
-  const std::int64_t per_chunk =
+      static_cast<std::int64_t>(pool->size()) * 4;
+  std::int64_t per_chunk =
       std::max(grain, (range + max_chunks - 1) / max_chunks);
+  per_chunk = (per_chunk + grain - 1) / grain * grain;
   std::vector<std::future<void>> futures;
   futures.reserve(static_cast<std::size_t>(range / per_chunk));
-  std::int64_t lo = begin;
   // The caller runs the first chunk itself; workers take the rest.
-  const std::int64_t first_hi = std::min(end, lo + per_chunk);
+  const std::int64_t first_hi = std::min(end, begin + per_chunk);
   for (std::int64_t chunk_lo = first_hi; chunk_lo < end;
        chunk_lo += per_chunk) {
     const std::int64_t chunk_hi = std::min(end, chunk_lo + per_chunk);
-    futures.push_back(
-        pool.submit([&body, chunk_lo, chunk_hi] { body(chunk_lo, chunk_hi); }));
+    futures.push_back(pool->submit(
+        [&body, chunk_lo, chunk_hi] { body(chunk_lo, chunk_hi); }));
   }
-  body(lo, first_hi);
-  for (std::future<void>& f : futures) f.get();
+  // Every future is drained even when a chunk throws: queued tasks hold
+  // &body — a reference into the caller's frame — so returning (and
+  // unwinding) before they all finish would be a use-after-free. The
+  // first exception wins; later ones are swallowed.
+  std::exception_ptr error;
+  try {
+    body(begin, first_hi);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (error == nullptr) error = std::current_exception();
+    }
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace rn::par

@@ -78,20 +78,26 @@ class ThreadPool {
 int default_threads();
 
 // Resolves `threads` (0 = auto via default_threads()) and rebuilds the
-// global pool if the resolved count differs from the current one. Must not
-// be called while pool work is in flight; intended for process start-up,
-// bench phase boundaries, and tests.
+// global pool if the resolved count differs from the current one. Safe to
+// call while pool work is in flight: the pool is held by shared_ptr, so an
+// in-flight parallel_for keeps its (old) pool alive until its chunks
+// finish; the old pool's workers are joined once the last holder drops it.
 void set_global_threads(int threads);
 
 // Current global pool width.
 int global_threads();
 
-ThreadPool& global_pool();
+// Returns the global pool, creating it at default_threads() on first use.
+// Callers get a shared_ptr copy so a concurrent set_global_threads cannot
+// destroy a pool still in use.
+std::shared_ptr<ThreadPool> global_pool();
 
 // Runs body over [begin, end) split into chunks of at least `grain`
-// indices. body(lo, hi) handles the half-open sub-range [lo, hi). Runs
+// indices, rounded up so every chunk size (except the tail's) is a grain
+// multiple. body(lo, hi) handles the half-open sub-range [lo, hi). Runs
 // inline (one chunk) when the range is small, the pool has one thread, or
-// the caller is already a pool worker. Rethrows the first chunk exception.
+// the caller is already a pool worker. Always waits for every chunk, even
+// when one throws — then rethrows the first chunk exception.
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& body);
 

@@ -1,5 +1,7 @@
 // Determinism contract of the parallel execution layer: datasets and
 // autodiff kernels are bitwise identical at any thread count.
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -115,6 +117,117 @@ TEST(ParDeterminism, GradcheckThroughThreadedKernels) {
     return tape.mse(out, ag::Tensor(5, 2, 0.3f));
   });
 
+  ag::set_matmul_parallel_threshold(saved);
+  par::set_global_threads(1);
+}
+
+// Verbatim copies of the pre-blocking serial kernels (PR 1): golden values
+// and checkpoint-reproduced metrics recorded before the parallel layer were
+// produced by these exact loops.
+ag::Tensor reference_matmul(const ag::Tensor& a, const ag::Tensor& b) {
+  ag::Tensor c(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    float* crow = c.row(i);
+    const float* arow = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+ag::Tensor reference_matmul_tn(const ag::Tensor& a, const ag::Tensor& b) {
+  ag::Tensor c(a.cols(), b.cols());
+  const int m = a.cols(), k = a.rows(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+ag::Tensor reference_matmul_nt(const ag::Tensor& a, const ag::Tensor& b) {
+  ag::Tensor c(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+  return c;
+}
+
+void fill_with_zero_runs(ag::Tensor& t, Rng& rng) {
+  for (int i = 0; i < t.size(); ++i) {
+    const double u = rng.uniform(0.0, 1.0);
+    // A quarter zeros (some negative) so the kernels' av == 0.0f skip path
+    // is exercised: skipping vs adding 0 differs for -0.0 accumulators.
+    if (u < 0.125) {
+      t[static_cast<std::size_t>(i)] = 0.0f;
+    } else if (u < 0.25) {
+      t[static_cast<std::size_t>(i)] = -0.0f;
+    } else {
+      t[static_cast<std::size_t>(i)] =
+          static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+  }
+}
+
+// Bit-pattern comparison: operator== would miss a -0.0 vs +0.0 flip and
+// can never confirm NaN payloads, both of which the zero-skip contract is
+// about.
+void expect_bitwise_equal(const ag::Tensor& want, const ag::Tensor& got,
+                          const char* tag, int threads) {
+  ASSERT_EQ(want.size(), got.size()) << tag;
+  for (int i = 0; i < want.size(); ++i) {
+    std::uint32_t wb = 0, gb = 0;
+    std::memcpy(&wb, want.data() + i, sizeof(wb));
+    std::memcpy(&gb, got.data() + i, sizeof(gb));
+    ASSERT_EQ(wb, gb) << tag << " index " << i << " threads " << threads
+                      << " want " << want[static_cast<std::size_t>(i)]
+                      << " got " << got[static_cast<std::size_t>(i)];
+  }
+}
+
+// The blocked kernels (serial and threaded) must be bitwise equal to the
+// pre-blocking loops above — tiling, the tn pair-unroll, and thread
+// partitioning may only change *where* each add runs, never its order.
+TEST(ParDeterminism, MatmulBitwiseEqualToUnblockedReference) {
+  Rng rng(17);
+  const int m = 97, k = 33, n = 29;  // deliberately non-multiples of tiles
+  ag::Tensor a(m, k), b(k, n), bt(n, k), at(k, m);
+  fill_with_zero_runs(a, rng);
+  fill_with_zero_runs(b, rng);
+  fill_with_zero_runs(bt, rng);
+  fill_with_zero_runs(at, rng);
+
+  const ag::Tensor ref = reference_matmul(a, b);
+  const ag::Tensor ref_tn = reference_matmul_tn(at, b);
+  const ag::Tensor ref_nt = reference_matmul_nt(a, bt);
+
+  const long long saved = ag::matmul_parallel_threshold();
+  for (const int threads : {1, 4}) {
+    ag::set_matmul_parallel_threshold(threads == 1 ? saved : 0);
+    par::set_global_threads(threads);
+    expect_bitwise_equal(ref, ag::matmul(a, b), "nn", threads);
+    expect_bitwise_equal(ref_tn, ag::matmul_tn(at, b), "tn", threads);
+    expect_bitwise_equal(ref_nt, ag::matmul_nt(a, bt), "nt", threads);
+  }
   ag::set_matmul_parallel_threshold(saved);
   par::set_global_threads(1);
 }

@@ -1,6 +1,7 @@
 #include "par/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -106,14 +107,57 @@ TEST(ParallelFor, PropagatesChunkExceptions) {
       std::runtime_error);
 }
 
+TEST(ParallelFor, WaitsForAllChunksWhenOneThrows) {
+  set_global_threads(4);
+  // The caller's first chunk (lo == 0) throws; the worker chunks keep
+  // writing through a reference to this stack-local vector. parallel_for
+  // must not return (and unwind it) until every chunk has finished.
+  std::vector<std::atomic<int>> hits(96);
+  EXPECT_THROW(
+      parallel_for(0, 96, 1,
+                   [&](std::int64_t lo, std::int64_t hi) {
+                     if (lo == 0) throw std::runtime_error("first chunk");
+                     std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                     for (std::int64_t i = lo; i < hi; ++i) {
+                       hits[static_cast<std::size_t>(i)].fetch_add(1);
+                     }
+                   }),
+      std::runtime_error);
+  // Every index outside the throwing chunk was visited exactly once, i.e.
+  // all submitted chunks completed before parallel_for returned.
+  const std::int64_t first_chunk = 96 / (4 * 4);
+  for (std::int64_t i = first_chunk; i < 96; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
 TEST(GlobalPool, SetThreadsResizesAndIsIdempotent) {
   set_global_threads(3);
   EXPECT_EQ(global_threads(), 3);
-  ThreadPool* before = &global_pool();
+  ThreadPool* before = global_pool().get();
   set_global_threads(3);  // same width: pool object must survive
-  EXPECT_EQ(&global_pool(), before);
+  EXPECT_EQ(global_pool().get(), before);
   set_global_threads(1);
   EXPECT_EQ(global_threads(), 1);
+}
+
+TEST(GlobalPool, RebuildDuringInFlightWorkIsSafe) {
+  set_global_threads(4);
+  // parallel_for holds a shared_ptr to the pool it started on, so a
+  // concurrent set_global_threads must not free it mid-loop.
+  std::atomic<std::int64_t> sum{0};
+  std::thread rebuilder([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    set_global_threads(2);
+  });
+  parallel_for(0, 64, 1, [&](std::int64_t lo, std::int64_t hi) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    sum.fetch_add(hi - lo);
+  });
+  rebuilder.join();
+  EXPECT_EQ(sum.load(), 64);
+  EXPECT_EQ(global_threads(), 2);
+  set_global_threads(1);
 }
 
 TEST(GlobalPool, DefaultThreadsIsPositive) {
