@@ -56,6 +56,24 @@ Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
   }
 }
 
+void Adam::set_state(long step_count, std::vector<Tensor> m,
+                     std::vector<Tensor> v) {
+  RN_CHECK(step_count >= 0, "Adam step count cannot be negative");
+  RN_CHECK(m.size() == params_.size() && v.size() == params_.size(),
+           "Adam state has " + std::to_string(m.size()) + "/" +
+               std::to_string(v.size()) + " moment tensors for " +
+               std::to_string(params_.size()) + " parameters");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    RN_CHECK(m[i].same_shape(params_[i]->value) &&
+                 v[i].same_shape(params_[i]->value),
+             "Adam moment shape mismatch for parameter '" +
+                 params_[i]->name + "'");
+  }
+  t_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 void Adam::step() {
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));

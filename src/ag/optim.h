@@ -55,6 +55,14 @@ class Adam final : public Optimizer {
   float lr() const { return lr_; }
   long step_count() const { return t_; }
 
+  // Serializable state: first/second moments aligned with params(), plus
+  // the step count driving bias correction. Restoring them makes the next
+  // step() bitwise identical to an optimizer that was never serialized.
+  const std::vector<Tensor>& moments_m() const { return m_; }
+  const std::vector<Tensor>& moments_v() const { return v_; }
+  void set_state(long step_count, std::vector<Tensor> m,
+                 std::vector<Tensor> v);
+
  private:
   float lr_, beta1_, beta2_, eps_;
   long t_ = 0;

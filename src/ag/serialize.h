@@ -1,13 +1,27 @@
-// Binary checkpointing of parameter sets.
+// Binary checkpointing of parameter sets and full training state.
 //
-// File format: magic "RNCKPT1\n", uint32 count, then per parameter:
-// uint32 name_len, name bytes, int32 rows, int32 cols, float payload.
-// Stream overloads let callers embed a parameter block inside a larger
-// model file (config header + parameters).
+// Two container formats, both versioned by magic string:
+//
+//  * "RNCKPT1\n" — a bare parameter block: uint32 count, then per parameter
+//    uint32 name_len, name bytes, int32 rows, int32 cols, float payload.
+//    Stream overloads let callers embed a parameter block inside a larger
+//    model file (config header + parameters).
+//  * "RNCKPT2\n" — a full training-state checkpoint: the parameter block
+//    plus optimizer state (Adam first/second moments and step count), named
+//    RNG engine states, and a trainer cursor (epoch, batch offset, best-eval
+//    tracking, the epoch's shuffled sample order). The payload is length-
+//    prefixed and CRC32-protected, and files are written atomically
+//    (temp file + rename), so a crash mid-write can never leave a torn
+//    file that later loads. See docs/file-formats.md for the byte layout.
+//
+// `load_train_checkpoint*` also accepts RNCKPT1 files, yielding a
+// params-only checkpoint (no optimizer/RNG/cursor sections).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ag/tape.h"
@@ -20,10 +34,94 @@ void save_parameters(const std::string& path,
                      const std::vector<Parameter*>& params);
 
 // Loads by name into the given parameters; shapes must match exactly.
-// Throws if a parameter is missing from the stream.
+// Throws if a parameter is missing from the stream, naming the parameter
+// and (on shape mismatch) both shapes.
 void load_parameters(std::istream& in,
                      const std::vector<Parameter*>& params);
 void load_parameters(const std::string& path,
                      const std::vector<Parameter*>& params);
+
+// Assigns `named` tensors onto `params` by name. Error messages name the
+// offending parameter and both shapes; `context` prefixes them (e.g. the
+// file being loaded).
+void apply_named_tensors(
+    const std::vector<std::pair<std::string, Tensor>>& named,
+    const std::vector<Parameter*>& params, const std::string& context);
+
+// CRC32 (IEEE 802.3 / zlib polynomial) of `len` bytes, optionally chained
+// from a previous call's result.
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t crc = 0);
+
+// Writes `bytes` to `path` via a same-directory temporary file and an
+// atomic rename, so concurrent readers (and crashes) never observe a
+// partially written file.
+void atomic_write_file(const std::string& path, const std::string& bytes);
+
+// Everything needed to stop a training run at an arbitrary batch and later
+// continue it to a bitwise-identical final model.
+struct TrainCheckpoint {
+  // Model parameters, by name.
+  std::vector<std::pair<std::string, Tensor>> params;
+
+  // Adam state; absent when loading a bare RNCKPT1 parameter block.
+  bool has_optimizer = false;
+  std::int64_t adam_step = 0;
+  float lr = 0.0f;
+  std::vector<std::pair<std::string, Tensor>> adam_m;
+  std::vector<std::pair<std::string, Tensor>> adam_v;
+
+  // Named RNG engine states (std::mt19937_64 text serialization).
+  std::vector<std::pair<std::string, std::string>> rng_streams;
+
+  // Trainer cursor. `next_index` is the sample offset within `order` at
+  // which the resumed epoch continues; `order` is that epoch's shuffled
+  // sample order (the shuffle RNG has already advanced past it).
+  bool has_cursor = false;
+  std::int32_t epoch = 0;
+  std::int64_t next_index = 0;
+  std::uint64_t total_batches = 0;
+  double best_eval_mre = -1.0;
+  std::int32_t best_epoch = -1;
+  std::int32_t epochs_since_best = 0;
+  double epoch_loss_sum = 0.0;
+  std::int32_t epoch_batches = 0;
+  std::uint64_t epoch_samples = 0;
+  std::vector<std::int32_t> order;
+};
+
+// Serializes to / parses from the RNCKPT2 wire format. The byte form is
+// exposed so tests can fuzz the parser without touching the filesystem;
+// the parser never allocates more than the payload size it was handed and
+// throws std::runtime_error on any corruption (bad magic, length mismatch,
+// CRC failure, truncated or absurd fields).
+std::string train_checkpoint_bytes(const TrainCheckpoint& ckpt);
+TrainCheckpoint parse_train_checkpoint(const std::string& bytes);
+
+// Atomic, CRC-protected save. Returns the file size in bytes.
+std::size_t save_train_checkpoint(const std::string& path,
+                                  const TrainCheckpoint& ckpt);
+TrainCheckpoint load_train_checkpoint(const std::string& path);
+
+// Rotation naming: checkpoints of one run share a base path and carry a
+// monotonic sequence suffix, e.g. base "run.ckpt" -> "run.ckpt.000007".
+std::string checkpoint_file_name(const std::string& base, std::uint64_t seq);
+
+struct CheckpointFile {
+  std::uint64_t seq = 0;
+  std::string path;
+};
+
+// All rotation files for `base`, newest (highest seq) first.
+std::vector<CheckpointFile> list_checkpoints(const std::string& base);
+
+// Resume entry point. If `path` names an existing file it is loaded
+// directly (corruption throws). Otherwise `path` is treated as a rotation
+// base: candidates are tried newest-first, skipping files that fail CRC or
+// parsing; `fallbacks` (when non-null) counts the skips and `loaded_path`
+// receives the file that won. Throws when no candidate loads.
+TrainCheckpoint load_train_checkpoint_auto(const std::string& path,
+                                           std::string* loaded_path = nullptr,
+                                           int* fallbacks = nullptr);
 
 }  // namespace rn::ag

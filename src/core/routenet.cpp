@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 
 #include "ag/serialize.h"
 #include "obs/timer.h"
@@ -196,8 +197,10 @@ constexpr std::size_t kModelMagicLen = 8;
 }  // namespace
 
 void RouteNet::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  RN_CHECK(out.good(), "cannot open model file for writing: " + path);
+  // Serialize to memory, then write atomically (temp file + rename) so a
+  // crash mid-save — e.g. during the trainer's best-model checkpoint —
+  // never leaves a torn file behind.
+  std::ostringstream out(std::ios::binary);
   out.write(kModelMagicV3, kModelMagicLen);
   auto write_pod = [&out](const auto& v) {
     out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -218,7 +221,8 @@ void RouteNet::save(const std::string& path) const {
   write_pod(norm_.log_jitter_mean);
   write_pod(norm_.log_jitter_std);
   ag::save_parameters(out, const_cast<RouteNet*>(this)->params());
-  RN_CHECK(out.good(), "write failure on model file: " + path);
+  RN_CHECK(out.good(), "serialization failure for model file: " + path);
+  ag::atomic_write_file(path, out.str());
 }
 
 RouteNet RouteNet::load(const std::string& path) {

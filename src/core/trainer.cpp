@@ -1,16 +1,66 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <sstream>
 
 #include "ag/optim.h"
+#include "ag/serialize.h"
 #include "obs/event.h"
 #include "obs/timer.h"
 #include "par/thread_pool.h"
 #include "util/rng.h"
 
 namespace rn::core {
+
+namespace {
+
+// Set by the SIGINT/SIGTERM handler; polled once per batch so a signal
+// turns into "finish the batch, checkpoint, return" instead of a torn run.
+std::atomic<bool> g_stop_requested{false};
+
+void stop_signal_handler(int) { g_stop_requested.store(true); }
+
+// Installs the stop handler for the duration of fit() and restores the
+// previous disposition on exit.
+class SignalGuard {
+ public:
+  explicit SignalGuard(bool enable) : enabled_(enable) {
+    if (!enabled_) return;
+    g_stop_requested.store(false);
+    prev_int_ = std::signal(SIGINT, stop_signal_handler);
+    prev_term_ = std::signal(SIGTERM, stop_signal_handler);
+  }
+  ~SignalGuard() {
+    if (!enabled_) return;
+    std::signal(SIGINT, prev_int_);
+    std::signal(SIGTERM, prev_term_);
+  }
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+ private:
+  bool enabled_;
+  void (*prev_int_)(int) = nullptr;
+  void (*prev_term_)(int) = nullptr;
+};
+
+std::string engine_state(Rng& rng) {
+  std::ostringstream os;
+  os << rng.engine();
+  return os.str();
+}
+
+void restore_engine(Rng& rng, const std::string& state) {
+  std::istringstream is(state);
+  is >> rng.engine();
+  RN_CHECK(!is.fail(), "corrupt RNG stream state in checkpoint");
+}
+
+}  // namespace
 
 Trainer::Trainer(RouteNet& model, const TrainConfig& config)
     : model_(model), cfg_(config) {
@@ -19,6 +69,12 @@ Trainer::Trainer(RouteNet& model, const TrainConfig& config)
   RN_CHECK(cfg_.learning_rate > 0.0f, "learning rate must be positive");
   RN_CHECK(cfg_.lr_decay > 0.0f && cfg_.lr_decay <= 1.0f,
            "lr decay must be in (0,1]");
+  RN_CHECK(cfg_.checkpoint_every_n_batches >= 0,
+           "checkpoint_every_n_batches cannot be negative");
+  RN_CHECK(cfg_.checkpoint_every_n_batches == 0 || !cfg_.state_path.empty(),
+           "checkpoint_every_n_batches requires state_path");
+  RN_CHECK(cfg_.keep_checkpoints >= 1, "keep_checkpoints must be positive");
+  RN_CHECK(cfg_.max_batches >= 0, "max_batches cannot be negative");
 }
 
 double Trainer::evaluate_delay_mre(
@@ -90,22 +146,202 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
   obs::Histogram& h_epoch = reg.histogram("trainer.epoch_s");
   obs::Counter& c_batches = reg.counter("trainer.batches_total");
   obs::Counter& c_samples = reg.counter("trainer.samples_total");
+  obs::Histogram& h_ckpt_save = reg.histogram("ckpt.save_s");
+  obs::Histogram& h_ckpt_load = reg.histogram("ckpt.load_s");
+  obs::Counter& c_ckpt_saves = reg.counter("ckpt.saves_total");
+  obs::Counter& c_ckpt_bytes = reg.counter("ckpt.bytes_written_total");
+  obs::Counter& c_ckpt_resumes = reg.counter("ckpt.resumes_total");
+  obs::Counter& c_ckpt_fallbacks = reg.counter("ckpt.fallbacks_total");
+  obs::Gauge& g_ckpt_seq = reg.gauge("ckpt.last_seq");
 
   TrainReport report;
+  // Best-eval tracking lives in locals so a resumed run continues the
+  // original run's early-stopping and best-model bookkeeping.
+  double best_eval = -1.0;
+  int best_epoch = -1;
   int epochs_since_best = 0;
-  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
-    obs::Stopwatch epoch_watch;
-    // Fisher–Yates shuffle of the sample order.
-    for (std::size_t i = order.size(); i > 1; --i) {
-      const auto j = static_cast<std::size_t>(
-          shuffle_rng.uniform_int(0, static_cast<int>(i) - 1));
-      std::swap(order[i - 1], order[j]);
-    }
+  int start_epoch = 0;
+  std::size_t resume_offset = 0;
+  bool resume_epoch_pending = false;
+  double resumed_loss_sum = 0.0;
+  int resumed_batches = 0;
+  std::uint64_t resumed_samples = 0;
+  std::uint64_t total_batches = 0;
+  std::uint64_t ckpt_seq = 0;
 
+  if (!cfg_.state_path.empty()) {
+    // Continue the rotation numbering of any files already present so a
+    // resumed run never overwrites the checkpoint it restarted from.
+    const std::vector<ag::CheckpointFile> existing =
+        ag::list_checkpoints(cfg_.state_path);
+    if (!existing.empty()) ckpt_seq = existing.front().seq;
+  }
+
+  if (!cfg_.resume_from.empty()) {
+    obs::Stopwatch load_watch;
+    std::string loaded_path;
+    int fallbacks = 0;
+    const ag::TrainCheckpoint st = ag::load_train_checkpoint_auto(
+        cfg_.resume_from, &loaded_path, &fallbacks);
+    ag::apply_named_tensors(st.params, optimizer.params(),
+                            "checkpoint " + loaded_path);
+    if (st.has_optimizer) {
+      // The moment tensors travel by name; realign them with this model's
+      // parameter order before handing them to Adam.
+      std::vector<ag::Tensor> m, v;
+      m.reserve(optimizer.params().size());
+      v.reserve(optimizer.params().size());
+      for (const ag::Parameter* p : optimizer.params()) {
+        const auto it = std::find_if(
+            st.adam_m.begin(), st.adam_m.end(),
+            [&](const auto& e) { return e.first == p->name; });
+        RN_CHECK(it != st.adam_m.end(),
+                 "checkpoint " + loaded_path +
+                     " is missing optimizer state for parameter '" +
+                     p->name + "'");
+        const std::size_t idx =
+            static_cast<std::size_t>(it - st.adam_m.begin());
+        m.push_back(it->second);
+        v.push_back(st.adam_v[idx].second);
+      }
+      optimizer.set_state(st.adam_step, std::move(m), std::move(v));
+      optimizer.set_lr(st.lr);
+    }
+    for (const auto& [name, state] : st.rng_streams) {
+      if (name == "shuffle") restore_engine(shuffle_rng, state);
+      if (name == "dropout") restore_engine(dropout_rng, state);
+    }
+    if (st.has_cursor) {
+      RN_CHECK(st.order.size() == train.size(),
+               "checkpoint " + loaded_path + " was trained on " +
+                   std::to_string(st.order.size()) +
+                   " samples but this dataset has " +
+                   std::to_string(train.size()));
+      start_epoch = st.epoch;
+      resume_offset = static_cast<std::size_t>(st.next_index);
+      order.assign(st.order.begin(), st.order.end());
+      resume_epoch_pending = true;
+      best_eval = st.best_eval_mre;
+      best_epoch = st.best_epoch;
+      epochs_since_best = st.epochs_since_best;
+      resumed_loss_sum = st.epoch_loss_sum;
+      resumed_batches = st.epoch_batches;
+      resumed_samples = st.epoch_samples;
+      total_batches = st.total_batches;
+      report.resumed_epoch = start_epoch;
+    }
+    const double load_s = load_watch.elapsed_s();
+    h_ckpt_load.record(load_s);
+    c_ckpt_resumes.add(1);
+    c_ckpt_fallbacks.add(static_cast<std::uint64_t>(fallbacks));
+    if (sink.enabled() || cfg_.verbose) {
+      obs::Event ev("ckpt.resume");
+      ev.f("path", loaded_path)
+          .f("epoch", start_epoch)
+          .f("batch_offset", resume_offset)
+          .f("total_batches", total_batches)
+          .f("fallbacks", fallbacks)
+          .f("load_s", load_s);
+      sink.emit(ev);
+      if (cfg_.verbose) {
+        const std::string line = ev.console_line();
+        std::fwrite(line.data(), 1, line.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  // Snapshots the entire training state (cursor pointing at `next_index`
+  // within the current epoch), rotates old files, and reports telemetry.
+  const auto save_state = [&](int epoch, std::size_t next_index,
+                              double loss_sum, int batches,
+                              std::uint64_t samples_seen) {
+    if (cfg_.state_path.empty()) return;
+    obs::Stopwatch save_watch;
+    ag::TrainCheckpoint st;
+    for (const ag::Parameter* p : optimizer.params()) {
+      st.params.emplace_back(p->name, p->value);
+    }
+    st.has_optimizer = true;
+    st.adam_step = optimizer.step_count();
+    st.lr = optimizer.lr();
+    const std::vector<ag::Parameter*>& params = optimizer.params();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      st.adam_m.emplace_back(params[i]->name, optimizer.moments_m()[i]);
+      st.adam_v.emplace_back(params[i]->name, optimizer.moments_v()[i]);
+    }
+    st.rng_streams.emplace_back("shuffle", engine_state(shuffle_rng));
+    st.rng_streams.emplace_back("dropout", engine_state(dropout_rng));
+    st.has_cursor = true;
+    st.epoch = epoch;
+    st.next_index = static_cast<std::int64_t>(next_index);
+    st.total_batches = total_batches;
+    st.best_eval_mre = best_eval;
+    st.best_epoch = best_epoch;
+    st.epochs_since_best = epochs_since_best;
+    st.epoch_loss_sum = loss_sum;
+    st.epoch_batches = batches;
+    st.epoch_samples = samples_seen;
+    st.order.assign(order.begin(), order.end());
+
+    ++ckpt_seq;
+    const std::string path =
+        ag::checkpoint_file_name(cfg_.state_path, ckpt_seq);
+    const std::size_t bytes = ag::save_train_checkpoint(path, st);
+    for (const ag::CheckpointFile& old :
+         ag::list_checkpoints(cfg_.state_path)) {
+      if (old.seq + static_cast<std::uint64_t>(cfg_.keep_checkpoints) <=
+          ckpt_seq) {
+        std::remove(old.path.c_str());
+      }
+    }
+    const double save_s = save_watch.elapsed_s();
+    h_ckpt_save.record(save_s);
+    c_ckpt_saves.add(1);
+    c_ckpt_bytes.add(bytes);
+    g_ckpt_seq.set(static_cast<double>(ckpt_seq));
+    if (sink.enabled()) {
+      obs::Event ev("ckpt.save");
+      ev.f("path", path)
+          .f("seq", ckpt_seq)
+          .f("epoch", epoch)
+          .f("batch_offset", next_index)
+          .f("total_batches", total_batches)
+          .f("bytes", bytes)
+          .f("save_s", save_s);
+      sink.emit(ev);
+    }
+  };
+
+  SignalGuard signal_guard(cfg_.handle_signals);
+  bool stop_all = false;
+  bool interrupted = false;
+
+  for (int epoch = start_epoch; epoch < cfg_.epochs && !stop_all; ++epoch) {
+    obs::Stopwatch epoch_watch;
+    std::size_t first_offset = 0;
     double loss_sum = 0.0;
     int batches = 0;
-    std::size_t samples_seen = 0;
-    for (std::size_t start = 0; start < order.size();
+    std::uint64_t samples_seen = 0;
+    if (resume_epoch_pending) {
+      // The resumed epoch's order and partial accumulators come from the
+      // checkpoint; its shuffle already happened before the save.
+      first_offset = resume_offset;
+      loss_sum = resumed_loss_sum;
+      batches = resumed_batches;
+      samples_seen = resumed_samples;
+      resume_epoch_pending = false;
+    } else {
+      // Fisher–Yates shuffle of the sample order.
+      for (std::size_t i = order.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(
+            shuffle_rng.uniform_int(0, static_cast<int>(i) - 1));
+        std::swap(order[i - 1], order[j]);
+      }
+    }
+
+    for (std::size_t start = first_offset; start < order.size();
          start += static_cast<std::size_t>(cfg_.batch_size)) {
       const std::size_t end = std::min(
           order.size(), start + static_cast<std::size_t>(cfg_.batch_size));
@@ -152,6 +388,7 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
       loss_sum += batch_loss;
       ++batches;
       samples_seen += end - start;
+      ++total_batches;
       c_batches.add(1);
       c_samples.add(end - start);
       if (sink.enabled()) {
@@ -169,7 +406,30 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
             .f("step_s", step_s);
         sink.emit(ev);
       }
+
+      if (cfg_.max_batches > 0 &&
+          total_batches >= static_cast<std::uint64_t>(cfg_.max_batches)) {
+        // Crash-simulation hook: stop cold, deliberately NOT saving, so
+        // tests resume from whatever checkpoint a real kill would leave.
+        interrupted = true;
+        stop_all = true;
+        break;
+      }
+      if (cfg_.checkpoint_every_n_batches > 0 &&
+          total_batches %
+                  static_cast<std::uint64_t>(
+                      cfg_.checkpoint_every_n_batches) ==
+              0) {
+        save_state(epoch, end, loss_sum, batches, samples_seen);
+      }
+      if (g_stop_requested.load()) {
+        save_state(epoch, end, loss_sum, batches, samples_seen);
+        interrupted = true;
+        stop_all = true;
+        break;
+      }
     }
+    if (stop_all) break;
 
     EpochLog log;
     log.epoch = epoch;
@@ -177,9 +437,9 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
     log.eval_delay_mre = -1.0;
     if (eval != nullptr && !eval->empty()) {
       log.eval_delay_mre = evaluate_delay_mre(model_, *eval);
-      if (report.best_epoch < 0 || log.eval_delay_mre < report.best_eval_mre) {
-        report.best_eval_mre = log.eval_delay_mre;
-        report.best_epoch = epoch;
+      if (best_epoch < 0 || log.eval_delay_mre < best_eval) {
+        best_eval = log.eval_delay_mre;
+        best_epoch = epoch;
         epochs_since_best = 0;
         if (!cfg_.checkpoint_path.empty()) {
           model_.save(cfg_.checkpoint_path);
@@ -199,7 +459,8 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
           .f("threads", par::global_threads())
           .f("epoch_s", epoch_s)
           .f("samples_per_s",
-             epoch_s > 0.0 ? static_cast<double>(samples_seen) / epoch_s : 0.0);
+             epoch_s > 0.0 ? static_cast<double>(samples_seen) / epoch_s
+                           : 0.0);
       if (log.eval_delay_mre >= 0.0) ev.f("eval_mre", log.eval_delay_mre);
       sink.emit(ev);
       if (cfg_.verbose) {
@@ -217,12 +478,28 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
       break;
     }
   }
+
+  report.best_eval_mre = best_eval;
+  report.best_epoch = best_epoch;
+  report.interrupted = interrupted;
+  if (!interrupted) {
+    // Final state checkpoint: a finished run can be resumed later with a
+    // higher epoch budget, and tests can compare optimizer state bitwise.
+    save_state(cfg_.epochs, 0, 0.0, 0, 0);
+  }
   if (sink.enabled()) {
+    if (interrupted) {
+      obs::Event ev("trainer.interrupted");
+      ev.f("total_batches", total_batches)
+          .f("state_saved", cfg_.state_path.empty() ? 0 : 1);
+      sink.emit(ev);
+    }
     obs::Event done("trainer.done");
     done.f("epochs", report.epochs.size())
         .f("final_train_loss", report.final_train_loss)
         .f("best_epoch", report.best_epoch)
-        .f("best_eval_mre", report.best_eval_mre);
+        .f("best_eval_mre", report.best_eval_mre)
+        .f("interrupted", interrupted ? 1 : 0);
     sink.emit(done);
   }
   return report;

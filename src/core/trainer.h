@@ -33,6 +33,31 @@ struct TrainConfig {
   bool verbose = false;
   // When non-empty, the best-eval model is saved here each time it improves.
   std::string checkpoint_path;
+
+  // --- Fault tolerance (see docs/file-formats.md, "RNCKPT2") -------------
+  // Base path for full training-state checkpoints (parameters + Adam
+  // moments + RNG streams + cursor). Files rotate as <state_path>.NNNNNN;
+  // empty disables. A final checkpoint is always written on normal
+  // completion so a finished run can be extended later.
+  std::string state_path;
+  // Save a state checkpoint every N optimizer steps (0: only the final
+  // one). Requires state_path.
+  int checkpoint_every_n_batches = 0;
+  // Rotation depth: how many <state_path>.NNNNNN files to keep.
+  int keep_checkpoints = 3;
+  // Resume source: an explicit checkpoint file, or a rotation base whose
+  // newest CRC-valid file is auto-detected (falling back to older ones).
+  // The run continues at the recorded epoch/batch and yields a final model
+  // bitwise identical to one trained without interruption.
+  std::string resume_from;
+  // Install SIGINT/SIGTERM handlers for the duration of fit(): on signal,
+  // finish the current batch, write a state checkpoint, and return with
+  // report.interrupted set.
+  bool handle_signals = false;
+  // Testing/ops hook: hard-stop after this many optimizer steps WITHOUT
+  // writing a checkpoint — models a crash for kill-and-resume tests
+  // (0: unlimited).
+  long max_batches = 0;
 };
 
 struct EpochLog {
@@ -46,6 +71,11 @@ struct TrainReport {
   double best_eval_mre = -1.0;
   int best_epoch = -1;
   double final_train_loss = 0.0;
+  // True when fit() stopped early on a signal or the max_batches hook; the
+  // model is mid-training and the caller should not publish it as final.
+  bool interrupted = false;
+  // Epoch/batch the run resumed from (-1 when it started fresh).
+  int resumed_epoch = -1;
 };
 
 class Trainer {

@@ -1,6 +1,7 @@
 #include "ag/optim.h"
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -100,6 +101,61 @@ TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
   const double pre = clip_grad_norm({&p}, 1.0);
   EXPECT_DOUBLE_EQ(pre, 0.5);
   EXPECT_FLOAT_EQ(p.grad.at(0, 0), 0.5f);
+}
+
+TEST(Adam, StateRoundTripMakesNextStepBitwiseIdentical) {
+  // Save Adam's moments + step count after a few steps, rebuild a fresh
+  // optimizer from that state, and check the NEXT step lands on bitwise
+  // identical parameters and moments — the property checkpoint/resume
+  // relies on.
+  const Tensor start = Tensor::from_rows({{5.0f, -3.0f}});
+  const Tensor target = Tensor::from_rows({{1.0f, 2.0f}});
+
+  Parameter p("p", start);
+  Adam opt({&p}, 0.1f);
+  quadratic_loss_after(opt, p, target, 3);
+
+  // Snapshot: parameter value, moments, and step count after 3 steps.
+  const Tensor p_after3 = p.value;
+  std::vector<Tensor> m = opt.moments_m();
+  std::vector<Tensor> v = opt.moments_v();
+  const long steps = opt.step_count();
+  ASSERT_EQ(steps, 3);
+
+  // Continue the original for one more step.
+  quadratic_loss_after(opt, p, target, 1);
+
+  // Fresh parameter + optimizer restored from the snapshot.
+  Parameter q("p", p_after3);
+  Adam restored({&q}, 0.1f);
+  restored.set_state(steps, std::move(m), std::move(v));
+  quadratic_loss_after(restored, q, target, 1);
+
+  EXPECT_EQ(restored.step_count(), opt.step_count());
+  EXPECT_EQ(0, std::memcmp(p.value.data(), q.value.data(),
+                           sizeof(float) *
+                               static_cast<std::size_t>(p.value.size())));
+  EXPECT_EQ(0, std::memcmp(opt.moments_m()[0].data(),
+                           restored.moments_m()[0].data(),
+                           sizeof(float) * static_cast<std::size_t>(
+                                               p.value.size())));
+  EXPECT_EQ(0, std::memcmp(opt.moments_v()[0].data(),
+                           restored.moments_v()[0].data(),
+                           sizeof(float) * static_cast<std::size_t>(
+                                               p.value.size())));
+}
+
+TEST(Adam, SetStateRejectsBadInput) {
+  Parameter p("p", Tensor::from_rows({{1.0f, 2.0f}}));
+  Adam opt({&p}, 0.1f);
+  // Wrong tensor count.
+  EXPECT_THROW(opt.set_state(1, {}, {}), std::runtime_error);
+  // Wrong shape.
+  EXPECT_THROW(opt.set_state(1, {Tensor(2, 2)}, {Tensor(2, 2)}),
+               std::runtime_error);
+  // Negative step count.
+  EXPECT_THROW(opt.set_state(-1, {Tensor(1, 2)}, {Tensor(1, 2)}),
+               std::runtime_error);
 }
 
 TEST(Optimizer, RejectsNullParams) {

@@ -48,12 +48,43 @@ TEST(Serialize, MissingParameterThrows) {
   EXPECT_THROW(load_parameters(path, {&ghost}), std::runtime_error);
 }
 
+TEST(Serialize, MissingParameterErrorNamesParameterAndShape) {
+  Parameter a("present", Tensor::scalar(1.0f));
+  const std::string path = temp_path("missing_msg.ckpt");
+  save_parameters(path, {&a});
+  Parameter ghost("ghost", Tensor::scalar(0.0f));
+  try {
+    load_parameters(path, {&ghost});
+    FAIL() << "expected a missing-parameter error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'ghost'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1x1"), std::string::npos) << msg;
+  }
+}
+
 TEST(Serialize, ShapeMismatchThrows) {
   Parameter a("p", Tensor(2, 2));
   const std::string path = temp_path("shape.ckpt");
   save_parameters(path, {&a});
   Parameter wrong("p", Tensor(2, 3));
   EXPECT_THROW(load_parameters(path, {&wrong}), std::runtime_error);
+}
+
+TEST(Serialize, ShapeMismatchErrorNamesParameterAndBothShapes) {
+  Parameter a("p", Tensor(2, 2));
+  const std::string path = temp_path("shape_msg.ckpt");
+  save_parameters(path, {&a});
+  Parameter wrong("p", Tensor(2, 3));
+  try {
+    load_parameters(path, {&wrong});
+    FAIL() << "expected a shape-mismatch error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'p'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2x2"), std::string::npos) << msg;  // checkpoint shape
+    EXPECT_NE(msg.find("2x3"), std::string::npos) << msg;  // model shape
+  }
 }
 
 TEST(Serialize, BadMagicThrows) {

@@ -1,0 +1,289 @@
+// Kill-and-resume proof: a training run killed at an arbitrary batch and
+// resumed from its last checkpoint must produce final parameters AND Adam
+// moments bitwise identical to the uninterrupted run — at any thread count
+// (the kernels are bitwise thread-count-invariant since the parallel
+// execution layer landed).
+#include "core/trainer.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ag/serialize.h"
+#include "topology/generators.h"
+
+namespace rn::core {
+namespace {
+
+std::vector<dataset::Sample> tiny_dataset(int count, std::uint64_t seed) {
+  dataset::GeneratorConfig cfg;
+  cfg.target_pkts_per_flow = 60.0;
+  cfg.warmup_s = 0.5;
+  cfg.min_delivered = 5;
+  dataset::DatasetGenerator gen(cfg, seed);
+  auto topology = std::make_shared<const topo::Topology>(topo::ring(6));
+  return gen.generate_many(topology, count);
+}
+
+RouteNetConfig small_model() {
+  RouteNetConfig cfg;
+  cfg.link_state_dim = 8;
+  cfg.path_state_dim = 8;
+  cfg.iterations = 3;
+  cfg.readout_hidden = 12;
+  cfg.dropout = 0.2f;  // exercises the dropout RNG stream across resume
+  return cfg;
+}
+
+TrainConfig base_config(int threads, const std::string& state_path) {
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 2;
+  cfg.learning_rate = 5e-3f;
+  cfg.threads = threads;
+  cfg.state_path = state_path;
+  return cfg;
+}
+
+std::string temp_base(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void remove_base(const std::string& base) {
+  for (const ag::CheckpointFile& f : ag::list_checkpoints(base)) {
+    std::remove(f.path.c_str());
+  }
+}
+
+void expect_params_bitwise_equal(RouteNet& a, RouteNet& b) {
+  const std::vector<ag::Parameter*> pa = a.params();
+  const std::vector<ag::Parameter*> pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->name, pb[i]->name);
+    ASSERT_TRUE(pa[i]->value.same_shape(pb[i]->value)) << pa[i]->name;
+    EXPECT_EQ(0, std::memcmp(
+                     pa[i]->value.data(), pb[i]->value.data(),
+                     sizeof(float) *
+                         static_cast<std::size_t>(pa[i]->value.size())))
+        << "parameter '" << pa[i]->name << "' differs bitwise";
+  }
+}
+
+void expect_optimizer_state_bitwise_equal(const std::string& base_a,
+                                          const std::string& base_b) {
+  const ag::TrainCheckpoint a = ag::load_train_checkpoint_auto(base_a);
+  const ag::TrainCheckpoint b = ag::load_train_checkpoint_auto(base_b);
+  ASSERT_TRUE(a.has_optimizer);
+  ASSERT_TRUE(b.has_optimizer);
+  EXPECT_EQ(a.adam_step, b.adam_step);
+  ASSERT_EQ(a.adam_m.size(), b.adam_m.size());
+  for (std::size_t i = 0; i < a.adam_m.size(); ++i) {
+    ASSERT_EQ(a.adam_m[i].first, b.adam_m[i].first);
+    ASSERT_TRUE(a.adam_m[i].second.same_shape(b.adam_m[i].second));
+    EXPECT_EQ(0,
+              std::memcmp(a.adam_m[i].second.data(), b.adam_m[i].second.data(),
+                          sizeof(float) * static_cast<std::size_t>(
+                                              a.adam_m[i].second.size())))
+        << "adam m '" << a.adam_m[i].first << "' differs bitwise";
+    EXPECT_EQ(0,
+              std::memcmp(a.adam_v[i].second.data(), b.adam_v[i].second.data(),
+                          sizeof(float) * static_cast<std::size_t>(
+                                              a.adam_v[i].second.size())))
+        << "adam v '" << a.adam_v[i].first << "' differs bitwise";
+  }
+}
+
+// Reference run (uninterrupted) vs. crash-at-batch-7 + resume, at a given
+// thread count. 10 samples / batch 2 / 3 epochs = 15 batches total; the
+// crash run checkpoints at batches 2, 4, 6 and dies cold at 7, so the
+// resumed run replays batches 7–15 from the batch-6 checkpoint (or 5–15
+// from batch 4 when the corruption variant knocks out the newest file).
+void run_kill_resume(int threads, const std::string& tag,
+                     bool corrupt_newest) {
+  const std::vector<dataset::Sample> train = tiny_dataset(10, 21);
+  const std::string ref_base = temp_base("resume_ref_" + tag + ".ckpt");
+  const std::string run_base = temp_base("resume_run_" + tag + ".ckpt");
+  remove_base(ref_base);
+  remove_base(run_base);
+
+  RouteNet reference(small_model());
+  {
+    Trainer trainer(reference, base_config(threads, ref_base));
+    const TrainReport report = trainer.fit(train);
+    ASSERT_FALSE(report.interrupted);
+  }
+
+  {
+    RouteNet crashed(small_model());
+    TrainConfig cfg = base_config(threads, run_base);
+    cfg.checkpoint_every_n_batches = 2;
+    cfg.max_batches = 7;  // dies cold mid-epoch-2, after the batch-6 save
+    Trainer trainer(crashed, cfg);
+    const TrainReport report = trainer.fit(train);
+    EXPECT_TRUE(report.interrupted);
+    EXPECT_FALSE(ag::list_checkpoints(run_base).empty());
+  }
+
+  if (corrupt_newest) {
+    // Flip a payload byte of the newest checkpoint: resume must fall back
+    // to the previous one and STILL converge to the reference bit pattern.
+    const std::vector<ag::CheckpointFile> files = ag::list_checkpoints(run_base);
+    ASSERT_GE(files.size(), 2u);
+    std::fstream f(files.front().path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(40);
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0xff);
+    f.seekp(40);
+    f.write(&c, 1);
+  }
+
+  RouteNet resumed(small_model());
+  {
+    TrainConfig cfg = base_config(threads, run_base);
+    cfg.checkpoint_every_n_batches = 2;
+    cfg.resume_from = run_base;
+    Trainer trainer(resumed, cfg);
+    const TrainReport report = trainer.fit(train);
+    ASSERT_FALSE(report.interrupted);
+    EXPECT_GE(report.resumed_epoch, 0);
+  }
+
+  expect_params_bitwise_equal(resumed, reference);
+  expect_optimizer_state_bitwise_equal(run_base, ref_base);
+  remove_base(ref_base);
+  remove_base(run_base);
+}
+
+TEST(TrainerResume, KillAndResumeBitwiseIdenticalOneThread) {
+  run_kill_resume(1, "t1", /*corrupt_newest=*/false);
+}
+
+TEST(TrainerResume, KillAndResumeBitwiseIdenticalFourThreads) {
+  run_kill_resume(4, "t4", /*corrupt_newest=*/false);
+}
+
+TEST(TrainerResume, ResumeFallsBackPastCorruptCheckpoint) {
+  run_kill_resume(1, "corrupt", /*corrupt_newest=*/true);
+}
+
+TEST(TrainerResume, ResumeRestoresBestEvalCursor) {
+  // Early-stopping bookkeeping must survive the crash: resume from a
+  // checkpoint taken mid-run and confirm the final report still tracks a
+  // best epoch (i.e. the cursor came back, not a reset).
+  const std::vector<dataset::Sample> train = tiny_dataset(8, 22);
+  const std::vector<dataset::Sample> eval = tiny_dataset(3, 23);
+  const std::string base = temp_base("resume_best.ckpt");
+  remove_base(base);
+
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 2;
+  cfg.learning_rate = 5e-3f;
+  cfg.threads = 1;
+  cfg.state_path = base;
+  cfg.checkpoint_every_n_batches = 3;
+
+  RouteNet reference(small_model());
+  TrainReport ref_report;
+  {
+    Trainer trainer(reference, cfg);
+    ref_report = trainer.fit(train, &eval);
+  }
+  remove_base(base);
+
+  RouteNet crashed(small_model());
+  {
+    TrainConfig crash_cfg = cfg;
+    crash_cfg.max_batches = 10;  // two full epochs (4 batches each) + 2
+    Trainer trainer(crashed, crash_cfg);
+    const TrainReport report = trainer.fit(train, &eval);
+    EXPECT_TRUE(report.interrupted);
+  }
+
+  RouteNet resumed(small_model());
+  {
+    TrainConfig resume_cfg = cfg;
+    resume_cfg.resume_from = base;
+    Trainer trainer(resumed, resume_cfg);
+    const TrainReport report = trainer.fit(train, &eval);
+    EXPECT_EQ(report.best_epoch, ref_report.best_epoch);
+    EXPECT_EQ(report.best_eval_mre, ref_report.best_eval_mre);
+  }
+  expect_params_bitwise_equal(resumed, reference);
+  remove_base(base);
+}
+
+TEST(TrainerResume, SigintSavesStateAndStops) {
+  const std::vector<dataset::Sample> train = tiny_dataset(6, 24);
+  const std::string base = temp_base("resume_sigint.ckpt");
+  remove_base(base);
+
+  RouteNet model(small_model());
+  TrainConfig cfg;
+  cfg.epochs = 100000;  // would run ~forever without the signal
+  cfg.batch_size = 2;
+  cfg.threads = 1;
+  cfg.state_path = base;
+  cfg.handle_signals = true;
+  Trainer trainer(model, cfg);
+
+  std::thread killer([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    std::raise(SIGINT);
+  });
+  const TrainReport report = trainer.fit(train);
+  killer.join();
+
+  EXPECT_TRUE(report.interrupted);
+  // The handler path saves before returning: the newest checkpoint must
+  // exist, pass CRC, and carry a resumable cursor.
+  const std::vector<ag::CheckpointFile> files = ag::list_checkpoints(base);
+  ASSERT_FALSE(files.empty());
+  const ag::TrainCheckpoint st = ag::load_train_checkpoint_auto(base);
+  EXPECT_TRUE(st.has_cursor);
+  EXPECT_TRUE(st.has_optimizer);
+  EXPECT_GT(st.total_batches, 0u);
+  remove_base(base);
+}
+
+TEST(TrainerResume, ResumeRejectsDatasetOfDifferentSize) {
+  const std::vector<dataset::Sample> train = tiny_dataset(6, 25);
+  const std::string base = temp_base("resume_wrong_ds.ckpt");
+  remove_base(base);
+
+  RouteNet model(small_model());
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 2;
+  cfg.threads = 1;
+  cfg.state_path = base;
+  cfg.checkpoint_every_n_batches = 2;
+  cfg.max_batches = 3;
+  {
+    Trainer trainer(model, cfg);
+    trainer.fit(train);
+  }
+
+  const std::vector<dataset::Sample> smaller = tiny_dataset(4, 25);
+  RouteNet other(small_model());
+  TrainConfig resume_cfg = cfg;
+  resume_cfg.max_batches = 0;
+  resume_cfg.resume_from = base;
+  Trainer trainer(other, resume_cfg);
+  EXPECT_THROW(trainer.fit(smaller), std::runtime_error);
+  remove_base(base);
+}
+
+}  // namespace
+}  // namespace rn::core

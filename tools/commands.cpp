@@ -238,6 +238,12 @@ int cmd_train(const Flags& flags) {
   tcfg.learning_rate = static_cast<float>(flags.get_double("lr", 4e-3));
   tcfg.threads = flags.get_int("threads", 0);
   tcfg.verbose = true;
+  tcfg.state_path = flags.get_string("ckpt-state", "");
+  tcfg.checkpoint_every_n_batches = flags.get_int("ckpt-every", 0);
+  tcfg.keep_checkpoints = flags.get_int("ckpt-keep", 3);
+  tcfg.resume_from = flags.get_string("resume", "");
+  tcfg.max_batches = flags.get_int("max-batches", 0);
+  tcfg.handle_signals = true;
   const std::string out = flags.require_string("out");
   tcfg.checkpoint_path = eval_set.empty() ? "" : out;
   flags.reject_unused();
@@ -248,6 +254,16 @@ int cmd_train(const Flags& flags) {
   core::Trainer trainer(model, tcfg);
   const core::TrainReport report =
       trainer.fit(train, eval_set.empty() ? nullptr : &eval_set);
+  if (report.interrupted) {
+    if (tcfg.state_path.empty()) {
+      std::printf("training interrupted; no --ckpt-state was set, so no "
+                  "state was saved\n");
+    } else {
+      std::printf("training interrupted; resume with --resume %s\n",
+                  tcfg.state_path.c_str());
+    }
+    return 0;
+  }
   if (eval_set.empty()) {
     model.save(out);
   } else {

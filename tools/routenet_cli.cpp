@@ -8,6 +8,8 @@
 //                          --traffic net.traffic --out sim.csv
 //   routenet gen-dataset   --topology nsfnet --count 100 --out train.ds
 //   routenet train         --dataset train.ds --eval eval.ds --out net.model
+//                          [--ckpt-state run.ckpt --ckpt-every 50
+//                           --ckpt-keep 3 --resume run.ckpt]
 //   routenet eval          --model net.model --dataset eval.ds
 //   routenet predict       --model net.model --topology net.topo
 //                          --routing net.routes --traffic net.traffic --top 10
@@ -41,7 +43,12 @@ int usage() {
       "  make-traffic   draw a traffic matrix at a target utilization\n"
       "  simulate       run the packet-level simulator on a scenario\n"
       "  gen-dataset    generate a labeled training/eval dataset\n"
-      "  train          train RouteNet on a dataset\n"
+      "  train          train RouteNet on a dataset; --ckpt-state BASE +\n"
+      "                 --ckpt-every N checkpoint full training state\n"
+      "                 (params, Adam moments, RNG streams, cursor) with\n"
+      "                 keep-last-K rotation; --resume BASE continues a\n"
+      "                 killed run to a bitwise-identical final model;\n"
+      "                 SIGINT/SIGTERM save state before exiting\n"
       "  eval           report MRE / Pearson r / R^2 of a model\n"
       "  predict        per-path delay/jitter for a scenario + Top-N\n"
       "  whatif         rank link upgrades & failures with a trained model\n"
