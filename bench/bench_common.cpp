@@ -9,6 +9,7 @@
 #include "obs/event.h"
 #include "obs/json.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 
 namespace rn::bench {
@@ -228,12 +229,15 @@ PaperSetup load_or_train_paper_setup(const ExperimentScale& scale) {
 
 void init_bench_telemetry(int argc, char** argv) {
   std::string path;
+  std::string trace_path;
   int threads = 0;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--metrics-out") path = argv[i + 1];
+    if (std::string(argv[i]) == "--trace-out") trace_path = argv[i + 1];
     if (std::string(argv[i]) == "--threads") threads = std::atoi(argv[i + 1]);
   }
   obs::EventSink::global().open_or_env(path);
+  obs::Tracer::global().open_or_env(trace_path);
   par::set_global_threads(threads);
   bench_watch().restart();
 }
@@ -242,19 +246,29 @@ std::string finish_bench_telemetry(const std::string& bench_name,
                                    const ExperimentScale& scale) {
   obs::Registry::global().gauge("bench.wall_s").set(
       bench_watch().elapsed_s());
+  // Spans are drained once here; the summary lands in BENCH_*.json whether
+  // or not a --trace-out file captures the full timeline.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const std::vector<obs::TraceRecord> spans = tracer.collect();
   const std::string path = cache_dir() + "/BENCH_" + bench_name + ".json";
   {
     std::ofstream out(path);
     if (out.good()) {
       out << "{\"bench\":\"" << obs::json_escape(bench_name)
           << "\",\"scale\":\"" << obs::json_escape(scale.name)
-          << "\",\"telemetry\":"
+          << "\",\"trace\":" << obs::trace_summary_json(spans,
+                                                        tracer.dropped())
+          << ",\"telemetry\":"
           << obs::Registry::global().snapshot().to_json() << "}\n";
     }
   }
   std::printf("\ntelemetry -> %s\n", path.c_str());
   obs::emit_registry_snapshot();
   obs::EventSink::global().close();
+  if (!tracer.out_path().empty()) {
+    obs::Tracer::write_chrome_trace(tracer.out_path(), spans);
+    tracer.disable();
+  }
   return path;
 }
 

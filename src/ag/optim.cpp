@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace rn::ag {
 
 Optimizer::Optimizer(std::vector<Parameter*> params)
@@ -75,6 +77,7 @@ void Adam::set_state(long step_count, std::vector<Tensor> m,
 }
 
 void Adam::step() {
+  obs::TraceSpan span("ag.adam_step");
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace rn::ag {
 
 namespace {
@@ -480,6 +482,7 @@ const Tensor& Tape::grad(ValueId id) const {
 }
 
 void Tape::backward(ValueId root) {
+  obs::TraceSpan span("ag.backward");
   Node& r = node(root);
   RN_CHECK(r.value.rows() == 1 && r.value.cols() == 1,
            "backward root must be a 1×1 scalar");

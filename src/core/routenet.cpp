@@ -6,6 +6,7 @@
 
 #include "ag/serialize.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace rn::core {
 
@@ -56,6 +57,7 @@ RouteNet::Output RouteNet::forward(ag::Tape& tape, const GraphBatch& batch,
   static obs::Histogram& h_readout =
       obs::Registry::global().histogram("routenet.readout_s");
   obs::ScopedTimer forward_timer(h_forward);
+  obs::TraceSpan forward_span("routenet.forward");
   double path_phase_s = 0.0;
   double link_phase_s = 0.0;
 
@@ -65,6 +67,8 @@ RouteNet::Output RouteNet::forward(ag::Tape& tape, const GraphBatch& batch,
       pad_initial_state(batch.path_features, config_.path_state_dim));
 
   for (int t = 0; t < config_.iterations; ++t) {
+    obs::TraceSpan mp_span("routenet.mp");
+    mp_span.arg("iter", t);
     obs::Stopwatch phase;
     // Path update: vectorized RNN over hop positions. All paths that are at
     // least s+1 hops long advance together at position s.
@@ -105,6 +109,7 @@ RouteNet::Output RouteNet::forward(ag::Tape& tape, const GraphBatch& batch,
   h_link_phase.record(link_phase_s);
 
   obs::ScopedTimer readout_timer(h_readout);
+  obs::TraceSpan readout_span("routenet.readout");
   if (dropout_rng != nullptr && config_.dropout > 0.0f) {
     h_paths = tape.dropout(h_paths, config_.dropout, *dropout_rng);
   }

@@ -5,12 +5,16 @@
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <limits>
+#include <map>
 #include <sstream>
+#include <stdexcept>
 
 #include "ag/optim.h"
 #include "ag/serialize.h"
 #include "obs/event.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "util/rng.h"
 
@@ -60,6 +64,62 @@ void restore_engine(Rng& rng, const std::string& state) {
   RN_CHECK(!is.fail(), "corrupt RNG stream state in checkpoint");
 }
 
+bool tensor_finite(const ag::Tensor& t) {
+  const int n = t.size();
+  for (int i = 0; i < n; ++i) {
+    if (!std::isfinite(t[static_cast<std::size_t>(i)])) return false;
+  }
+  return true;
+}
+
+double tensor_l2(const ag::Tensor& t) {
+  double sq = 0.0;
+  const int n = t.size();
+  for (int i = 0; i < n; ++i) {
+    const double v = t[static_cast<std::size_t>(i)];
+    sq += v * v;
+  }
+  return std::sqrt(sq);
+}
+
+// "routenet.path_gru.W_z" → "routenet.path_gru"; no dot → the whole name.
+std::string module_of(const std::string& name) {
+  const std::size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+struct ModuleNorms {
+  double param_sq = 0.0;
+  double grad_sq = 0.0;
+};
+
+// Per-module squared-norm rollup of parameters and gradients, the health
+// event's breakdown (sqrt applied at emission).
+std::map<std::string, ModuleNorms> module_norms(
+    const std::vector<ag::Parameter*>& params) {
+  std::map<std::string, ModuleNorms> out;
+  for (const ag::Parameter* p : params) {
+    ModuleNorms& m = out[module_of(p->name)];
+    const double pv = tensor_l2(p->value);
+    const double gv = tensor_l2(p->grad);
+    m.param_sq += pv * pv;
+    m.grad_sq += gv * gv;
+  }
+  return out;
+}
+
+// First parameter whose gradient (then value) holds a non-finite entry;
+// "loss" when every tensor checks out (the loss itself diverged).
+std::string find_nonfinite_tensor(const std::vector<ag::Parameter*>& params) {
+  for (const ag::Parameter* p : params) {
+    if (!tensor_finite(p->grad)) return p->name + ".grad";
+  }
+  for (const ag::Parameter* p : params) {
+    if (!tensor_finite(p->value)) return p->name;
+  }
+  return "loss";
+}
+
 }  // namespace
 
 Trainer::Trainer(RouteNet& model, const TrainConfig& config)
@@ -75,6 +135,8 @@ Trainer::Trainer(RouteNet& model, const TrainConfig& config)
            "checkpoint_every_n_batches requires state_path");
   RN_CHECK(cfg_.keep_checkpoints >= 1, "keep_checkpoints must be positive");
   RN_CHECK(cfg_.max_batches >= 0, "max_batches cannot be negative");
+  RN_CHECK(cfg_.inject_nan_at_batch >= 0,
+           "inject_nan_at_batch cannot be negative");
 }
 
 double Trainer::evaluate_delay_mre(
@@ -121,6 +183,7 @@ double Trainer::evaluate_jitter_mre(
 TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
                          const std::vector<dataset::Sample>* eval) {
   RN_CHECK(!train.empty(), "empty training set");
+  obs::TraceSpan fit_span("trainer.fit");
   if (cfg_.threads > 0) par::set_global_threads(cfg_.threads);
   model_.set_normalizer(
       dataset::fit_normalizer(train, cfg_.log_space_targets));
@@ -178,6 +241,7 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
   }
 
   if (!cfg_.resume_from.empty()) {
+    obs::TraceSpan resume_span("ckpt.resume");
     obs::Stopwatch load_watch;
     std::string loaded_path;
     int fallbacks = 0;
@@ -258,6 +322,7 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
                               double loss_sum, int batches,
                               std::uint64_t samples_seen) {
     if (cfg_.state_path.empty()) return;
+    obs::TraceSpan save_span("ckpt.save");
     obs::Stopwatch save_watch;
     ag::TrainCheckpoint st;
     for (const ag::Parameter* p : optimizer.params()) {
@@ -319,6 +384,8 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
   bool interrupted = false;
 
   for (int epoch = start_epoch; epoch < cfg_.epochs && !stop_all; ++epoch) {
+    obs::TraceSpan epoch_span("trainer.epoch");
+    epoch_span.arg("epoch", epoch);
     obs::Stopwatch epoch_watch;
     std::size_t first_offset = 0;
     double loss_sum = 0.0;
@@ -343,6 +410,8 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
 
     for (std::size_t start = first_offset; start < order.size();
          start += static_cast<std::size_t>(cfg_.batch_size)) {
+      obs::TraceSpan batch_span("trainer.batch");
+      batch_span.arg("batch", batches);
       const std::size_t end = std::min(
           order.size(), start + static_cast<std::size_t>(cfg_.batch_size));
       std::vector<const dataset::Sample*> chunk;
@@ -356,6 +425,7 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
 
       obs::Stopwatch phase;
       ag::Tape tape;
+      obs::TraceSpan forward_span("trainer.forward");
       const RouteNet::Output out =
           model_.forward(tape, batch, &dropout_rng);
       const ag::ValueId delay_sel =
@@ -368,23 +438,76 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
             loss, tape.scale(tape.mse(jitter_sel, batch.jitter_targets),
                              cfg_.jitter_loss_weight));
       }
+      forward_span.end();
       const double forward_s = phase.elapsed_s();
       h_forward.record(forward_s);
 
       phase.restart();
+      obs::TraceSpan backward_span("trainer.backward");
       optimizer.zero_grad();
       tape.backward(loss);
+      if (cfg_.inject_nan_at_batch > 0 &&
+          total_batches + 1 ==
+              static_cast<std::uint64_t>(cfg_.inject_nan_at_batch)) {
+        optimizer.params().front()->grad[0] =
+            std::numeric_limits<float>::quiet_NaN();
+      }
       const double grad_norm =
           ag::clip_grad_norm(optimizer.params(), cfg_.clip_norm);
+      backward_span.end();
       const double backward_s = phase.elapsed_s();
       h_backward.record(backward_s);
 
+      const double batch_loss = tape.value(loss).at(0, 0);
+      if (cfg_.health_checks &&
+          (!std::isfinite(batch_loss) || !std::isfinite(grad_norm))) {
+        // Watchdog: the check runs before the optimizer step, so the
+        // parameters (and Adam moments) are still finite — the emergency
+        // checkpoint is a valid resume point at this batch's start.
+        const std::string offender =
+            find_nonfinite_tensor(optimizer.params());
+        if (sink.enabled() || cfg_.verbose) {
+          obs::Event ev("trainer.health");
+          ev.f("status", "nan_detected")
+              .f("epoch", epoch)
+              .f("batch", batches)
+              .f("total_batches", total_batches)
+              .f("loss_finite", std::isfinite(batch_loss) ? 1 : 0)
+              .f("grad_norm_finite", std::isfinite(grad_norm) ? 1 : 0)
+              .f("tensor", offender);
+          for (const auto& [module, norms] :
+               module_norms(optimizer.params())) {
+            ev.f("param_norm." + module, std::sqrt(norms.param_sq))
+                .f("grad_norm." + module, std::sqrt(norms.grad_sq));
+          }
+          sink.emit(ev);
+          if (cfg_.verbose) {
+            const std::string line = ev.console_line();
+            std::fwrite(line.data(), 1, line.size(), stdout);
+            std::fputc('\n', stdout);
+            std::fflush(stdout);
+          }
+        }
+        save_state(epoch, start, loss_sum, batches, samples_seen);
+        throw std::runtime_error(
+            "training-health watchdog: non-finite " +
+            std::string(std::isfinite(batch_loss) ? "gradient norm"
+                                                  : "loss") +
+            " at epoch " + std::to_string(epoch) + ", batch " +
+            std::to_string(batches) + " — offending tensor '" + offender +
+            "'" +
+            (cfg_.state_path.empty()
+                 ? " (no state_path: nothing checkpointed)"
+                 : "; emergency checkpoint saved under " + cfg_.state_path));
+      }
+
       phase.restart();
+      obs::TraceSpan step_span("trainer.step");
       optimizer.step();
+      step_span.end();
       const double step_s = phase.elapsed_s();
       h_step.record(step_s);
 
-      const double batch_loss = tape.value(loss).at(0, 0);
       loss_sum += batch_loss;
       ++batches;
       samples_seen += end - start;
@@ -436,7 +559,9 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
     log.train_loss = batches > 0 ? loss_sum / batches : 0.0;
     log.eval_delay_mre = -1.0;
     if (eval != nullptr && !eval->empty()) {
+      obs::TraceSpan eval_span("trainer.eval");
       log.eval_delay_mre = evaluate_delay_mre(model_, *eval);
+      eval_span.end();
       if (best_epoch < 0 || log.eval_delay_mre < best_eval) {
         best_eval = log.eval_delay_mre;
         best_epoch = epoch;
@@ -469,6 +594,18 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
         std::fputc('\n', stdout);
         std::fflush(stdout);
       }
+    }
+    if (cfg_.health_checks && sink.enabled()) {
+      // Per-module norm breakdown once per epoch: cheap relative to an
+      // epoch, and gives divergence trends before anything goes non-finite.
+      obs::Event health("trainer.health");
+      health.f("status", "ok").f("epoch", epoch).f("total_batches",
+                                                   total_batches);
+      for (const auto& [module, norms] : module_norms(optimizer.params())) {
+        health.f("param_norm." + module, std::sqrt(norms.param_sq))
+            .f("grad_norm." + module, std::sqrt(norms.grad_sq));
+      }
+      sink.emit(health);
     }
     report.epochs.push_back(log);
     report.final_train_loss = log.train_loss;

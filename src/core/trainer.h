@@ -58,6 +58,18 @@ struct TrainConfig {
   // writing a checkpoint — models a crash for kill-and-resume tests
   // (0: unlimited).
   long max_batches = 0;
+
+  // --- Training-health watchdog ------------------------------------------
+  // Fail fast on a non-finite loss or gradient norm: emit a
+  // `trainer.health` event naming the offending tensor, save an emergency
+  // state checkpoint (parameters are still finite — the check runs before
+  // the optimizer step), and throw. The checkpoint lands in the normal
+  // rotation, so `--resume <state_path>` picks it up.
+  bool health_checks = true;
+  // Testing hook: poison one gradient entry with NaN just before gradient
+  // clipping on this 1-based optimizer step (0: never), to drive the
+  // watchdog path deterministically.
+  long inject_nan_at_batch = 0;
 };
 
 struct EpochLog {

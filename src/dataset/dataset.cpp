@@ -9,6 +9,7 @@
 #include "obs/event.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "util/stats.h"
 
@@ -117,6 +118,8 @@ std::vector<Sample> DatasetGenerator::generate_many(
   // Simulations are independent given their index-derived seeds; one task
   // per sample (simulations are seconds-long, so task overhead is noise).
   obs::Stopwatch watch;
+  obs::TraceSpan gen_span("dataset.generate_many");
+  gen_span.arg("samples", count);
   std::vector<std::optional<Sample>> slots(static_cast<std::size_t>(count));
   std::mutex progress_mu;
   int completed = 0;
@@ -124,6 +127,8 @@ std::vector<Sample> DatasetGenerator::generate_many(
                                                std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
       obs::ScopedTimer timer(h_sample);
+      obs::TraceSpan sample_span("dataset.sample");
+      sample_span.arg("index", i);
       slots[static_cast<std::size_t>(i)] =
           generate_at(topology, first + static_cast<std::uint64_t>(i));
       c_samples.add(1);

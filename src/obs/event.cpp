@@ -98,7 +98,7 @@ EventSink& EventSink::global() {
   return *instance;
 }
 
-void EventSink::open(const std::string& path) {
+void EventSink::open(const std::string& path, bool append) {
   std::lock_guard<std::mutex> lock(mu_);
   if (out_ != nullptr && owns_file_) std::fclose(out_);
   out_ = nullptr;
@@ -106,7 +106,7 @@ void EventSink::open(const std::string& path) {
   if (path == "-" || path == "stderr") {
     out_ = stderr;
   } else {
-    out_ = std::fopen(path.c_str(), "w");
+    out_ = std::fopen(path.c_str(), append ? "a" : "w");
     if (out_ == nullptr) {
       enabled_.store(false, std::memory_order_relaxed);
       throw std::runtime_error("cannot open metrics sink: " + path);
@@ -117,13 +117,13 @@ void EventSink::open(const std::string& path) {
   enabled_.store(true, std::memory_order_relaxed);
 }
 
-void EventSink::open_or_env(const std::string& path) {
+void EventSink::open_or_env(const std::string& path, bool append) {
   if (!path.empty()) {
-    open(path);
+    open(path, append);
     return;
   }
   const char* env = std::getenv("RN_METRICS_OUT");
-  if (env != nullptr && env[0] != '\0') open(env);
+  if (env != nullptr && env[0] != '\0') open(env, append);
 }
 
 void EventSink::close() {

@@ -73,11 +73,13 @@ class EventSink {
   static EventSink& global();
 
   // Enables the sink. "-" or "stderr" stream to stderr, anything else is
-  // opened (truncated) as a file. Throws if the file cannot be opened.
-  void open(const std::string& path);
+  // opened as a file — truncated by default, appended to with
+  // `append=true` (how a resumed run keeps its pre-crash events). Throws
+  // if the file cannot be opened.
+  void open(const std::string& path, bool append = false);
   // Opens from `path` if non-empty, else from $RN_METRICS_OUT if set,
   // else stays disabled.
-  void open_or_env(const std::string& path);
+  void open_or_env(const std::string& path, bool append = false);
   void close();
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }

@@ -246,8 +246,49 @@ class Parser {
 }  // namespace
 
 bool parse_json(std::string_view text, JsonValue* out, std::string* err) {
+  *out = JsonValue{};  // the parser appends members; a reused value must
+                       // not leak its previous document into this one
   Parser parser(text, err);
   return parser.parse(out);
+}
+
+std::string json_serialize(const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return v.boolean ? "true" : "false";
+    case JsonValue::Type::kNumber:
+      return json_number(v.number);
+    case JsonValue::Type::kString:
+      return '"' + json_escape(v.string) + '"';
+    case JsonValue::Type::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, value] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(key);
+        out += "\":";
+        out += json_serialize(value);
+      }
+      out += '}';
+      return out;
+    }
+    case JsonValue::Type::kArray: {
+      std::string out = "[";
+      bool first = true;
+      for (const JsonValue& value : v.array) {
+        if (!first) out += ',';
+        first = false;
+        out += json_serialize(value);
+      }
+      out += ']';
+      return out;
+    }
+  }
+  return "null";  // unreachable
 }
 
 }  // namespace rn::obs

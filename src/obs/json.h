@@ -41,4 +41,9 @@ struct JsonValue {
 // false and fills *err with a position-annotated message on failure.
 bool parse_json(std::string_view text, JsonValue* out, std::string* err);
 
+// Renders a parsed value back to compact JSON (object keys keep their
+// insertion order). parse_json(json_serialize(v)) reproduces v, modulo
+// double formatting at ~1e-12 relative error.
+std::string json_serialize(const JsonValue& v);
+
 }  // namespace rn::obs

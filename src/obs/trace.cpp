@@ -1,0 +1,498 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace rn::obs {
+
+namespace {
+
+// Steady-clock origin shared by every span so exported timestamps are
+// comparable across threads.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       trace_epoch())
+      .count();
+}
+
+// Single-producer (owning thread) / single-consumer (whoever holds the
+// collector mutex) ring of completed spans. Producer side is lock-free.
+struct ThreadRing {
+  static constexpr std::size_t kCapacity = 8192;  // power of two
+
+  std::atomic<std::uint64_t> head{0};  // next write, owned by the producer
+  std::atomic<std::uint64_t> tail{0};  // next read, owned by the consumer
+  std::array<TraceRecord, kCapacity> slots;
+
+  bool push(const TraceRecord& r) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail.load(std::memory_order_acquire);
+    if (h - t >= kCapacity) return false;
+    slots[h % kCapacity] = r;
+    head.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(head.load(std::memory_order_relaxed) -
+                                    tail.load(std::memory_order_relaxed));
+  }
+
+  // Consumer side — callers must hold the collector mutex.
+  void drain_into(std::vector<TraceRecord>& out) {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    std::uint64_t t = tail.load(std::memory_order_relaxed);
+    for (; t < h; ++t) out.push_back(slots[t % kCapacity]);
+    tail.store(t, std::memory_order_release);
+  }
+};
+
+struct Collector {
+  std::mutex mu;
+  // Rings are shared with their owning thread; keeping them here lets the
+  // collector read spans of threads that have already exited (pool
+  // rebuilds) and keeps addresses stable for the producers.
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::vector<TraceRecord> spilled;
+  std::atomic<std::uint32_t> next_tid{0};
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();  // never destroyed
+  return *c;
+}
+
+constexpr int kMaxDepth = 64;
+
+struct ThreadState {
+  std::shared_ptr<ThreadRing> ring;
+  std::uint32_t tid = 0;
+  std::uint64_t stack[kMaxDepth];
+  int depth = 0;
+};
+
+// First trace use on a thread registers its ring with the collector; the
+// shared_ptr keeps the ring (and any unread spans) alive after the thread
+// exits.
+ThreadState& thread_state() {
+  thread_local ThreadState state = [] {
+    ThreadState s;
+    s.ring = std::make_shared<ThreadRing>();
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    s.tid = c.next_tid.fetch_add(1, std::memory_order_relaxed) + 1;
+    c.rings.push_back(s.ring);
+    return s;
+  }();
+  return state;
+}
+
+// Neutral row for aggregation: works for both live TraceRecords and rows
+// re-parsed from an exported file.
+struct SpanRow {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  double start_s = 0.0;
+  double dur_s = 0.0;
+  std::uint32_t tid = 0;
+};
+
+struct NameStats {
+  std::size_t count = 0;
+  double total_s = 0.0;
+  double self_s = 0.0;
+};
+
+struct TraceAggregate {
+  std::map<std::string, NameStats> by_name;
+  std::map<std::uint32_t, double> busy_by_tid;  // thread-root span seconds
+  double min_start_s = 0.0;
+  double max_end_s = 0.0;
+  std::size_t spans = 0;
+};
+
+TraceAggregate aggregate_rows(const std::vector<SpanRow>& rows) {
+  TraceAggregate agg;
+  agg.spans = rows.size();
+  if (rows.empty()) return agg;
+  // Direct-children duration per span id, for self time; span tid per id,
+  // for thread-root detection (a span whose parent ran on another thread
+  // counts toward its own thread's busy time).
+  std::map<std::uint64_t, double> child_s;
+  std::map<std::uint64_t, std::uint32_t> tid_of;
+  for (const SpanRow& r : rows) tid_of[r.id] = r.tid;
+  agg.min_start_s = rows.front().start_s;
+  agg.max_end_s = rows.front().start_s + rows.front().dur_s;
+  for (const SpanRow& r : rows) {
+    if (r.parent != 0) child_s[r.parent] += r.dur_s;
+    agg.min_start_s = std::min(agg.min_start_s, r.start_s);
+    agg.max_end_s = std::max(agg.max_end_s, r.start_s + r.dur_s);
+  }
+  for (const SpanRow& r : rows) {
+    NameStats& s = agg.by_name[r.name];
+    ++s.count;
+    s.total_s += r.dur_s;
+    const auto it = child_s.find(r.id);
+    // Clamped at 0: children running concurrently on other threads can sum
+    // past the parent's own duration.
+    s.self_s += std::max(
+        0.0, r.dur_s - (it != child_s.end() ? it->second : 0.0));
+    const auto parent_tid = tid_of.find(r.parent);
+    const bool thread_root =
+        r.parent == 0 || parent_tid == tid_of.end() ||
+        parent_tid->second != r.tid;
+    if (thread_root) agg.busy_by_tid[r.tid] += r.dur_s;
+  }
+  return agg;
+}
+
+std::vector<SpanRow> rows_from_records(
+    const std::vector<TraceRecord>& records) {
+  std::vector<SpanRow> rows;
+  rows.reserve(records.size());
+  for (const TraceRecord& r : records) {
+    rows.push_back({r.name, r.id, r.parent, r.start_s, r.dur_s, r.tid});
+  }
+  return rows;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // never destroyed
+  return *instance;
+}
+
+void Tracer::enable() {
+  trace_epoch();  // pin the time origin before the first span
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::set_out_path(const std::string& path) {
+  RN_CHECK(!path.empty(), "empty trace output path");
+  out_path_ = path;
+  enable();
+}
+
+void Tracer::open_or_env(const std::string& path) {
+  if (!path.empty()) {
+    set_out_path(path);
+    return;
+  }
+  const char* env = std::getenv("RN_TRACE_OUT");
+  if (env != nullptr && env[0] != '\0') set_out_path(env);
+}
+
+std::vector<TraceRecord> Tracer::collect() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  std::vector<TraceRecord> out = std::move(c.spilled);
+  c.spilled.clear();
+  for (const std::shared_ptr<ThreadRing>& ring : c.rings) {
+    ring->drain_into(out);
+  }
+  return out;
+}
+
+void Tracer::export_and_close(bool merge_existing) {
+  const std::vector<TraceRecord> records = collect();
+  if (!out_path_.empty()) {
+    write_chrome_trace(out_path_, records, merge_existing);
+  }
+  disable();
+}
+
+void Tracer::reset_for_tests() {
+  disable();
+  collect();  // discard
+  dropped_.store(0, std::memory_order_relaxed);
+  out_path_.clear();
+}
+
+std::uint64_t trace_current_span() {
+  if (!Tracer::global().enabled()) return 0;
+  const ThreadState& state = thread_state();
+  return state.depth > 0 ? state.stack[state.depth - 1] : 0;
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!Tracer::global().enabled()) return;  // the entire disabled path
+  begin(name, 0, /*explicit_parent=*/false);
+}
+
+TraceSpan::TraceSpan(const char* name, std::uint64_t parent) {
+  if (!Tracer::global().enabled()) return;
+  begin(name, parent, /*explicit_parent=*/true);
+}
+
+void TraceSpan::begin(const char* name, std::uint64_t parent,
+                      bool explicit_parent) {
+  ThreadState& state = thread_state();
+  name_ = name;
+  id_ = Tracer::global().next_span_id();
+  parent_ = explicit_parent
+                ? parent
+                : (state.depth > 0 ? state.stack[state.depth - 1] : 0);
+  if (state.depth < kMaxDepth) {
+    state.stack[state.depth++] = id_;
+    pushed_ = true;
+  }
+  start_s_ = now_s();
+  active_ = true;
+}
+
+void TraceSpan::end() {
+  if (!active_) return;
+  active_ = false;
+  const double end_s = now_s();
+  ThreadState& state = thread_state();
+  if (pushed_) --state.depth;
+  TraceRecord record;
+  record.name = name_;
+  record.id = id_;
+  record.parent = parent_;
+  record.start_s = start_s_;
+  record.dur_s = end_s - start_s_;
+  record.tid = state.tid;
+  record.arg_key = arg_key_;
+  record.arg_val = arg_val_;
+  Tracer& tracer = Tracer::global();
+  if (!state.ring->push(record)) {
+    tracer.dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Spill to the collector before the ring can fill: amortized one lock
+  // per kCapacity/2 spans, so deep loops never overflow.
+  if (state.ring->size() >= ThreadRing::kCapacity / 2) {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    state.ring->drain_into(c.spilled);
+  }
+}
+
+void Tracer::write_chrome_trace(const std::string& path,
+                                const std::vector<TraceRecord>& records,
+                                bool merge_existing) {
+  // Resume support: carry over the traceEvents of a previous run's file so
+  // the merged trace still loads as one document. An unreadable or
+  // unparseable previous file is overwritten.
+  std::vector<std::string> prior;
+  if (merge_existing) {
+    std::ifstream in(path);
+    if (in.good()) {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      JsonValue root;
+      std::string err;
+      if (parse_json(buf.str(), &root, &err) && root.is_object()) {
+        const JsonValue* events = root.find("traceEvents");
+        if (events != nullptr &&
+            events->type == JsonValue::Type::kArray) {
+          prior.reserve(events->array.size());
+          for (const JsonValue& ev : events->array) {
+            prior.push_back(json_serialize(ev));
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<TraceRecord> sorted = records;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.start_s < b.start_s;
+            });
+
+  std::ofstream out(path);
+  if (!out.good()) {
+    throw std::runtime_error("cannot open trace output: " + path);
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const std::string& ev : prior) {
+    if (!first) out << ',';
+    first = false;
+    out << '\n' << ev;
+  }
+  char buf[64];
+  for (const TraceRecord& r : sorted) {
+    if (!first) out << ',';
+    first = false;
+    // Complete ("X") events; ts/dur are microseconds in the trace format.
+    out << "\n{\"name\":\"" << json_escape(r.name)
+        << "\",\"cat\":\"rn\",\"ph\":\"X\",\"pid\":1,\"tid\":" << r.tid;
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  r.start_s * 1e6, r.dur_s * 1e6);
+    out << buf << ",\"args\":{\"id\":" << r.id << ",\"parent\":" << r.parent;
+    if (r.arg_key != nullptr) {
+      out << ",\"" << json_escape(r.arg_key) << "\":" << r.arg_val;
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  if (!out.good()) {
+    throw std::runtime_error("write failure on trace output: " + path);
+  }
+}
+
+namespace {
+
+std::vector<SpanRow> rows_from_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonValue root;
+  std::string err;
+  if (!parse_json(buf.str(), &root, &err)) {
+    throw std::runtime_error(path + ": malformed trace JSON (" + err + ")");
+  }
+  const JsonValue* events =
+      root.is_object() ? root.find("traceEvents") : nullptr;
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    throw std::runtime_error(path + ": no traceEvents array");
+  }
+  std::vector<SpanRow> rows;
+  rows.reserve(events->array.size());
+  for (const JsonValue& ev : events->array) {
+    if (!ev.is_object()) {
+      throw std::runtime_error(path + ": non-object trace event");
+    }
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string != "X") {
+      continue;  // metadata and non-span events
+    }
+    const JsonValue* name = ev.find("name");
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* dur = ev.find("dur");
+    const JsonValue* tid = ev.find("tid");
+    if (name == nullptr || !name->is_string() || ts == nullptr ||
+        !ts->is_number() || dur == nullptr || !dur->is_number()) {
+      throw std::runtime_error(path + ": span event missing name/ts/dur");
+    }
+    SpanRow row;
+    row.name = name->string;
+    row.start_s = ts->number * 1e-6;
+    row.dur_s = dur->number * 1e-6;
+    row.tid = tid != nullptr && tid->is_number()
+                  ? static_cast<std::uint32_t>(tid->number)
+                  : 0;
+    const JsonValue* args = ev.find("args");
+    if (args != nullptr && args->is_object()) {
+      const JsonValue* id = args->find("id");
+      const JsonValue* parent = args->find("parent");
+      if (id != nullptr && id->is_number()) {
+        row.id = static_cast<std::uint64_t>(id->number);
+      }
+      if (parent != nullptr && parent->is_number()) {
+        row.parent = static_cast<std::uint64_t>(parent->number);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void append_top_table(std::string& out, const TraceAggregate& agg,
+                      int top_n, bool by_self) {
+  std::vector<std::pair<std::string, NameStats>> ranked(
+      agg.by_name.begin(), agg.by_name.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [by_self](const auto& a, const auto& b) {
+              return by_self ? a.second.self_s > b.second.self_s
+                             : a.second.total_s > b.second.total_s;
+            });
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "  %-28s %8s %11s %11s %11s\n", "span",
+                "count", "total_s", "self_s", "avg_ms");
+  out += buf;
+  const std::size_t limit =
+      std::min(ranked.size(), static_cast<std::size_t>(std::max(1, top_n)));
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& [name, s] = ranked[i];
+    std::snprintf(buf, sizeof(buf), "  %-28s %8zu %11.6g %11.6g %11.4g\n",
+                  name.c_str(), s.count, s.total_s, s.self_s,
+                  s.count > 0 ? s.total_s * 1e3 / static_cast<double>(s.count)
+                              : 0.0);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string summarize_trace_file(const std::string& path, int top_n) {
+  const std::vector<SpanRow> rows = rows_from_trace_file(path);
+  const TraceAggregate agg = aggregate_rows(rows);
+
+  std::string out;
+  char buf[256];
+  const double span_s =
+      agg.spans > 0 ? agg.max_end_s - agg.min_start_s : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "trace summary: %zu spans, %zu threads, %.3f s span (%s)\n",
+                agg.spans, agg.busy_by_tid.size(), span_s, path.c_str());
+  out += buf;
+  if (agg.spans == 0) return out;
+
+  out += "\ntop spans by total time:\n";
+  append_top_table(out, agg, top_n, /*by_self=*/false);
+  out += "\ntop spans by self time (total minus direct children):\n";
+  append_top_table(out, agg, top_n, /*by_self=*/true);
+
+  out += "\nper-thread utilization (thread-root busy / trace span):\n";
+  std::snprintf(buf, sizeof(buf), "  %6s %11s %8s\n", "tid", "busy_s",
+                "util");
+  out += buf;
+  for (const auto& [tid, busy_s] : agg.busy_by_tid) {
+    std::snprintf(buf, sizeof(buf), "  %6u %11.6g %7.1f%%\n", tid, busy_s,
+                  span_s > 0.0 ? 100.0 * busy_s / span_s : 0.0);
+    out += buf;
+  }
+  return out;
+}
+
+std::string trace_summary_json(const std::vector<TraceRecord>& records,
+                               std::uint64_t dropped) {
+  const TraceAggregate agg = aggregate_rows(rows_from_records(records));
+  std::string out = "{\"spans\":" + std::to_string(agg.spans) +
+                    ",\"dropped\":" + std::to_string(dropped) +
+                    ",\"threads\":" + std::to_string(agg.busy_by_tid.size()) +
+                    ",\"by_name\":{";
+  bool first = true;
+  for (const auto& [name, s] : agg.by_name) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":{\"count\":" + std::to_string(s.count) +
+           ",\"total_s\":" + json_number(s.total_s) +
+           ",\"self_s\":" + json_number(s.self_s) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace rn::obs

@@ -1,0 +1,159 @@
+// Hierarchical span tracer: answers "which phase of which sample on which
+// worker ate the wall-clock" for multi-threaded training and generation
+// runs, exported as Chrome trace-event JSON that loads in Perfetto or
+// chrome://tracing (`--trace-out PATH` / RN_TRACE_OUT).
+//
+// Design mirrors the EventSink's disabled-path contract: when no trace is
+// requested, constructing a TraceSpan costs one relaxed atomic load — no
+// allocation, no clock read, no ring-buffer write (covered by trace_test).
+// When enabled:
+//
+//   * each thread keeps a span stack (thread-local, fixed depth) so child
+//     spans parent automatically, plus a lock-free SPSC ring buffer of
+//     completed spans — the owning thread is the only producer;
+//   * rings spill into a process-global collector under a mutex once they
+//     are half full (amortized: once per kRingCapacity/2 spans), so
+//     arbitrarily long runs never lose more than they drop (`dropped()`);
+//   * work handed to another thread propagates the caller's span: capture
+//     `trace_current_span()` before the handoff and pass it to the
+//     TraceSpan(name, parent) constructor — `rn::par::parallel_for` does
+//     this for every chunk, so worker spans nest under the caller with the
+//     worker's own trace tid.
+//
+// Span names (and arg keys) must be string literals (static storage): the
+// hot path stores the pointer, never copies.
+//
+//   obs::TraceSpan span("trainer.batch");      // nests under the current
+//   span.arg("batch", batch_index);            // optional integer arg
+//   ...                                        // ends at scope exit
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rn::obs {
+
+// One completed span, as stored in the rings and drained by the collector.
+struct TraceRecord {
+  const char* name = nullptr;     // string literal
+  std::uint64_t id = 0;           // unique per process, never 0
+  std::uint64_t parent = 0;       // 0 = root span
+  double start_s = 0.0;           // seconds since the process trace epoch
+  double dur_s = 0.0;
+  std::uint32_t tid = 0;          // small sequential trace thread id
+  const char* arg_key = nullptr;  // string literal; nullptr = no arg
+  std::int64_t arg_val = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  // The TraceSpan fast-path guard: one relaxed load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void enable();
+  void disable();
+
+  // Enables tracing and remembers where export_and_close() should write.
+  void set_out_path(const std::string& path);
+  // Opens from `path` if non-empty, else from $RN_TRACE_OUT if set, else
+  // stays disabled.
+  void open_or_env(const std::string& path);
+  const std::string& out_path() const { return out_path_; }
+
+  // Spans lost to ring overflow (rare: rings spill at half capacity).
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Drains every thread ring plus previous spills; returns all completed
+  // spans collected since the last call (unsorted).
+  std::vector<TraceRecord> collect();
+
+  // Writes `records` as Chrome trace-event JSON ({"traceEvents":[...]}).
+  // With merge_existing, a parseable existing file's traceEvents are
+  // carried over first — how a resumed run appends to its trace.
+  static void write_chrome_trace(const std::string& path,
+                                 const std::vector<TraceRecord>& records,
+                                 bool merge_existing = false);
+
+  // collect() + write_chrome_trace(out_path()) when a path is set, then
+  // disable. The CLI calls this once at exit.
+  void export_and_close(bool merge_existing = false);
+
+  // Tests: disable, discard all pending spans, zero the drop counter.
+  void reset_for_tests();
+
+ private:
+  friend class TraceSpan;
+  std::uint64_t next_span_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::string out_path_;
+};
+
+// Top of the calling thread's span stack (0 when tracing is disabled or no
+// span is open). Capture before handing work to another thread and pass to
+// TraceSpan(name, parent) so the receiving thread nests correctly.
+std::uint64_t trace_current_span();
+
+// RAII span. Must end on the thread that constructed it (stack discipline);
+// cross-thread nesting goes through the explicit-parent constructor.
+class TraceSpan {
+ public:
+  // Nests under the calling thread's current span.
+  explicit TraceSpan(const char* name);
+  // Nests under an explicit parent id (0 = root) — for spans whose logical
+  // parent ran on another thread.
+  TraceSpan(const char* name, std::uint64_t parent);
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attaches one integer argument (last call wins). `key` must be a string
+  // literal. No-op when tracing was disabled at construction.
+  void arg(const char* key, std::int64_t v) {
+    arg_key_ = key;
+    arg_val_ = v;
+  }
+
+  // Span id for explicit cross-thread parenting (0 when disabled).
+  std::uint64_t id() const { return id_; }
+
+  // Records the span now; later calls (and the destructor) are no-ops.
+  void end();
+
+  ~TraceSpan() { end(); }
+
+ private:
+  void begin(const char* name, std::uint64_t parent, bool explicit_parent);
+
+  const char* name_ = nullptr;
+  const char* arg_key_ = nullptr;
+  std::int64_t arg_val_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  double start_s_ = 0.0;
+  bool active_ = false;
+  bool pushed_ = false;  // span sits on the thread stack and must be popped
+};
+
+// Human-readable rollup of an exported trace file for `routenet obs trace`:
+// top-N span names by total and by self time (total minus direct children)
+// and per-thread busy/utilization. Throws std::runtime_error on an
+// unreadable or malformed file.
+std::string summarize_trace_file(const std::string& path, int top_n = 12);
+
+// Compact JSON object summarizing `records` for the `trace` section of
+// BENCH_*.json: {"spans":N,"dropped":D,"threads":T,"by_name":{...}}.
+std::string trace_summary_json(const std::vector<TraceRecord>& records,
+                               std::uint64_t dropped);
+
+}  // namespace rn::obs

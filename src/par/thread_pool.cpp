@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace rn::par {
@@ -149,9 +150,14 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   // rebuilds the global slot (set_global_threads) while chunks are
   // in flight.
   const std::shared_ptr<ThreadPool> pool = global_pool();
+  // Chunk spans nest under whatever span the caller has open, whichever
+  // thread ends up running them (captured once, passed explicitly).
+  const std::uint64_t trace_parent = obs::trace_current_span();
   // Inline when parallelism cannot help (or would deadlock: a worker
   // waiting on futures served by its own queue).
   if (range <= grain || pool->size() <= 1 || ThreadPool::on_worker_thread()) {
+    obs::TraceSpan span("par.chunk", trace_parent);
+    span.arg("lo", begin);
     body(begin, end);
     return;
   }
@@ -171,8 +177,12 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   for (std::int64_t chunk_lo = first_hi; chunk_lo < end;
        chunk_lo += per_chunk) {
     const std::int64_t chunk_hi = std::min(end, chunk_lo + per_chunk);
-    futures.push_back(pool->submit(
-        [&body, chunk_lo, chunk_hi] { body(chunk_lo, chunk_hi); }));
+    futures.push_back(
+        pool->submit([&body, chunk_lo, chunk_hi, trace_parent] {
+          obs::TraceSpan span("par.chunk", trace_parent);
+          span.arg("lo", chunk_lo);
+          body(chunk_lo, chunk_hi);
+        }));
   }
   // Every future is drained even when a chunk throws: queued tasks hold
   // &body — a reference into the caller's frame — so returning (and
@@ -180,6 +190,8 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   // first exception wins; later ones are swallowed.
   std::exception_ptr error;
   try {
+    obs::TraceSpan span("par.chunk", trace_parent);
+    span.arg("lo", begin);
     body(begin, first_hi);
   } catch (...) {
     error = std::current_exception();

@@ -2,6 +2,7 @@
 // its real flag interface against temp-file artifacts, covering the full
 // make-topology → … → train → predict pipeline at miniature scale.
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -138,6 +139,43 @@ TEST_F(CliCommands, TrainRejectsMissingDataset) {
 
 TEST_F(CliCommands, InfoWithoutSelectorReturnsUsageCode) {
   EXPECT_EQ(cmd_info(flags_of({})), 2);
+}
+
+TEST_F(CliCommands, ObsTraceSummarizesValidFile) {
+  {
+    std::ofstream out(path("ok.trace.json"));
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+           "{\"name\":\"outer\",\"cat\":\"rn\",\"ph\":\"X\",\"pid\":1,"
+           "\"tid\":1,\"ts\":0.0,\"dur\":100.0,"
+           "\"args\":{\"id\":1,\"parent\":0}},"
+           "{\"name\":\"inner\",\"cat\":\"rn\",\"ph\":\"X\",\"pid\":1,"
+           "\"tid\":1,\"ts\":10.0,\"dur\":50.0,"
+           "\"args\":{\"id\":2,\"parent\":1}}]}";
+  }
+  EXPECT_EQ(cmd_obs({"trace", path("ok.trace.json")}), 0);
+  EXPECT_EQ(cmd_obs({"trace", path("ok.trace.json"), "5"}), 0);
+}
+
+TEST_F(CliCommands, ObsTraceErrorsAreOneLineNonzeroExits) {
+  // Missing file, malformed JSON, and a non-integer top_n: each is an
+  // operator mistake, reported as rc 1 — never an uncaught exception.
+  EXPECT_EQ(cmd_obs({"trace", path("missing.json")}), 1);
+  {
+    std::ofstream out(path("garbage.json"));
+    out << "this is not a trace";
+  }
+  EXPECT_EQ(cmd_obs({"trace", path("garbage.json")}), 1);
+  EXPECT_EQ(cmd_obs({"trace", path("garbage.json"), "soon"}), 1);
+}
+
+TEST_F(CliCommands, ObsSummarizeMissingFileReturnsError) {
+  EXPECT_EQ(cmd_obs({"summarize", path("missing.jsonl")}), 1);
+}
+
+TEST_F(CliCommands, ObsBadUsageReturnsUsageCode) {
+  EXPECT_EQ(cmd_obs({}), 2);
+  EXPECT_EQ(cmd_obs({"frobnicate"}), 2);
+  EXPECT_EQ(cmd_obs({"trace"}), 2);
 }
 
 }  // namespace

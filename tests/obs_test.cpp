@@ -213,6 +213,48 @@ TEST(EventSink, WritesParseableJsonlFile) {
   EXPECT_EQ(lines, 2u);  // the event + the snapshot
 }
 
+TEST(EventSink, AppendModeKeepsExistingEvents) {
+  const std::string path = temp_path("append.jsonl");
+  EventSink& sink = EventSink::global();
+  sink.open(path);
+  {
+    Event ev("run.first");
+    ev.f("x", 1);
+    sink.emit(ev);
+  }
+  sink.close();
+
+  // Default reopen truncates; append mode (the --resume path) must not.
+  sink.open(path, /*append=*/true);
+  {
+    Event ev("run.second");
+    ev.f("x", 2);
+    sink.emit(ev);
+  }
+  sink.close();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string all, line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    all += line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(all.find("run.first"), std::string::npos);
+  EXPECT_NE(all.find("run.second"), std::string::npos);
+
+  // And the default mode really truncates (regression guard: a fresh run
+  // starting over must not inherit a stale log).
+  sink.open(path);
+  sink.close();
+  std::ifstream in2(path);
+  std::size_t lines2 = 0;
+  while (std::getline(in2, line)) ++lines2;
+  EXPECT_EQ(lines2, 0u);
+}
+
 TEST(EventSink, DisabledHotPathDoesNotAllocate) {
   EventSink& sink = EventSink::global();
   sink.close();

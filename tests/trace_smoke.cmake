@@ -1,0 +1,74 @@
+# Tracing smoke test (ctest -R trace_smoke): drives the real routenet CLI
+# with --trace-out through generation and a short training run, asserts the
+# exported Chrome trace files carry the expected span hierarchy, and checks
+# `routenet obs trace` both summarizes them (rc 0) and rejects garbage
+# (rc 1, one-line error). Invoked with -DRN_CLI=<binary> -DWORK_DIR=<dir>.
+
+if(NOT DEFINED RN_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DRN_CLI=... -DWORK_DIR=... -P trace_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_step)
+  execute_process(COMMAND ${ARGN}
+                  WORKING_DIRECTORY "${WORK_DIR}"
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+endfunction()
+
+function(expect_spans file)
+  file(READ "${WORK_DIR}/${file}" trace_json)
+  string(FIND "${trace_json}" "\"displayTimeUnit\":\"ms\"" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "${file} is not a Chrome trace file")
+  endif()
+  foreach(needle IN LISTS ARGN)
+    string(FIND "${trace_json}" "\"name\":\"${needle}\"" found)
+    if(found EQUAL -1)
+      message(FATAL_ERROR "${file} is missing the ${needle} span")
+    endif()
+  endforeach()
+endfunction()
+
+run_step("${RN_CLI}" make-topology --kind ring --nodes 6 --out net.topo)
+
+# Dataset generation: parallel_for chunks must nest under generate_many even
+# on the 1-thread inline path (the CI container is single-core).
+run_step("${RN_CLI}" gen-dataset --topology net.topo --count 4
+         --pkts-per-flow 30 --seed 5 --out mini.ds --trace-out gen.trace.json)
+expect_spans(gen.trace.json
+             dataset.generate_many par.chunk dataset.sample sim.run)
+
+# Training: epoch -> batch -> forward/backward/optimizer hierarchy.
+run_step("${RN_CLI}" train --dataset mini.ds --epochs 2 --batch 2 --dim 8
+         --iterations 2 --out mini.model --trace-out train.trace.json)
+expect_spans(train.trace.json
+             trainer.fit trainer.epoch trainer.batch trainer.forward
+             routenet.forward routenet.mp ag.backward ag.adam_step)
+
+# The summarizer accepts both real traces...
+run_step("${RN_CLI}" obs trace gen.trace.json)
+run_step("${RN_CLI}" obs trace train.trace.json 5)
+
+# ...and rejects garbage with a one-line error and rc 1.
+file(WRITE "${WORK_DIR}/garbage.json" "not a trace")
+execute_process(COMMAND "${RN_CLI}" obs trace garbage.json
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "obs trace on garbage returned ${rc}, expected 1")
+endif()
+string(FIND "${err}" "error:" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "obs trace on garbage printed no error line: ${err}")
+endif()
+
+message(STATUS "trace smoke OK")

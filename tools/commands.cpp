@@ -8,6 +8,7 @@
 #include "core/trainer.h"
 #include "eval/export.h"
 #include "obs/summarize.h"
+#include "obs/trace.h"
 #include "planning/whatif.h"
 #include "eval/metrics.h"
 #include "queueing/queueing.h"
@@ -243,6 +244,8 @@ int cmd_train(const Flags& flags) {
   tcfg.keep_checkpoints = flags.get_int("ckpt-keep", 3);
   tcfg.resume_from = flags.get_string("resume", "");
   tcfg.max_batches = flags.get_int("max-batches", 0);
+  // Testing hook for the health watchdog (see TrainConfig).
+  tcfg.inject_nan_at_batch = flags.get_int("inject-nan-at", 0);
   tcfg.handle_signals = true;
   const std::string out = flags.require_string("out");
   tcfg.checkpoint_path = eval_set.empty() ? "" : out;
@@ -441,11 +444,35 @@ int cmd_info(const Flags& flags) {
 }
 
 int cmd_obs(const std::vector<std::string>& args) {
-  if (args.size() == 2 && args[0] == "summarize") {
-    std::fputs(obs::summarize_jsonl_file(args[1]).c_str(), stdout);
-    return 0;
+  // Both summarizers throw on a missing or malformed file; a bad path is
+  // an expected operator mistake, so report one line and a nonzero exit
+  // rather than an exception trace.
+  try {
+    if (args.size() == 2 && args[0] == "summarize") {
+      std::fputs(obs::summarize_jsonl_file(args[1]).c_str(), stdout);
+      return 0;
+    }
+    if ((args.size() == 2 || args.size() == 3) && args[0] == "trace") {
+      int top_n = 12;
+      if (args.size() == 3) {
+        try {
+          top_n = std::stoi(args[2]);
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "error: top_n must be an integer, got '%s'\n",
+                       args[2].c_str());
+          return 1;
+        }
+      }
+      std::fputs(obs::summarize_trace_file(args[1], top_n).c_str(), stdout);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  std::printf("usage: routenet obs summarize <metrics.jsonl>\n");
+  std::printf(
+      "usage: routenet obs summarize <metrics.jsonl>\n"
+      "       routenet obs trace <trace.json> [top_n]\n");
   return 2;
 }
 

@@ -41,6 +41,10 @@ bool Flags::has(const std::string& name) const {
   return true;
 }
 
+bool Flags::peek(const std::string& name) const {
+  return values_.find(name) != values_.end();
+}
+
 const std::string& Flags::raw(const std::string& name) const {
   const auto it = values_.find(name);
   if (it == values_.end()) fail("missing required flag --" + name);

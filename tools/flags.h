@@ -19,6 +19,11 @@ class Flags {
 
   bool has(const std::string& name) const;
 
+  // Like has(), but does NOT mark the flag as used — for dispatch code
+  // that inspects a flag (e.g. --resume selecting append-mode sinks)
+  // while the command's own handler remains responsible for consuming it.
+  bool peek(const std::string& name) const;
+
   std::string get_string(const std::string& name,
                          const std::string& fallback) const;
   // Overload without fallback: flag is required.

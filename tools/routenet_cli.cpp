@@ -30,6 +30,7 @@
 
 #include "commands.h"
 #include "obs/event.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 
 namespace {
@@ -53,9 +54,14 @@ int usage() {
       "  predict        per-path delay/jitter for a scenario + Top-N\n"
       "  whatif         rank link upgrades & failures with a trained model\n"
       "  info           describe a topology / dataset / model artifact\n"
-      "  obs            telemetry tools: `obs summarize <file.jsonl>`\n\n"
+      "  obs            telemetry tools: `obs summarize <file.jsonl>`,\n"
+      "                 `obs trace <trace.json> [top_n]`\n\n"
       "global flags: --metrics-out PATH (or RN_METRICS_OUT) streams JSONL\n"
       "telemetry events; run `routenet obs summarize PATH` to roll it up.\n"
+      "--trace-out PATH (or RN_TRACE_OUT) records hierarchical spans as\n"
+      "Chrome trace-event JSON (open in Perfetto / chrome://tracing, or\n"
+      "`routenet obs trace PATH`). With --resume, both files are appended\n"
+      "to instead of truncated.\n"
       "--threads N (or RN_THREADS) sets the worker-pool width (default:\n"
       "one per hardware core); generation and training are bitwise\n"
       "deterministic at any thread count.\n"
@@ -69,6 +75,7 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  bool resumed = false;
   try {
     if (cmd == "obs") {
       const std::vector<std::string> args(argv + 2, argv + argc);
@@ -78,8 +85,13 @@ int main(int argc, char** argv) {
     const rn::cli::Flags flags(argc, argv, 2, bool_flags);
     // Telemetry sink is process-global: open it before dispatch so every
     // layer (trainer, simulator, message passing) streams to one file.
+    // A resumed run appends instead of truncating, so the pre-crash
+    // events (and spans) survive; `peek` leaves --resume for cmd_train to
+    // consume, so a stray --resume elsewhere still fails reject_unused.
+    resumed = flags.peek("resume");
     rn::obs::EventSink::global().open_or_env(
-        flags.get_string("metrics-out", ""));
+        flags.get_string("metrics-out", ""), resumed);
+    rn::obs::Tracer::global().open_or_env(flags.get_string("trace-out", ""));
     // Worker threads for dataset generation and the matmul kernels:
     // --threads N beats RN_THREADS beats hardware_concurrency.
     rn::par::set_global_threads(flags.get_int("threads", 0));
@@ -101,9 +113,16 @@ int main(int argc, char** argv) {
     // totals and timer percentiles even without per-event reconstruction.
     rn::obs::emit_registry_snapshot();
     rn::obs::EventSink::global().close();
+    rn::obs::Tracer::global().export_and_close(resumed);
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    // Spans collected up to the failure are still worth keeping — a
+    // watchdog abort is exactly when the trace gets read.
+    try {
+      rn::obs::Tracer::global().export_and_close(resumed);
+    } catch (...) {
+    }
     return 1;
   }
 }
