@@ -4,10 +4,23 @@
 // counterpart at 1 thread), plus the threaded variants at the default pool
 // width.
 //
+// Before the google-benchmark tables run, main() times each blocked kernel
+// against its naive counterpart (median of 5) and checks the 1.10x bound —
+// the nt kernel used to lose to the naive loop (0.95x) until the small-B
+// untiled fallback. A violation always prints a WARNING; it fails the run
+// (exit 1) when RN_BENCH_ENFORCE is set, so CI machines with steady clocks
+// can turn the expectation into a gate without flaking laptops.
+//
 //   ./matmul_kernels [--benchmark_filter=...]
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
 #include "ag/tensor.h"
+#include "obs/timer.h"
 #include "par/thread_pool.h"
 #include "util/rng.h"
 
@@ -163,6 +176,68 @@ BENCHMARK(BM_naive_matmul_nt);
 BENCHMARK(BM_blocked_matmul_nt_1t);
 BENCHMARK(BM_blocked_matmul_nt_pool);
 
+// Median-of-reps seconds per call; the median shrugs off one-off scheduler
+// blips that would make a guard on the mean flaky.
+template <typename Fn>
+double median_time_s(const Fn& fn, int reps = 5) {
+  fn();  // warm caches (and the pool, for the blocked kernels)
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    rn::obs::Stopwatch watch;
+    benchmark::DoNotOptimize(fn());
+    times.push_back(watch.elapsed_s());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+// The guarded expectation: every blocked kernel stays within 10% of its
+// naive counterpart single-threaded. Returns the number of violations.
+int check_blocked_vs_naive() {
+  rn::par::set_global_threads(1);
+  const bool enforce = std::getenv("RN_BENCH_ENFORCE") != nullptr;
+  struct Row {
+    const char* name;
+    double naive_s;
+    double blocked_s;
+  };
+  const Row rows[] = {
+      {"nn", median_time_s([] { return naive_matmul(A(), B()); }),
+       median_time_s([] { return rn::ag::matmul(A(), B()); })},
+      {"tn", median_time_s([] { return naive_matmul_tn(At(), B()); }),
+       median_time_s([] { return rn::ag::matmul_tn(At(), B()); })},
+      {"nt", median_time_s([] { return naive_matmul_nt(A(), Bt()); }),
+       median_time_s([] { return rn::ag::matmul_nt(A(), Bt()); })},
+  };
+  int violations = 0;
+  for (const Row& row : rows) {
+    const double ratio =
+        row.blocked_s > 0.0 ? row.naive_s / row.blocked_s : 0.0;
+    std::printf("guard %s: blocked/naive speedup %.2fx%s\n", row.name, ratio,
+                ratio < 1.0 / 1.10 ? "  <-- REGRESSION (>1.10x slower)" : "");
+    if (row.blocked_s > row.naive_s * 1.10) {
+      ++violations;
+      std::printf("WARNING: blocked %s kernel is %.0f%% slower than the "
+                  "naive loop at 1 thread\n",
+                  row.name, 100.0 * (row.blocked_s / row.naive_s - 1.0));
+    }
+  }
+  if (violations > 0 && enforce) {
+    std::printf("RN_BENCH_ENFORCE set: failing on kernel regression\n");
+    return violations;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int rc = check_blocked_vs_naive();
+  if (rc != 0) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -73,6 +73,11 @@ constexpr int kTileK = 240;
 
 std::atomic<long long> g_parallel_macs{1LL << 18};
 
+// matmul_nt tiles B's rows only when B outgrows this many elements (default
+// 64k floats = 256 KiB, a conservative L2 slice): below it the whole B panel
+// is cache-resident anyway and the untiled loops win.
+std::atomic<long long> g_nt_tile_min_elems{1LL << 16};
+
 struct KernelMetrics {
   obs::Counter& calls =
       obs::Registry::global().counter("ag.matmul.calls_total");
@@ -187,6 +192,23 @@ void matmul_tn_block(const float* __restrict__ a, const float* __restrict__ b,
 // c[r0:r1) += a[r0:r1) * bᵀ for row-major a (m x k), b (n x k).
 void matmul_nt_block(const float* __restrict__ a, const float* __restrict__ b,
                      float* __restrict__ c, int r0, int r1, int k, int n) {
+  // Profitability gate: each c[i][j] is a single ascending-p dot product in
+  // either shape, so falling back is bitwise free — and when B fits in
+  // cache the j-tiling only re-runs loop bookkeeping per 32-column strip.
+  if (static_cast<long long>(k) * n <
+      g_nt_tile_min_elems.load(std::memory_order_relaxed)) {
+    for (int i = r0; i < r1; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
+    }
+    return;
+  }
   for (int ib = r0; ib < r1; ib += kTileRows) {
     const int iend = std::min(r1, ib + kTileRows);
     for (int jb = 0; jb < n; jb += kTileRows) {
@@ -213,6 +235,15 @@ long long matmul_parallel_threshold() {
 
 void set_matmul_parallel_threshold(long long macs) {
   g_parallel_macs.store(std::max(0LL, macs), std::memory_order_relaxed);
+}
+
+long long matmul_nt_tile_threshold() {
+  return g_nt_tile_min_elems.load(std::memory_order_relaxed);
+}
+
+void set_matmul_nt_tile_threshold(long long b_elems) {
+  g_nt_tile_min_elems.store(std::max(0LL, b_elems),
+                            std::memory_order_relaxed);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

@@ -150,26 +150,36 @@ std::vector<RouteNet::Prediction> RouteNet::predict_batch(
     std::vector<const dataset::Sample*> chunk;
     chunk.reserve(end - start);
     for (std::size_t i = start; i < end; ++i) chunk.push_back(&samples[i]);
-    const GraphBatch batch =
-        GraphBatch::from_samples(chunk, norm_, /*with_targets=*/false);
-    ag::Tape tape;
-    const Output fwd = forward(tape, batch);
-    const ag::Tensor& delay = tape.value(fwd.delay);
-    const ag::Tensor& jitter = tape.value(fwd.jitter);
-    for (std::size_t i = start; i < end; ++i) {
-      const int offset = batch.path_offset[i - start];
-      const int pairs = samples[i].num_pairs();
-      Prediction pred;
-      pred.delay_s.resize(static_cast<std::size_t>(pairs));
-      pred.jitter_s.resize(static_cast<std::size_t>(pairs));
-      for (int p = 0; p < pairs; ++p) {
-        pred.delay_s[static_cast<std::size_t>(p)] =
-            norm_.denormalize_delay(delay.at(offset + p, 0));
-        pred.jitter_s[static_cast<std::size_t>(p)] =
-            norm_.denormalize_jitter(jitter.at(offset + p, 0));
-      }
-      out.push_back(std::move(pred));
+    std::vector<Prediction> merged = predict_merged(chunk);
+    for (Prediction& pred : merged) out.push_back(std::move(pred));
+  }
+  return out;
+}
+
+std::vector<RouteNet::Prediction> RouteNet::predict_merged(
+    const std::vector<const dataset::Sample*>& samples) const {
+  RN_CHECK(!samples.empty(), "predict_merged needs at least one sample");
+  const GraphBatch batch =
+      GraphBatch::from_samples(samples, norm_, /*with_targets=*/false);
+  ag::Tape tape;
+  const Output fwd = forward(tape, batch);
+  const ag::Tensor& delay = tape.value(fwd.delay);
+  const ag::Tensor& jitter = tape.value(fwd.jitter);
+  std::vector<Prediction> out;
+  out.reserve(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const int offset = batch.path_offset[i];
+    const int pairs = samples[i]->num_pairs();
+    Prediction pred;
+    pred.delay_s.resize(static_cast<std::size_t>(pairs));
+    pred.jitter_s.resize(static_cast<std::size_t>(pairs));
+    for (int p = 0; p < pairs; ++p) {
+      pred.delay_s[static_cast<std::size_t>(p)] =
+          norm_.denormalize_delay(delay.at(offset + p, 0));
+      pred.jitter_s[static_cast<std::size_t>(p)] =
+          norm_.denormalize_jitter(jitter.at(offset + p, 0));
     }
+    out.push_back(std::move(pred));
   }
   return out;
 }

@@ -77,6 +77,13 @@ class RouteNet {
   std::vector<Prediction> predict_batch(
       const std::vector<dataset::Sample>& samples, int batch_size = 8) const;
 
+  // One merged forward pass over the given samples (no chunking — the caller
+  // owns batch sizing), scattered back to one Prediction per sample. This is
+  // the kernel predict_batch chunks over and the serving micro-batcher calls
+  // directly on coalesced requests.
+  std::vector<Prediction> predict_merged(
+      const std::vector<const dataset::Sample*>& samples) const;
+
   const RouteNetConfig& config() const { return config_; }
 
   // Normalization constants are fitted by the Trainer on the training set

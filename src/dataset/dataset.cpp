@@ -32,6 +32,22 @@ int Sample::num_valid() const {
   return n;
 }
 
+Sample make_inference_sample(std::shared_ptr<const topo::Topology> topology,
+                             routing::RoutingScheme routing,
+                             traffic::TrafficMatrix tm) {
+  RN_CHECK(topology != nullptr, "inference sample needs a topology");
+  RN_CHECK(tm.num_nodes() == topology->num_nodes(),
+           "traffic matrix does not match the topology's node count");
+  const auto pairs = static_cast<std::size_t>(topology->num_pairs());
+  return Sample{std::move(topology),
+                std::move(routing),
+                std::move(tm),
+                /*delay_s=*/std::vector<double>(pairs, 0.0),
+                /*jitter_s=*/std::vector<double>(pairs, 0.0),
+                /*valid=*/std::vector<std::uint8_t>(pairs, 1),
+                /*max_link_utilization=*/0.0};
+}
+
 DatasetGenerator::DatasetGenerator(GeneratorConfig cfg, std::uint64_t seed)
     : cfg_(cfg), seed_(seed) {
   RN_CHECK(cfg_.k_paths >= 1, "k_paths must be at least 1");

@@ -39,6 +39,14 @@ struct Sample {
   int num_valid() const;
 };
 
+// Wraps an unlabeled scenario triple as a Sample for inference: targets are
+// zeroed and every pair is marked valid, sized from the topology. This is
+// THE way to build a Sample without simulator labels — positional brace
+// initialization silently misassigns fields when Sample grows.
+Sample make_inference_sample(std::shared_ptr<const topo::Topology> topology,
+                             routing::RoutingScheme routing,
+                             traffic::TrafficMatrix tm);
+
 enum class MatrixKind { kUniform, kGravity, kHotspot };
 
 struct GeneratorConfig {

@@ -14,23 +14,37 @@ RegressionStats regression_stats(const std::vector<double>& truth,
   RN_CHECK(truth.size() == pred.size(), "series length mismatch");
   RN_CHECK(!truth.empty(), "empty series");
   RegressionStats s;
-  s.n = truth.size();
+  // Relative error is undefined for non-positive truth; one bad label must
+  // not kill a whole evaluation run, so such pairs are dropped up front and
+  // every statistic below sees only the usable pairs.
+  std::vector<double> t, p;
+  t.reserve(truth.size());
+  p.reserve(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] > 0.0) {
+      t.push_back(truth[i]);
+      p.push_back(pred[i]);
+    } else {
+      ++s.skipped_nonpositive;
+    }
+  }
+  RN_CHECK(!t.empty(), "no pairs with positive true delay");
+  s.n = t.size();
   double sum_abs = 0.0, sum_sq = 0.0, sum_re = 0.0;
   std::vector<double> res;
-  res.reserve(truth.size());
+  res.reserve(t.size());
   double mean_t = 0.0, mean_p = 0.0;
-  for (std::size_t i = 0; i < truth.size(); ++i) {
-    const double err = pred[i] - truth[i];
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double err = p[i] - t[i];
     sum_abs += std::abs(err);
     sum_sq += err * err;
-    RN_CHECK(truth[i] > 0.0, "relative error needs positive truth");
-    const double re = std::abs(err) / truth[i];
+    const double re = std::abs(err) / t[i];
     sum_re += re;
     res.push_back(re);
-    mean_t += truth[i];
-    mean_p += pred[i];
+    mean_t += t[i];
+    mean_p += p[i];
   }
-  const auto n = static_cast<double>(truth.size());
+  const auto n = static_cast<double>(t.size());
   mean_t /= n;
   mean_p /= n;
   s.mae = sum_abs / n;
@@ -38,10 +52,10 @@ RegressionStats regression_stats(const std::vector<double>& truth,
   s.mre = sum_re / n;
   s.median_re = quantile(res, 0.5);
   double cov = 0.0, var_t = 0.0, var_p = 0.0;
-  for (std::size_t i = 0; i < truth.size(); ++i) {
-    cov += (truth[i] - mean_t) * (pred[i] - mean_p);
-    var_t += (truth[i] - mean_t) * (truth[i] - mean_t);
-    var_p += (pred[i] - mean_p) * (pred[i] - mean_p);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    cov += (t[i] - mean_t) * (p[i] - mean_p);
+    var_t += (t[i] - mean_t) * (t[i] - mean_t);
+    var_p += (p[i] - mean_p) * (p[i] - mean_p);
   }
   s.pearson_r = (var_t > 0.0 && var_p > 0.0)
                     ? cov / std::sqrt(var_t * var_p)
@@ -51,14 +65,20 @@ RegressionStats regression_stats(const std::vector<double>& truth,
 }
 
 std::vector<double> relative_errors(const std::vector<double>& truth,
-                                    const std::vector<double>& pred) {
+                                    const std::vector<double>& pred,
+                                    std::size_t* skipped_nonpositive) {
   RN_CHECK(truth.size() == pred.size(), "series length mismatch");
   std::vector<double> out;
   out.reserve(truth.size());
+  std::size_t skipped = 0;
   for (std::size_t i = 0; i < truth.size(); ++i) {
-    RN_CHECK(truth[i] > 0.0, "relative error needs positive truth");
-    out.push_back((pred[i] - truth[i]) / truth[i]);
+    if (truth[i] > 0.0) {
+      out.push_back((pred[i] - truth[i]) / truth[i]);
+    } else {
+      ++skipped;
+    }
   }
+  if (skipped_nonpositive != nullptr) *skipped_nonpositive = skipped;
   return out;
 }
 

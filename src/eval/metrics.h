@@ -14,21 +14,30 @@
 namespace rn::eval {
 
 struct RegressionStats {
-  std::size_t n = 0;
+  std::size_t n = 0;       // pairs the stats are computed over
   double mae = 0.0;        // mean absolute error
   double rmse = 0.0;
   double mre = 0.0;        // mean |pred-true|/true
   double median_re = 0.0;  // median |pred-true|/true
   double pearson_r = 0.0;
   double r2 = 0.0;         // coefficient of determination
+  // Pairs dropped because their true delay was <= 0 (a path the simulator
+  // marked valid on delivered-count alone, or a degenerate label): relative
+  // error is undefined there, so they are skipped and counted rather than
+  // aborting a whole evaluation run.
+  std::size_t skipped_nonpositive = 0;
 };
 
+// Throws only when no pair has a positive true delay (nothing to report).
 RegressionStats regression_stats(const std::vector<double>& truth,
                                  const std::vector<double>& pred);
 
-// Signed relative errors (pred − true) / true.
+// Signed relative errors (pred − true) / true. Pairs with non-positive
+// truth are skipped (the output is correspondingly shorter); when
+// `skipped_nonpositive` is non-null it receives the dropped count.
 std::vector<double> relative_errors(const std::vector<double>& truth,
-                                    const std::vector<double>& pred);
+                                    const std::vector<double>& pred,
+                                    std::size_t* skipped_nonpositive = nullptr);
 
 // Empirical CDF evaluated at evenly spread sample points.
 struct CdfPoint {

@@ -6,14 +6,8 @@
 namespace rn::planning {
 
 dataset::Sample scenario_to_sample(const Scenario& scenario) {
-  dataset::Sample sample{scenario.topology, scenario.routing, scenario.tm,
-                         {},                {},               {},
-                         0.0};
-  const int pairs = scenario.topology->num_pairs();
-  sample.delay_s.assign(static_cast<std::size_t>(pairs), 0.0);
-  sample.jitter_s.assign(static_cast<std::size_t>(pairs), 0.0);
-  sample.valid.assign(static_cast<std::size_t>(pairs), 1);
-  return sample;
+  return dataset::make_inference_sample(scenario.topology, scenario.routing,
+                                        scenario.tm);
 }
 
 namespace {

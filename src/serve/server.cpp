@@ -1,0 +1,183 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace rn::serve {
+
+namespace {
+
+// Metric references are resolved once per process; the serve hot path only
+// touches lock-free counters/histograms.
+struct ServeMetrics {
+  obs::Histogram& queue_depth =
+      obs::Registry::global().histogram("serve.queue_depth");
+  obs::Histogram& batch_size =
+      obs::Registry::global().histogram("serve.batch_size");
+  obs::Histogram& latency_s =
+      obs::Registry::global().histogram("serve.latency_s");
+  obs::Counter& requests =
+      obs::Registry::global().counter("serve.requests_total");
+  obs::Counter& rejected =
+      obs::Registry::global().counter("serve.rejected_total");
+  obs::Counter& served = obs::Registry::global().counter("serve.served_total");
+  obs::Counter& batches =
+      obs::Registry::global().counter("serve.batches_total");
+  obs::Gauge& workers = obs::Registry::global().gauge("serve.workers");
+};
+
+ServeMetrics& metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const core::RouteNet& model, ServerConfig cfg)
+    : model_(model), cfg_(cfg) {
+  RN_CHECK(cfg_.max_batch >= 1, "max_batch must be positive");
+  RN_CHECK(cfg_.batch_deadline_s >= 0.0, "batch deadline must be >= 0");
+  RN_CHECK(cfg_.queue_capacity >= 1, "queue capacity must be positive");
+  deadline_ = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(cfg_.batch_deadline_s));
+  pool_ = par::global_pool();
+  num_workers_ = cfg_.workers > 0 ? cfg_.workers : pool_->size();
+  num_workers_ = std::max(1, num_workers_);
+  // A 1-thread pool runs submit() inline on the caller, which would execute
+  // a serve loop right here and never return — those workers (and any beyond
+  // the pool's width) get dedicated threads instead.
+  const int pool_backed =
+      pool_->size() > 1 ? std::min(num_workers_, pool_->size()) : 0;
+  for (int i = 0; i < pool_backed; ++i) {
+    pool_workers_.push_back(pool_->submit([this] { worker_loop(); }));
+  }
+  for (int i = pool_backed; i < num_workers_; ++i) {
+    thread_workers_.emplace_back([this] { worker_loop(); });
+  }
+  metrics().workers.set(static_cast<double>(num_workers_));
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+std::future<core::RouteNet::Prediction> InferenceServer::submit(
+    dataset::Sample sample) {
+  std::future<core::RouteNet::Prediction> fut;
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      metrics().rejected.add();
+      throw RejectedError("inference server is stopping");
+    }
+    if (queue_.size() >= cfg_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      metrics().rejected.add();
+      throw RejectedError("inference queue full (capacity " +
+                          std::to_string(cfg_.queue_capacity) + ")");
+    }
+    Request req(std::move(sample), std::chrono::steady_clock::now(),
+                next_id_++);
+    fut = req.promise.get_future();
+    queue_.push_back(std::move(req));
+    depth = queue_.size();
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics().requests.add();
+  metrics().queue_depth.record(static_cast<double>(depth));
+  cv_.notify_one();
+  return fut;
+}
+
+void InferenceServer::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      // Hold a partial batch open until it fills or the oldest request's
+      // deadline passes. During drain (stopping_) ship immediately.
+      const auto deadline = queue_.front().enqueued + deadline_;
+      cv_.wait_until(lock, deadline, [&] {
+        return stopping_ ||
+               queue_.size() >= static_cast<std::size_t>(cfg_.max_batch);
+      });
+      // Another worker may have taken everything while we waited.
+      if (queue_.empty()) continue;
+      const std::size_t take =
+          std::min(queue_.size(), static_cast<std::size_t>(cfg_.max_batch));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    run_batch(batch);
+  }
+}
+
+void InferenceServer::run_batch(std::vector<Request>& batch) {
+  obs::TraceSpan span("serve.batch");
+  span.arg("size", static_cast<std::int64_t>(batch.size()));
+  metrics().batch_size.record(static_cast<double>(batch.size()));
+  std::vector<const dataset::Sample*> samples;
+  samples.reserve(batch.size());
+  for (const Request& req : batch) samples.push_back(&req.sample);
+  try {
+    std::vector<core::RouteNet::Prediction> preds =
+        model_.predict_merged(samples);
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      obs::TraceSpan req_span("serve.request", span.id());
+      req_span.arg("id", static_cast<std::int64_t>(batch[i].id));
+      metrics().latency_s.record(
+          std::chrono::duration<double>(now - batch[i].enqueued).count());
+      batch[i].promise.set_value(std::move(preds[i]));
+    }
+    served_.fetch_add(batch.size(), std::memory_order_relaxed);
+    metrics().served.add(batch.size());
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    metrics().batches.add();
+  } catch (...) {
+    // A failed forward fails every request in the batch; the server keeps
+    // serving subsequent batches.
+    for (Request& req : batch) {
+      req.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void InferenceServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (joined_) return;
+    joined_ = true;
+  }
+  cv_.notify_all();
+  for (std::future<void>& f : pool_workers_) f.get();
+  for (std::thread& t : thread_workers_) t.join();
+  pool_workers_.clear();
+  thread_workers_.clear();
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t InferenceServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace rn::serve

@@ -1,0 +1,137 @@
+// In-process inference serving: an InferenceServer owns a loaded RouteNet
+// and turns independent predict() calls into micro-batched forward passes.
+//
+// Request flow: submit() enqueues a Sample into a bounded queue (rejecting
+// with RejectedError when full — backpressure is explicit and counted, never
+// silent latency) and returns a future. Worker loops pop requests and
+// coalesce them into one GraphBatch::from_samples forward pass under two
+// knobs: a batch closes as soon as `max_batch` requests are pending, or when
+// the oldest request has waited `batch_deadline_s`, whichever comes first.
+// Merged graphs are disjoint, so batched results are bitwise identical to
+// per-request predict() (serve_test locks this in).
+//
+// Worker threads come from the global `par` pool when it has dedicated
+// workers (capped at pool width; a pool worker running forward() executes
+// its matmul parallel_for chunks inline, so occupying the pool is safe).
+// A 1-thread pool runs submit() inline on the caller — a serve loop would
+// block it forever — so any workers beyond the pool's capacity run on
+// dedicated std::threads instead.
+//
+// stop() drains: accepting stops immediately (further submits reject), every
+// already-queued request is still served, then workers are joined. The
+// destructor calls stop().
+//
+// Telemetry (docs/observability.md): histograms serve.queue_depth /
+// serve.batch_size / serve.latency_s; counters serve.requests_total /
+// serve.rejected_total / serve.served_total / serve.batches_total; gauge
+// serve.workers; trace spans serve.batch (arg: size) with one serve.request
+// (arg: id) child per coalesced request.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/routenet.h"
+#include "dataset/dataset.h"
+#include "par/thread_pool.h"
+
+namespace rn::serve {
+
+struct ServerConfig {
+  // Coalesce at most this many requests into one forward pass.
+  int max_batch = 8;
+  // How long a worker holds a partial batch open waiting for it to fill.
+  double batch_deadline_s = 0.005;
+  // Pending requests beyond which submit() rejects.
+  std::size_t queue_capacity = 256;
+  // Worker loops executing batches; 0 = the global pool's width.
+  int workers = 0;
+};
+
+// Thrown by submit() on backpressure (queue full) or after stop().
+class RejectedError : public std::runtime_error {
+ public:
+  explicit RejectedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// Cumulative counts since construction; readable at any time.
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t batches = 0;
+};
+
+class InferenceServer {
+ public:
+  // The model must outlive the server. Workers start immediately.
+  InferenceServer(const core::RouteNet& model, ServerConfig cfg);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  // Enqueues one scenario for inference. The future resolves when a worker
+  // executes the batch containing it (or carries the forward's exception).
+  // Throws RejectedError when the queue is full or the server is stopping.
+  std::future<core::RouteNet::Prediction> submit(dataset::Sample sample);
+
+  // Stops accepting, serves everything already queued, joins the workers.
+  // Idempotent.
+  void stop();
+
+  ServerStats stats() const;
+  std::size_t queue_depth() const;
+  int num_workers() const { return num_workers_; }
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  struct Request {
+    Request(dataset::Sample sample_,
+            std::chrono::steady_clock::time_point enqueued_, std::uint64_t id_)
+        : sample(std::move(sample_)), enqueued(enqueued_), id(id_) {}
+
+    dataset::Sample sample;
+    std::promise<core::RouteNet::Prediction> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    std::uint64_t id = 0;
+  };
+
+  void worker_loop();
+  void run_batch(std::vector<Request>& batch);
+
+  const core::RouteNet& model_;
+  ServerConfig cfg_;
+  std::chrono::steady_clock::duration deadline_;
+  int num_workers_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  bool joined_ = false;
+  std::uint64_t next_id_ = 0;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> batches_{0};
+
+  // Keeps the pool backing pool_workers_ alive for the server's lifetime.
+  std::shared_ptr<par::ThreadPool> pool_;
+  std::vector<std::future<void>> pool_workers_;
+  std::vector<std::thread> thread_workers_;
+};
+
+}  // namespace rn::serve

@@ -40,11 +40,40 @@ TEST(RegressionStats, ConstantPredictionHasLowR2) {
 TEST(RegressionStats, RejectsBadInput) {
   EXPECT_THROW(regression_stats({1.0}, {1.0, 2.0}), std::runtime_error);
   EXPECT_THROW(regression_stats({}, {}), std::runtime_error);
+  // All-non-positive truth leaves nothing to report over.
   EXPECT_THROW(regression_stats({0.0}, {1.0}), std::runtime_error);
+  EXPECT_THROW(regression_stats({0.0, -0.1}, {1.0, 1.0}),
+               std::runtime_error);
+}
+
+TEST(RegressionStats, SkipsNonPositiveTruthInsteadOfAborting) {
+  // The zero- and negative-truth pairs must drop out entirely: the stats
+  // equal those of the positive-truth subseries, with the drops counted.
+  const std::vector<double> truth = {1.0, 0.0, 2.0, -0.5};
+  const std::vector<double> pred = {1.5, 9.0, 1.0, 9.0};
+  const RegressionStats s = regression_stats(truth, pred);
+  const RegressionStats clean = regression_stats({1.0, 2.0}, {1.5, 1.0});
+  EXPECT_EQ(s.n, 2u);
+  EXPECT_EQ(s.skipped_nonpositive, 2u);
+  EXPECT_EQ(clean.skipped_nonpositive, 0u);
+  EXPECT_DOUBLE_EQ(s.mae, clean.mae);
+  EXPECT_DOUBLE_EQ(s.mre, clean.mre);
+  EXPECT_DOUBLE_EQ(s.rmse, clean.rmse);
+  EXPECT_DOUBLE_EQ(s.r2, clean.r2);
 }
 
 TEST(RelativeErrors, SignedValues) {
   const std::vector<double> re = relative_errors({2.0, 4.0}, {1.0, 5.0});
+  EXPECT_DOUBLE_EQ(re[0], -0.5);
+  EXPECT_DOUBLE_EQ(re[1], 0.25);
+}
+
+TEST(RelativeErrors, SkipsAndCountsNonPositiveTruth) {
+  std::size_t skipped = 0;
+  const std::vector<double> re =
+      relative_errors({2.0, 0.0, 4.0, -1.0}, {1.0, 7.0, 5.0, 7.0}, &skipped);
+  ASSERT_EQ(re.size(), 2u);
+  EXPECT_EQ(skipped, 2u);
   EXPECT_DOUBLE_EQ(re[0], -0.5);
   EXPECT_DOUBLE_EQ(re[1], 0.25);
 }

@@ -1,11 +1,17 @@
 #include "commands.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <thread>
 
 #include "core/trainer.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "serve/server.h"
 #include "eval/export.h"
 #include "obs/summarize.h"
 #include "obs/trace.h"
@@ -290,6 +296,10 @@ int cmd_eval(const Flags& flags) {
       eval::regression_stats(series.truth, series.pred);
   std::printf("samples: %zu   valid paths: %zu\n", samples.size(),
               series.truth.size());
+  if (stats.skipped_nonpositive > 0) {
+    std::printf("skipped %zu paths with non-positive true delay\n",
+                stats.skipped_nonpositive);
+  }
   std::printf("delay:  MRE %.4f   median RE %.4f   Pearson r %.4f   "
               "R^2 %.4f\n",
               stats.mre, stats.median_re, stats.pearson_r, stats.r2);
@@ -306,13 +316,9 @@ int cmd_predict(const Flags& flags) {
   const std::string out = flags.get_string("out", "");
   flags.reject_unused();
 
-  dataset::Sample sample{sc.topology, std::move(sc.scheme), std::move(sc.tm),
-                         {},          {},                   {},
-                         0.0};
+  const dataset::Sample sample = dataset::make_inference_sample(
+      sc.topology, std::move(sc.scheme), std::move(sc.tm));
   const int pairs = sc.topology->num_pairs();
-  sample.delay_s.assign(static_cast<std::size_t>(pairs), 0.0);
-  sample.jitter_s.assign(static_cast<std::size_t>(pairs), 0.0);
-  sample.valid.assign(static_cast<std::size_t>(pairs), 1);
 
   const core::RouteNet::Prediction pred = model.predict(sample);
   const std::vector<eval::RankedPath> top =
@@ -339,6 +345,104 @@ int cmd_predict(const Flags& flags) {
           << ',' << pred.jitter_s[static_cast<std::size_t>(idx)] << '\n';
     }
     std::printf("all %d pairs -> %s\n", pairs, out.c_str());
+  }
+  return 0;
+}
+
+int cmd_serve(const Flags& flags) {
+  const core::RouteNet model =
+      core::RouteNet::load(flags.require_string("model"));
+  Scenario sc = load_scenario(flags);
+  const int requests = flags.get_int("requests", 64);
+  const int clients = flags.get_int("clients", 4);
+  serve::ServerConfig scfg;
+  scfg.max_batch = flags.get_int("batch-max", 8);
+  scfg.batch_deadline_s = flags.get_double("batch-deadline-ms", 5.0) / 1e3;
+  scfg.queue_capacity =
+      static_cast<std::size_t>(flags.get_int("queue-cap", 256));
+  const std::uint64_t seed = flags.get_seed("seed", 1);
+  flags.reject_unused();
+  RN_CHECK(requests >= 1, "need at least one request");
+  RN_CHECK(clients >= 1, "need at least one client");
+
+  // Distinct request scenarios: the base matrix scaled by a per-request
+  // factor, so batches merge genuinely different samples.
+  std::vector<dataset::Sample> pool;
+  pool.reserve(static_cast<std::size_t>(requests));
+  Rng rng(derive_seed(seed, /*stream=*/0x5e7e, 0));
+  for (int i = 0; i < requests; ++i) {
+    traffic::TrafficMatrix tm = sc.tm;
+    tm.scale(rng.uniform(0.5, 1.5));
+    pool.push_back(
+        dataset::make_inference_sample(sc.topology, sc.scheme, std::move(tm)));
+  }
+
+  serve::InferenceServer server(model, scfg);
+  std::printf("serving %d requests on %s: clients=%d workers=%d "
+              "batch-max=%d deadline=%.1fms queue-cap=%zu\n",
+              requests, sc.topology->name().c_str(), clients,
+              server.num_workers(), scfg.max_batch,
+              scfg.batch_deadline_s * 1e3, scfg.queue_capacity);
+
+  // Closed-loop load generator: each client submits, waits for the result,
+  // moves to the next request; rejects (backpressure) are counted, not
+  // retried.
+  std::atomic<int> next{0};
+  std::atomic<std::uint64_t> ok{0}, rejected{0}, failed{0};
+  obs::Stopwatch wall;
+  std::vector<std::thread> load;
+  load.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    load.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests) return;
+        try {
+          server.submit(pool[static_cast<std::size_t>(i)]).get();
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const serve::RejectedError&) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : load) t.join();
+  const double wall_s = wall.elapsed_s();
+  server.stop();
+
+  const serve::ServerStats stats = server.stats();
+  const obs::Histogram& lat =
+      obs::Registry::global().histogram("serve.latency_s");
+  const obs::Histogram& bs =
+      obs::Registry::global().histogram("serve.batch_size");
+  const double throughput =
+      wall_s > 0.0 ? static_cast<double>(ok.load()) / wall_s : 0.0;
+  std::printf("served %llu (rejected %llu, failed %llu) in %.3f s — "
+              "%.1f req/s\n",
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(failed.load()), wall_s,
+              throughput);
+  std::printf("batches %llu (mean size %.2f)   latency p50 %.3f ms  "
+              "p99 %.3f ms\n",
+              static_cast<unsigned long long>(stats.batches), bs.mean(),
+              lat.quantile(0.5) * 1e3, lat.quantile(0.99) * 1e3);
+  if (obs::EventSink::global().enabled()) {
+    obs::Event ev("serve.run");
+    ev.f("requests", requests)
+        .f("clients", clients)
+        .f("workers", server.num_workers())
+        .f("batch_max", scfg.max_batch)
+        .f("served", stats.served)
+        .f("rejected", stats.rejected)
+        .f("batches", stats.batches)
+        .f("wall_s", wall_s)
+        .f("throughput_rps", throughput)
+        .f("latency_p50_s", lat.quantile(0.5))
+        .f("latency_p99_s", lat.quantile(0.99));
+    obs::EventSink::global().emit(ev);
   }
   return 0;
 }

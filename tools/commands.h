@@ -42,6 +42,12 @@ int cmd_eval(const Flags& flags);
 // [--top N] [--out CSV]
 int cmd_predict(const Flags& flags);
 
+// Runs the in-process batched inference server under a closed-loop load
+// generator: --model FILE --topology FILE --routing FILE --traffic FILE
+// [--requests N] [--clients C] [--batch-max B] [--batch-deadline-ms D]
+// [--queue-cap Q] [--seed S]. Worker count follows the global --threads.
+int cmd_serve(const Flags& flags);
+
 // Describes an artifact: --topology FILE | --dataset FILE | --model FILE
 int cmd_info(const Flags& flags);
 

@@ -52,6 +52,11 @@ int usage() {
       "                 SIGINT/SIGTERM save state before exiting\n"
       "  eval           report MRE / Pearson r / R^2 of a model\n"
       "  predict        per-path delay/jitter for a scenario + Top-N\n"
+      "  serve          micro-batched inference server under a closed-loop\n"
+      "                 load generator: --requests/--clients drive traffic;\n"
+      "                 --batch-max/--batch-deadline-ms/--queue-cap tune\n"
+      "                 coalescing and backpressure; workers follow\n"
+      "                 --threads\n"
       "  whatif         rank link upgrades & failures with a trained model\n"
       "  info           describe a topology / dataset / model artifact\n"
       "  obs            telemetry tools: `obs summarize <file.jsonl>`,\n"
@@ -104,6 +109,7 @@ int main(int argc, char** argv) {
       if (cmd == "train") return rn::cli::cmd_train(flags);
       if (cmd == "eval") return rn::cli::cmd_eval(flags);
       if (cmd == "predict") return rn::cli::cmd_predict(flags);
+      if (cmd == "serve") return rn::cli::cmd_serve(flags);
       if (cmd == "info") return rn::cli::cmd_info(flags);
       if (cmd == "whatif") return rn::cli::cmd_whatif(flags);
       std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
