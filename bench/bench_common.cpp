@@ -8,6 +8,7 @@
 
 #include "obs/event.h"
 #include "obs/json.h"
+#include "obs/snapshot.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
@@ -83,7 +84,11 @@ ExperimentScale scale_from_env() {
   ExperimentScale s;
   const char* env = std::getenv("RN_BENCH_SCALE");
   const std::string mode = env != nullptr ? env : "standard";
-  if (mode == "quick") {
+  if (mode == "smoke") {
+    // Minutes-to-seconds tier for CI smokes (obs_diff_smoke): just enough
+    // work to populate every BENCH_*.json key, no statistical value.
+    s = ExperimentScale{"smoke", 6, 2, 2, 1, 2, 2, 30.0};
+  } else if (mode == "quick") {
     s = ExperimentScale{"quick", 24, 4, 6, 2, 5, 10, 80.0};
   } else if (mode == "large") {
     s = ExperimentScale{"large", 400, 60, 40, 12, 40, 40, 150.0};
@@ -230,14 +235,26 @@ PaperSetup load_or_train_paper_setup(const ExperimentScale& scale) {
 void init_bench_telemetry(int argc, char** argv) {
   std::string path;
   std::string trace_path;
+  std::string trace_sample;
+  double trace_min_us = -1.0;
+  double stats_every_s = -1.0;
   int threads = 0;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--metrics-out") path = argv[i + 1];
     if (std::string(argv[i]) == "--trace-out") trace_path = argv[i + 1];
+    if (std::string(argv[i]) == "--trace-min-us") {
+      trace_min_us = std::atof(argv[i + 1]);
+    }
+    if (std::string(argv[i]) == "--trace-sample") trace_sample = argv[i + 1];
+    if (std::string(argv[i]) == "--stats-every-s") {
+      stats_every_s = std::atof(argv[i + 1]);
+    }
     if (std::string(argv[i]) == "--threads") threads = std::atoi(argv[i + 1]);
   }
   obs::EventSink::global().open_or_env(path);
+  obs::Tracer::global().configure_sampling_or_env(trace_min_us, trace_sample);
   obs::Tracer::global().open_or_env(trace_path);
+  obs::StatsReporter::global().start_or_env(stats_every_s);
   par::set_global_threads(threads);
   bench_watch().restart();
 }
@@ -246,8 +263,13 @@ std::string finish_bench_telemetry(const std::string& bench_name,
                                    const ExperimentScale& scale) {
   obs::Registry::global().gauge("bench.wall_s").set(
       bench_watch().elapsed_s());
+  // Drain the stats reporter first: its final obs.snapshot must precede
+  // the sink close, and its totals belong in the registry snapshot below.
+  obs::StatsReporter::global().stop();
   // Spans are drained once here; the summary lands in BENCH_*.json whether
-  // or not a --trace-out file captures the full timeline.
+  // or not a --trace-out file captures the full timeline. The telemetry
+  // section now carries histogram p99s and sliding-window quantiles, so
+  // `routenet obs diff` sees stable keys across runs.
   obs::Tracer& tracer = obs::Tracer::global();
   const std::vector<obs::TraceRecord> spans = tracer.collect();
   const std::string path = cache_dir() + "/BENCH_" + bench_name + ".json";
@@ -256,8 +278,9 @@ std::string finish_bench_telemetry(const std::string& bench_name,
     if (out.good()) {
       out << "{\"bench\":\"" << obs::json_escape(bench_name)
           << "\",\"scale\":\"" << obs::json_escape(scale.name)
-          << "\",\"trace\":" << obs::trace_summary_json(spans,
-                                                        tracer.dropped())
+          << "\",\"trace\":"
+          << obs::trace_summary_json(spans, tracer.dropped(),
+                                     tracer.sampled_out())
           << ",\"telemetry\":"
           << obs::Registry::global().snapshot().to_json() << "}\n";
     }
@@ -266,7 +289,9 @@ std::string finish_bench_telemetry(const std::string& bench_name,
   obs::emit_registry_snapshot();
   obs::EventSink::global().close();
   if (!tracer.out_path().empty()) {
-    obs::Tracer::write_chrome_trace(tracer.out_path(), spans);
+    obs::Tracer::write_chrome_trace(tracer.out_path(), spans,
+                                    /*merge_existing=*/false,
+                                    tracer.dropped(), tracer.sampled_out());
     tracer.disable();
   }
   return path;

@@ -31,7 +31,9 @@ struct ExperimentScale {
   double pkts_per_flow = 120.0;
 };
 
-// Reads RN_BENCH_SCALE (quick | standard | large); standard by default.
+// Reads RN_BENCH_SCALE (smoke | quick | standard | large); standard by
+// default. "smoke" is a seconds-scale tier for CI smokes that only needs
+// to populate every BENCH_*.json key.
 ExperimentScale scale_from_env();
 
 // Cache directory (created if missing).

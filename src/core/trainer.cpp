@@ -137,6 +137,10 @@ Trainer::Trainer(RouteNet& model, const TrainConfig& config)
   RN_CHECK(cfg_.max_batches >= 0, "max_batches cannot be negative");
   RN_CHECK(cfg_.inject_nan_at_batch >= 0,
            "inject_nan_at_batch cannot be negative");
+  RN_CHECK(cfg_.health_drift_factor >= 0.0,
+           "health_drift_factor cannot be negative");
+  RN_CHECK(cfg_.inject_grad_scale > 0.0f,
+           "inject_grad_scale must be positive");
 }
 
 double Trainer::evaluate_delay_mre(
@@ -382,6 +386,9 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
   SignalGuard signal_guard(cfg_.handle_signals);
   bool stop_all = false;
   bool interrupted = false;
+  // First observed grad/param norm ratio per module — the reference the
+  // drift watchdog compares every later epoch against.
+  std::map<std::string, double> drift_baseline;
 
   for (int epoch = start_epoch; epoch < cfg_.epochs && !stop_all; ++epoch) {
     obs::TraceSpan epoch_span("trainer.epoch");
@@ -454,6 +461,18 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
       }
       const double grad_norm =
           ag::clip_grad_norm(optimizer.params(), cfg_.clip_norm);
+      if (cfg_.inject_grad_scale_at_epoch >= 0 &&
+          epoch >= cfg_.inject_grad_scale_at_epoch &&
+          cfg_.inject_grad_scale != 1.0f) {
+        // After clipping, so the scale survives into the norms the drift
+        // detector reads at epoch end.
+        for (ag::Parameter* p : optimizer.params()) {
+          const std::size_t n = static_cast<std::size_t>(p->grad.size());
+          for (std::size_t i = 0; i < n; ++i) {
+            p->grad[i] *= cfg_.inject_grad_scale;
+          }
+        }
+      }
       backward_span.end();
       const double backward_s = phase.elapsed_s();
       h_backward.record(backward_s);
@@ -595,17 +614,47 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
         std::fflush(stdout);
       }
     }
-    if (cfg_.health_checks && sink.enabled()) {
+    if (cfg_.health_checks && (sink.enabled() || cfg_.verbose)) {
       // Per-module norm breakdown once per epoch: cheap relative to an
       // epoch, and gives divergence trends before anything goes non-finite.
+      const std::map<std::string, ModuleNorms> norms_by_module =
+          module_norms(optimizer.params());
       obs::Event health("trainer.health");
       health.f("status", "ok").f("epoch", epoch).f("total_batches",
                                                    total_batches);
-      for (const auto& [module, norms] : module_norms(optimizer.params())) {
+      for (const auto& [module, norms] : norms_by_module) {
         health.f("param_norm." + module, std::sqrt(norms.param_sq))
             .f("grad_norm." + module, std::sqrt(norms.grad_sq));
       }
       sink.emit(health);
+      if (cfg_.health_drift_factor > 0.0) {
+        // Trend watchdog: a module whose grad/param ratio has grown past
+        // baseline × factor is diverging even while every value is still
+        // finite — warn now, while a checkpoint is still worth keeping.
+        for (const auto& [module, norms] : norms_by_module) {
+          const double param_norm = std::sqrt(norms.param_sq);
+          const double grad_norm_m = std::sqrt(norms.grad_sq);
+          if (param_norm <= 0.0 || grad_norm_m <= 0.0) continue;
+          const double ratio = grad_norm_m / param_norm;
+          const auto [it, inserted] = drift_baseline.emplace(module, ratio);
+          if (inserted) continue;
+          if (ratio > cfg_.health_drift_factor * it->second) {
+            obs::Event drift("trainer.health.drift");
+            drift.f("module", module)
+                .f("epoch", epoch)
+                .f("ratio", ratio)
+                .f("baseline_ratio", it->second)
+                .f("factor", cfg_.health_drift_factor);
+            sink.emit(drift);
+            if (cfg_.verbose) {
+              const std::string line = drift.console_line();
+              std::fwrite(line.data(), 1, line.size(), stdout);
+              std::fputc('\n', stdout);
+              std::fflush(stdout);
+            }
+          }
+        }
+      }
     }
     report.epochs.push_back(log);
     report.final_train_loss = log.train_loss;

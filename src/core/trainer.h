@@ -70,6 +70,17 @@ struct TrainConfig {
   // clipping on this 1-based optimizer step (0: never), to drive the
   // watchdog path deterministically.
   long inject_nan_at_batch = 0;
+  // Trend watchdog: each epoch, every module's grad/param norm ratio is
+  // compared against its first observed (baseline) ratio; drifting past
+  // baseline × this factor emits a `trainer.health.drift` warning event.
+  // Catches slow divergence long before anything goes non-finite.
+  // 0 disables; requires health_checks.
+  double health_drift_factor = 50.0;
+  // Testing hook: from this 0-based epoch on, multiply every gradient by
+  // `inject_grad_scale` right after clipping (1.0: never), to drive the
+  // drift detector deterministically.
+  int inject_grad_scale_at_epoch = -1;
+  float inject_grad_scale = 1.0f;
 };
 
 struct EpochLog {

@@ -1,0 +1,193 @@
+#include "obs/diff.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace rn::obs {
+
+namespace {
+
+// Values this small on both sides are noise, not signal: a latency that
+// moved from 0 to 1e-12 s must not trip a percentage gate.
+constexpr double kAbsFloor = 1e-9;
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+void flatten(const JsonValue& v, const std::string& prefix,
+             std::map<std::string, double>& out) {
+  if (v.is_number()) {
+    if (!prefix.empty()) out[prefix] = v.number;
+    return;
+  }
+  if (v.is_object()) {
+    // Per-span timing tables churn with span presence and scheduling —
+    // excluded so the gate compares metrics, not profiles.
+    if (ends_with(prefix, "trace.by_name")) return;
+    for (const auto& [key, child] : v.object) {
+      flatten(child, prefix.empty() ? key : prefix + "." + key, out);
+    }
+    return;
+  }
+  if (v.type == JsonValue::Type::kArray) {
+    for (std::size_t i = 0; i < v.array.size(); ++i) {
+      flatten(v.array[i], prefix + "." + std::to_string(i), out);
+    }
+  }
+  // Strings/bools/nulls are not comparable metrics.
+}
+
+std::map<std::string, double> flatten_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open bench report: " + path);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonValue root;
+  std::string err;
+  if (!parse_json(buf.str(), &root, &err)) {
+    throw std::runtime_error(path + ": malformed JSON (" + err + ")");
+  }
+  if (!root.is_object()) {
+    throw std::runtime_error(path + ": bench report is not a JSON object");
+  }
+  std::map<std::string, double> out;
+  flatten(root, "", out);
+  return out;
+}
+
+}  // namespace
+
+MetricDirection metric_direction(const std::string& dotted_key) {
+  std::string key = dotted_key;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  // Failure-ish counters gate as lower-better even though they end in
+  // "_total"/".count", so check them before the count-neutral rule.
+  for (const char* bad :
+       {"dropped", "rejected", "failed", "sampled_out", "timeout"}) {
+    if (contains(key, bad)) return MetricDirection::kLowerBetter;
+  }
+  // Volumes and counts are workload descriptors, not quality metrics.
+  if (ends_with(key, ".count") || ends_with(key, "_count") ||
+      ends_with(key, "_total") || ends_with(key, ".seq") ||
+      ends_with(key, "window_s") || ends_with(key, "period_s")) {
+    return MetricDirection::kNeutral;
+  }
+  for (const char* good :
+       {"per_s", "throughput", "rps", "gflops", "speedup"}) {
+    if (contains(key, good)) return MetricDirection::kHigherBetter;
+  }
+  // Latencies, losses, errors, and any seconds-denominated stat (wall_s,
+  // …_s.p99, …) shrink when things improve.
+  if (contains(key, "latency") || contains(key, "loss") ||
+      contains(key, "mre") || contains(key, "_err") ||
+      ends_with(key, "_s") || contains(key, "_s.")) {
+    return MetricDirection::kLowerBetter;
+  }
+  return MetricDirection::kNeutral;
+}
+
+DiffReport diff_bench_files(const std::string& path_a,
+                            const std::string& path_b,
+                            const DiffOptions& opts) {
+  const std::map<std::string, double> a = flatten_file(path_a);
+  const std::map<std::string, double> b = flatten_file(path_b);
+
+  DiffReport report;
+  for (const auto& [key, va] : a) {
+    if (b.find(key) == b.end()) report.only_in_a.push_back(key);
+  }
+  for (const auto& [key, vb] : b) {
+    if (a.find(key) == a.end()) report.only_in_b.push_back(key);
+  }
+
+  for (const auto& [key, va] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) continue;
+    const double vb = it->second;
+    ++report.compared;
+    if (va == vb) continue;
+    if (std::max(std::fabs(va), std::fabs(vb)) < kAbsFloor) continue;
+    DiffLine line;
+    line.key = key;
+    line.a = va;
+    line.b = vb;
+    line.change_pct =
+        100.0 * (vb - va) / std::max(std::fabs(va), kAbsFloor);
+    line.direction = metric_direction(key);
+    if (std::fabs(line.change_pct) < opts.threshold_pct) continue;
+    const bool worsened =
+        (line.direction == MetricDirection::kLowerBetter && vb > va) ||
+        (line.direction == MetricDirection::kHigherBetter && vb < va);
+    const bool bettered =
+        (line.direction == MetricDirection::kLowerBetter && vb < va) ||
+        (line.direction == MetricDirection::kHigherBetter && vb > va);
+    line.regression = worsened;
+    line.improvement = bettered;
+    report.regressions += worsened ? 1 : 0;
+    report.improvements += bettered ? 1 : 0;
+    report.lines.push_back(std::move(line));
+  }
+  // Most severe first; neutral drift sorts last.
+  std::sort(report.lines.begin(), report.lines.end(),
+            [](const DiffLine& x, const DiffLine& y) {
+              if (x.regression != y.regression) return x.regression;
+              if (x.improvement != y.improvement) return x.improvement;
+              return std::fabs(x.change_pct) > std::fabs(y.change_pct);
+            });
+  return report;
+}
+
+std::string DiffReport::format(const std::string& path_a,
+                               const std::string& path_b,
+                               double threshold_pct) const {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "bench diff: %s -> %s (threshold %.4g%%, %zu metrics "
+                "compared)\n",
+                path_a.c_str(), path_b.c_str(), threshold_pct, compared);
+  out += buf;
+  for (const DiffLine& line : lines) {
+    const char* tag = line.regression      ? "REGRESSION"
+                      : line.improvement  ? "improved"
+                                          : "changed";
+    std::snprintf(buf, sizeof(buf), "  %-10s %-56s %.6g -> %.6g (%+.1f%%)\n",
+                  tag, line.key.c_str(), line.a, line.b, line.change_pct);
+    out += buf;
+  }
+  if (!only_in_a.empty()) {
+    std::snprintf(buf, sizeof(buf), "  only in baseline: %zu keys (e.g. %s)\n",
+                  only_in_a.size(), only_in_a.front().c_str());
+    out += buf;
+  }
+  if (!only_in_b.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "  only in candidate: %zu keys (e.g. %s)\n",
+                  only_in_b.size(), only_in_b.front().c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  %zu regression(s), %zu improvement(s) beyond threshold\n",
+                regressions, improvements);
+  out += buf;
+  return out;
+}
+
+}  // namespace rn::obs

@@ -1,0 +1,62 @@
+// Bench-regression gate: compares two BENCH_*.json reports metric-by-metric
+// so a bench trajectory becomes enforceable instead of advisory. Backs the
+// `routenet obs diff A.json B.json [--threshold pct]` subcommand, which
+// exits nonzero when B regresses past the threshold.
+//
+// Direction is inferred from the metric name (throughput-like keys are
+// higher-better, latency/error-like keys are lower-better, everything else
+// is neutral and never gates); `trace.by_name.*` per-span timings are
+// skipped as run-to-run noise. Keys present in only one file are reported
+// but do not gate — bench schema growth must not fail old baselines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rn::obs {
+
+// How a metric's name says it should move. kNeutral metrics are reported
+// when they change but never count as regressions.
+enum class MetricDirection { kHigherBetter, kLowerBetter, kNeutral };
+
+// Classification used by diff_bench_files; exposed for tests.
+MetricDirection metric_direction(const std::string& dotted_key);
+
+struct DiffOptions {
+  // Worsening beyond this percentage (relative to the baseline value) is a
+  // regression.
+  double threshold_pct = 10.0;
+};
+
+struct DiffLine {
+  std::string key;  // dotted path, e.g. "telemetry.histograms.….p99"
+  double a = 0.0;   // baseline value
+  double b = 0.0;   // candidate value
+  double change_pct = 0.0;  // signed, relative to |a|
+  MetricDirection direction = MetricDirection::kNeutral;
+  bool regression = false;   // worsened past threshold
+  bool improvement = false;  // bettered past threshold
+};
+
+struct DiffReport {
+  std::vector<DiffLine> lines;        // only beyond-threshold changes
+  std::size_t compared = 0;           // numeric keys present in both files
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::vector<std::string> only_in_a;
+  std::vector<std::string> only_in_b;
+
+  // Human-readable rollup for the CLI.
+  std::string format(const std::string& path_a, const std::string& path_b,
+                     double threshold_pct) const;
+};
+
+// Flattens both files to dotted numeric leaves and compares every key
+// present in both. Throws std::runtime_error on unreadable or malformed
+// input.
+DiffReport diff_bench_files(const std::string& path_a,
+                            const std::string& path_b,
+                            const DiffOptions& opts = {});
+
+}  // namespace rn::obs

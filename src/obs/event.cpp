@@ -159,6 +159,7 @@ void emit_registry_snapshot() {
     ev.f(h.name + ".count", h.count);
     ev.f(h.name + ".p50", h.p50);
     ev.f(h.name + ".p95", h.p95);
+    ev.f(h.name + ".p99", h.p99);
     ev.f(h.name + ".max", h.max);
   }
   sink.emit(ev);

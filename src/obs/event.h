@@ -97,8 +97,8 @@ class EventSink {
 };
 
 // Emits a `metrics.snapshot` event carrying the registry's counters,
-// gauges, and histogram p50/p95/max as flattened fields — the final record
-// a run appends so `obs summarize` can report counter totals.
+// gauges, and histogram p50/p95/p99/max as flattened fields — the final
+// record a run appends so `obs summarize` can report counter totals.
 void emit_registry_snapshot();
 
 }  // namespace rn::obs

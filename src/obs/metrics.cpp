@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "obs/window.h"
 #include "util/check.h"
 
 namespace rn::obs {
@@ -90,24 +91,33 @@ double Histogram::mean() const {
 double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
 
 double Histogram::quantile(double q) const {
+  std::uint64_t counts[static_cast<std::size_t>(kNumBuckets)];
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[static_cast<std::size_t>(i)] = bucket_count(i);
+  }
+  return quantile_from_buckets(counts, count(), max(), q);
+}
+
+double Histogram::quantile_from_buckets(const std::uint64_t* counts,
+                                        std::uint64_t total, double exact_max,
+                                        double q) {
   RN_CHECK(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
-  const std::uint64_t total = count();
   if (total == 0) return 0.0;
   const double target = q * static_cast<double>(total);
   double cum = 0.0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    const auto n = static_cast<double>(bucket_count(i));
+    const auto n = static_cast<double>(counts[static_cast<std::size_t>(i)]);
     if (n == 0.0) continue;
     if (cum + n >= target) {
       const double frac = std::clamp((target - cum) / n, 0.0, 1.0);
       const double lo = bucket_lower(i);
       // Cap open-ended/top buckets at the exact observed maximum.
-      const double hi = std::min(bucket_upper(i), max());
+      const double hi = std::min(bucket_upper(i), exact_max);
       return lo + frac * (std::max(hi, lo) - lo);
     }
     cum += n;
   }
-  return max();
+  return exact_max;
 }
 
 void Histogram::reset() {
@@ -153,13 +163,37 @@ std::string RegistrySnapshot::to_json() const {
     append_json_number(out, h.p50);
     out += ",\"p95\":";
     append_json_number(out, h.p95);
+    out += ",\"p99\":";
+    append_json_number(out, h.p99);
     out += ",\"max\":";
     append_json_number(out, h.max);
+    out += '}';
+  }
+  out += "},\"windows\":{";
+  first = true;
+  for (const WindowStats& w : windows) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += w.name;
+    out += "\":{\"window_s\":";
+    append_json_number(out, w.window_s);
+    out += ",\"count\":";
+    out += std::to_string(w.count);
+    out += ",\"p50\":";
+    append_json_number(out, w.p50);
+    out += ",\"p95\":";
+    append_json_number(out, w.p95);
+    out += ",\"p99\":";
+    append_json_number(out, w.p99);
     out += '}';
   }
   out += "}}";
   return out;
 }
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
 
 Registry& Registry::global() {
   static Registry* instance = new Registry();  // never destroyed
@@ -195,6 +229,19 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+WindowedHistogram& Registry::windowed(std::string_view name, double window_s,
+                                      int slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windows_.find(name);
+  if (it == windows_.end()) {
+    it = windows_
+             .emplace(std::string(name),
+                      std::make_unique<WindowedHistogram>(window_s, slots))
+             .first;
+  }
+  return *it->second;
+}
+
 RegistrySnapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   RegistrySnapshot snap;
@@ -211,8 +258,20 @@ RegistrySnapshot Registry::snapshot() const {
     s.mean = h->mean();
     s.p50 = h->quantile(0.5);
     s.p95 = h->quantile(0.95);
+    s.p99 = h->quantile(0.99);
     s.max = h->max();
     snap.histograms.push_back(std::move(s));
+  }
+  for (const auto& [name, w] : windows_) {
+    const WindowedHistogram::Stats ws = w->stats();
+    RegistrySnapshot::WindowStats s;
+    s.name = name;
+    s.window_s = w->window_s();
+    s.count = ws.count;
+    s.p50 = ws.p50;
+    s.p95 = ws.p95;
+    s.p99 = ws.p99;
+    snap.windows.push_back(std::move(s));
   }
   return snap;
 }
@@ -222,6 +281,7 @@ void Registry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, w] : windows_) w->reset();
 }
 
 }  // namespace rn::obs

@@ -77,6 +77,13 @@ class Histogram {
   // containing bucket; exact max caps the top. 0 when empty.
   double quantile(double q) const;
 
+  // The same interpolation over an arbitrary bucket-count array using this
+  // geometry — shared with WindowedHistogram's merged reads. `counts` must
+  // have kNumBuckets entries; `exact_max` caps open-ended buckets.
+  static double quantile_from_buckets(const std::uint64_t* counts,
+                                      std::uint64_t total, double exact_max,
+                                      double q);
+
   void reset();
 
  private:
@@ -86,6 +93,8 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+class WindowedHistogram;  // see obs/window.h
+
 // Immutable view of the registry at one point in time.
 struct RegistrySnapshot {
   struct HistogramStats {
@@ -94,13 +103,25 @@ struct RegistrySnapshot {
     double mean = 0.0;
     double p50 = 0.0;
     double p95 = 0.0;
+    double p99 = 0.0;
     double max = 0.0;
+  };
+  // Sliding-window view of a windowed histogram at snapshot time.
+  struct WindowStats {
+    std::string name;
+    double window_s = 0.0;
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
   };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramStats> histograms;
+  std::vector<WindowStats> windows;
 
-  // {"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,...}},
+  //  "windows":{name:{window_s,count,p50,p95,p99}}}
   std::string to_json() const;
 };
 
@@ -109,11 +130,19 @@ struct RegistrySnapshot {
 // process lifetime, so cached references survive reset().
 class Registry {
  public:
+  Registry();
+  ~Registry();  // out-of-line: WindowedHistogram is incomplete here
+
   static Registry& global();
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  // Sliding-window histogram (see obs/window.h). The first call for a name
+  // fixes its window geometry; later calls return the existing instance
+  // and ignore the parameters.
+  WindowedHistogram& windowed(std::string_view name, double window_s = 30.0,
+                              int slots = 15);
 
   RegistrySnapshot snapshot() const;
 
@@ -127,6 +156,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      windows_;
 };
 
 }  // namespace rn::obs

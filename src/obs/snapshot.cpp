@@ -1,0 +1,102 @@
+#include "obs/snapshot.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace rn::obs {
+
+StatsReporter& StatsReporter::global() {
+  static StatsReporter* instance = new StatsReporter();  // never destroyed
+  return *instance;
+}
+
+void StatsReporter::start(double period_s) {
+  RN_CHECK(period_s > 0.0, "stats period must be positive");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  period_s_ = period_s;
+  stop_requested_ = false;
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void StatsReporter::start_or_env(double period_s) {
+  if (period_s > 0.0) {
+    start(period_s);
+    return;
+  }
+  const char* env = std::getenv("RN_STATS_EVERY_S");
+  if (env != nullptr && env[0] != '\0') {
+    const double parsed = std::atof(env);
+    if (parsed > 0.0) start(parsed);
+  }
+}
+
+void StatsReporter::stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+    worker = std::move(thread_);
+  }
+  cv_.notify_all();
+  worker.join();
+  // Final snapshot after the join so it reflects everything the run
+  // recorded — the "drained cleanly on shutdown" contract.
+  emit_once();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void StatsReporter::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::duration<double>(period_s_));
+    if (cv_.wait_for(lock, wait, [this] { return stop_requested_; })) break;
+    lock.unlock();
+    emit_once();
+    lock.lock();
+  }
+}
+
+void StatsReporter::emit_once() {
+  EventSink& sink = EventSink::global();
+  if (!sink.enabled()) return;
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  Event ev("obs.snapshot");
+  ev.f("seq", emitted_.load(std::memory_order_relaxed));
+  ev.f("period_s", period_s_);
+  // Counters as deltas since the previous snapshot: a flat-lining counter
+  // reads 0, a busy one reads its rate × period.
+  for (const auto& [name, v] : snap.counters) {
+    const auto it = prev_counters_.find(name);
+    const std::uint64_t prev = it == prev_counters_.end() ? 0 : it->second;
+    ev.f(name, v >= prev ? v - prev : v);  // reset() mid-run restarts deltas
+    prev_counters_[name] = v;
+  }
+  for (const auto& [name, v] : snap.gauges) ev.f(name, v);
+  for (const RegistrySnapshot::HistogramStats& h : snap.histograms) {
+    ev.f(h.name + ".count", h.count);
+    ev.f(h.name + ".p99", h.p99);
+  }
+  for (const RegistrySnapshot::WindowStats& w : snap.windows) {
+    ev.f(w.name + ".window_count", w.count);
+    ev.f(w.name + ".window_p50", w.p50);
+    ev.f(w.name + ".window_p95", w.p95);
+    ev.f(w.name + ".window_p99", w.p99);
+  }
+  const Tracer& tracer = Tracer::global();
+  ev.f("trace.dropped", tracer.dropped());
+  ev.f("trace.sampled_out", tracer.sampled_out());
+  sink.emit(ev);
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace rn::obs

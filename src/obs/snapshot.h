@@ -1,0 +1,64 @@
+// Periodic telemetry snapshots: a background thread that every period_s
+// seconds emits one `obs.snapshot` JSONL event to the global EventSink —
+// counter deltas since the previous snapshot, gauge values, all-time
+// histogram p99s, sliding-window quantiles of every windowed histogram,
+// and the tracer's dropped/sampled-out totals. This turns a long `routenet
+// serve` or training run into a live time series instead of one terminal
+// `metrics.snapshot`.
+//
+// Enabled by the CLI via `--stats-every-s S` (or RN_STATS_EVERY_S); the
+// CLI stops the reporter before closing the sink, and stop() emits one
+// final snapshot so short runs still record at least one (the drain
+// contract covered by obs_snapshot_test).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rn::obs {
+
+class StatsReporter {
+ public:
+  static StatsReporter& global();
+
+  // Starts the background thread emitting every period_s seconds. No-op if
+  // already running. Throws on period_s <= 0.
+  void start(double period_s);
+  // start(period_s) when period_s > 0, else start($RN_STATS_EVERY_S) when
+  // the env var parses to a positive number, else stays stopped.
+  void start_or_env(double period_s);
+  // Emits one final snapshot, then joins the thread. Idempotent; safe to
+  // call when never started.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  std::uint64_t emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+
+  // Builds and emits one obs.snapshot now (no-op when the EventSink is
+  // disabled). Public as the deterministic seam for tests; the background
+  // thread calls exactly this.
+  void emit_once();
+
+ private:
+  void loop();
+
+  std::mutex mu_;  // guards stop_requested_ for the cv + thread_ lifecycle
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  double period_s_ = 0.0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> emitted_{0};
+
+  std::mutex emit_mu_;  // serializes emit_once; guards prev_counters_
+  std::map<std::string, std::uint64_t> prev_counters_;
+};
+
+}  // namespace rn::obs

@@ -21,9 +21,10 @@ std::string format_row(const std::string& kind, const std::string& field,
                        const std::vector<double>& xs) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "  %-24s %-22s %8zu %11.6g %11.6g %11.6g %11.6g\n",
+                "  %-24s %-22s %8zu %11.6g %11.6g %11.6g %11.6g %11.6g\n",
                 kind.c_str(), field.c_str(), xs.size(), mean_of(xs),
-                quantile(xs, 0.5), quantile(xs, 0.95), quantile(xs, 1.0));
+                quantile(xs, 0.5), quantile(xs, 0.95), quantile(xs, 0.99),
+                quantile(xs, 1.0));
   return buf;
 }
 
@@ -102,8 +103,9 @@ std::string summarize_jsonl_file(const std::string& path) {
 
   if (!series.empty()) {
     out += "\nnumeric fields (per kind):\n";
-    std::snprintf(buf, sizeof(buf), "  %-24s %-22s %8s %11s %11s %11s %11s\n",
-                  "kind", "field", "count", "mean", "p50", "p95", "max");
+    std::snprintf(buf, sizeof(buf),
+                  "  %-24s %-22s %8s %11s %11s %11s %11s %11s\n", "kind",
+                  "field", "count", "mean", "p50", "p95", "p99", "max");
     out += buf;
     for (const auto& [key, fs] : series) {
       out += format_row(key.first, key.second, fs.values);

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -204,6 +205,74 @@ void Tracer::open_or_env(const std::string& path) {
   if (env != nullptr && env[0] != '\0') set_out_path(env);
 }
 
+void Tracer::set_min_duration_s(double s) {
+  RN_CHECK(s >= 0.0, "trace min duration must be non-negative");
+  min_duration_s_.store(s, std::memory_order_relaxed);
+}
+
+void Tracer::set_sampling_spec(const std::string& spec) {
+  RN_CHECK(!enabled(),
+           "trace sampling must be configured before tracing starts");
+  sample_rules_.clear();
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    RN_CHECK(eq != std::string::npos && eq > 0,
+             "trace sampling entry must be prefix=N: " + entry);
+    const std::string prefix = entry.substr(0, eq);
+    char* end = nullptr;
+    const unsigned long long n =
+        std::strtoull(entry.c_str() + eq + 1, &end, 10);
+    RN_CHECK(end != nullptr && *end == '\0' && n >= 1,
+             "trace sampling rate must be an integer >= 1: " + entry);
+    auto rule = std::make_unique<SampleRule>();
+    rule->prefix = prefix;
+    rule->keep_one_in = n;
+    sample_rules_.push_back(std::move(rule));
+  }
+}
+
+void Tracer::configure_sampling_or_env(double min_us,
+                                       const std::string& spec) {
+  if (min_us >= 0.0) {
+    set_min_duration_s(min_us * 1e-6);
+  } else {
+    const char* env = std::getenv("RN_TRACE_MIN_US");
+    if (env != nullptr && env[0] != '\0') {
+      const double parsed = std::atof(env);
+      if (parsed > 0.0) set_min_duration_s(parsed * 1e-6);
+    }
+  }
+  if (!spec.empty()) {
+    set_sampling_spec(spec);
+  } else {
+    const char* env = std::getenv("RN_TRACE_SAMPLE");
+    if (env != nullptr && env[0] != '\0') set_sampling_spec(env);
+  }
+}
+
+bool Tracer::should_record(const char* name, double dur_s) {
+  if (dur_s < min_duration_s_.load(std::memory_order_relaxed)) {
+    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  for (const std::unique_ptr<SampleRule>& rule : sample_rules_) {
+    const std::size_t len = rule->prefix.size();
+    if (std::strncmp(name, rule->prefix.c_str(), len) != 0) continue;
+    const std::uint64_t seen =
+        rule->seen.fetch_add(1, std::memory_order_relaxed);
+    if (seen % rule->keep_one_in == 0) return true;
+    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    return false;  // first matching rule decides
+  }
+  return true;
+}
+
 std::vector<TraceRecord> Tracer::collect() {
   Collector& c = collector();
   std::lock_guard<std::mutex> lock(c.mu);
@@ -218,7 +287,8 @@ std::vector<TraceRecord> Tracer::collect() {
 void Tracer::export_and_close(bool merge_existing) {
   const std::vector<TraceRecord> records = collect();
   if (!out_path_.empty()) {
-    write_chrome_trace(out_path_, records, merge_existing);
+    write_chrome_trace(out_path_, records, merge_existing, dropped(),
+                       sampled_out());
   }
   disable();
 }
@@ -227,6 +297,9 @@ void Tracer::reset_for_tests() {
   disable();
   collect();  // discard
   dropped_.store(0, std::memory_order_relaxed);
+  sampled_out_.store(0, std::memory_order_relaxed);
+  min_duration_s_.store(0.0, std::memory_order_relaxed);
+  sample_rules_.clear();
   out_path_.clear();
 }
 
@@ -268,6 +341,10 @@ void TraceSpan::end() {
   const double end_s = now_s();
   ThreadState& state = thread_state();
   if (pushed_) --state.depth;
+  Tracer& tracer = Tracer::global();
+  // Sampling happens here — after the stack pop (so nesting stays intact)
+  // and before the ring publish (so suppressed spans cost no ring slot).
+  if (!tracer.should_record(name_, end_s - start_s_)) return;
   TraceRecord record;
   record.name = name_;
   record.id = id_;
@@ -277,7 +354,6 @@ void TraceSpan::end() {
   record.tid = state.tid;
   record.arg_key = arg_key_;
   record.arg_val = arg_val_;
-  Tracer& tracer = Tracer::global();
   if (!state.ring->push(record)) {
     tracer.dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -293,10 +369,11 @@ void TraceSpan::end() {
 
 void Tracer::write_chrome_trace(const std::string& path,
                                 const std::vector<TraceRecord>& records,
-                                bool merge_existing) {
-  // Resume support: carry over the traceEvents of a previous run's file so
-  // the merged trace still loads as one document. An unreadable or
-  // unparseable previous file is overwritten.
+                                bool merge_existing, std::uint64_t dropped,
+                                std::uint64_t sampled_out) {
+  // Resume support: carry over the traceEvents (and accounting keys) of a
+  // previous run's file so the merged trace still loads as one document.
+  // An unreadable or unparseable previous file is overwritten.
   std::vector<std::string> prior;
   if (merge_existing) {
     std::ifstream in(path);
@@ -314,6 +391,14 @@ void Tracer::write_chrome_trace(const std::string& path,
             prior.push_back(json_serialize(ev));
           }
         }
+        const JsonValue* prior_dropped = root.find("rnDropped");
+        if (prior_dropped != nullptr && prior_dropped->is_number()) {
+          dropped += static_cast<std::uint64_t>(prior_dropped->number);
+        }
+        const JsonValue* prior_sampled = root.find("rnSampledOut");
+        if (prior_sampled != nullptr && prior_sampled->is_number()) {
+          sampled_out += static_cast<std::uint64_t>(prior_sampled->number);
+        }
       }
     }
   }
@@ -328,7 +413,8 @@ void Tracer::write_chrome_trace(const std::string& path,
   if (!out.good()) {
     throw std::runtime_error("cannot open trace output: " + path);
   }
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out << "{\"displayTimeUnit\":\"ms\",\"rnDropped\":" << dropped
+      << ",\"rnSampledOut\":" << sampled_out << ",\"traceEvents\":[";
   bool first = true;
   for (const std::string& ev : prior) {
     if (!first) out << ',';
@@ -358,7 +444,14 @@ void Tracer::write_chrome_trace(const std::string& path,
 
 namespace {
 
-std::vector<SpanRow> rows_from_trace_file(const std::string& path) {
+// Parsed trace file: span rows plus the exporter's accounting keys.
+struct TraceFileContents {
+  std::vector<SpanRow> rows;
+  std::uint64_t dropped = 0;
+  std::uint64_t sampled_out = 0;
+};
+
+TraceFileContents rows_from_trace_file(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
     throw std::runtime_error("cannot open trace file: " + path);
@@ -375,7 +468,16 @@ std::vector<SpanRow> rows_from_trace_file(const std::string& path) {
   if (events == nullptr || events->type != JsonValue::Type::kArray) {
     throw std::runtime_error(path + ": no traceEvents array");
   }
-  std::vector<SpanRow> rows;
+  TraceFileContents contents;
+  const JsonValue* dropped = root.find("rnDropped");
+  if (dropped != nullptr && dropped->is_number()) {
+    contents.dropped = static_cast<std::uint64_t>(dropped->number);
+  }
+  const JsonValue* sampled = root.find("rnSampledOut");
+  if (sampled != nullptr && sampled->is_number()) {
+    contents.sampled_out = static_cast<std::uint64_t>(sampled->number);
+  }
+  std::vector<SpanRow>& rows = contents.rows;
   rows.reserve(events->array.size());
   for (const JsonValue& ev : events->array) {
     if (!ev.is_object()) {
@@ -413,7 +515,7 @@ std::vector<SpanRow> rows_from_trace_file(const std::string& path) {
     }
     rows.push_back(std::move(row));
   }
-  return rows;
+  return contents;
 }
 
 void append_top_table(std::string& out, const TraceAggregate& agg,
@@ -444,8 +546,8 @@ void append_top_table(std::string& out, const TraceAggregate& agg,
 }  // namespace
 
 std::string summarize_trace_file(const std::string& path, int top_n) {
-  const std::vector<SpanRow> rows = rows_from_trace_file(path);
-  const TraceAggregate agg = aggregate_rows(rows);
+  const TraceFileContents contents = rows_from_trace_file(path);
+  const TraceAggregate agg = aggregate_rows(contents.rows);
 
   std::string out;
   char buf[256];
@@ -455,6 +557,14 @@ std::string summarize_trace_file(const std::string& path, int top_n) {
                 "trace summary: %zu spans, %zu threads, %.3f s span (%s)\n",
                 agg.spans, agg.busy_by_tid.size(), span_s, path.c_str());
   out += buf;
+  if (contents.dropped > 0 || contents.sampled_out > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "recording losses: %llu dropped (ring overflow), "
+                  "%llu sampled out (policy)\n",
+                  static_cast<unsigned long long>(contents.dropped),
+                  static_cast<unsigned long long>(contents.sampled_out));
+    out += buf;
+  }
   if (agg.spans == 0) return out;
 
   out += "\ntop spans by total time:\n";
@@ -475,10 +585,12 @@ std::string summarize_trace_file(const std::string& path, int top_n) {
 }
 
 std::string trace_summary_json(const std::vector<TraceRecord>& records,
-                               std::uint64_t dropped) {
+                               std::uint64_t dropped,
+                               std::uint64_t sampled_out) {
   const TraceAggregate agg = aggregate_rows(rows_from_records(records));
   std::string out = "{\"spans\":" + std::to_string(agg.spans) +
                     ",\"dropped\":" + std::to_string(dropped) +
+                    ",\"sampled_out\":" + std::to_string(sampled_out) +
                     ",\"threads\":" + std::to_string(agg.busy_by_tid.size()) +
                     ",\"by_name\":{";
   bool first = true;

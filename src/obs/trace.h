@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,22 +70,54 @@ class Tracer {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  // Spans intentionally suppressed by the sampling controls below. Kept
+  // separate from dropped() — sampling is policy, dropping is data loss —
+  // and reported in the export so utilization numbers stay honest.
+  std::uint64_t sampled_out() const {
+    return sampled_out_.load(std::memory_order_relaxed);
+  }
+
+  // Min-duration filter: spans shorter than this are counted in
+  // sampled_out() instead of published to the ring (--trace-min-us /
+  // RN_TRACE_MIN_US). Applied at span close; parents outlive their
+  // children, so a kept child's ancestors are kept too.
+  void set_min_duration_s(double s);
+  double min_duration_s() const {
+    return min_duration_s_.load(std::memory_order_relaxed);
+  }
+
+  // Per-category rate sampler: "prefix=N[,prefix=N...]" keeps 1 of every N
+  // spans whose name starts with prefix (first matching rule wins; other
+  // spans are unaffected). E.g. "par.chunk=100" tames per-chunk span volume
+  // on big runs. Must be configured before spans are produced (throws once
+  // the tracer is enabled); throws on a malformed spec.
+  void set_sampling_spec(const std::string& spec);
+
+  // CLI/env glue: min_us >= 0 beats RN_TRACE_MIN_US; a non-empty spec
+  // beats RN_TRACE_SAMPLE. Call before open_or_env.
+  void configure_sampling_or_env(double min_us, const std::string& spec);
+
   // Drains every thread ring plus previous spills; returns all completed
   // spans collected since the last call (unsorted).
   std::vector<TraceRecord> collect();
 
-  // Writes `records` as Chrome trace-event JSON ({"traceEvents":[...]}).
-  // With merge_existing, a parseable existing file's traceEvents are
-  // carried over first — how a resumed run appends to its trace.
+  // Writes `records` as Chrome trace-event JSON ({"traceEvents":[...]})
+  // with top-level "rnDropped"/"rnSampledOut" accounting keys. With
+  // merge_existing, a parseable existing file's traceEvents are carried
+  // over first (and its accounting keys added in) — how a resumed run
+  // appends to its trace.
   static void write_chrome_trace(const std::string& path,
                                  const std::vector<TraceRecord>& records,
-                                 bool merge_existing = false);
+                                 bool merge_existing = false,
+                                 std::uint64_t dropped = 0,
+                                 std::uint64_t sampled_out = 0);
 
   // collect() + write_chrome_trace(out_path()) when a path is set, then
   // disable. The CLI calls this once at exit.
   void export_and_close(bool merge_existing = false);
 
-  // Tests: disable, discard all pending spans, zero the drop counter.
+  // Tests: disable, discard all pending spans, zero the drop/sampled-out
+  // counters, and clear the sampling configuration.
   void reset_for_tests();
 
  private:
@@ -93,9 +126,23 @@ class Tracer {
     return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
+  // Sampling verdict for a completed span; bumps sampled_out_ on false.
+  bool should_record(const char* name, double dur_s);
+
+  struct SampleRule {
+    std::string prefix;
+    std::uint64_t keep_one_in = 1;
+    std::atomic<std::uint64_t> seen{0};
+  };
+
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> sampled_out_{0};
+  std::atomic<double> min_duration_s_{0.0};
+  // Immutable once the tracer is enabled (set_sampling_spec enforces), so
+  // span close reads it without a lock.
+  std::vector<std::unique_ptr<SampleRule>> sample_rules_;
   std::string out_path_;
 };
 
@@ -152,8 +199,10 @@ class TraceSpan {
 std::string summarize_trace_file(const std::string& path, int top_n = 12);
 
 // Compact JSON object summarizing `records` for the `trace` section of
-// BENCH_*.json: {"spans":N,"dropped":D,"threads":T,"by_name":{...}}.
+// BENCH_*.json:
+// {"spans":N,"dropped":D,"sampled_out":S,"threads":T,"by_name":{...}}.
 std::string trace_summary_json(const std::vector<TraceRecord>& records,
-                               std::uint64_t dropped);
+                               std::uint64_t dropped,
+                               std::uint64_t sampled_out = 0);
 
 }  // namespace rn::obs

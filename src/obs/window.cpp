@@ -1,0 +1,131 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/check.h"
+
+namespace rn::obs {
+
+namespace {
+
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double windowed_now_s() {
+  // Process-shared steady origin so every WindowedHistogram agrees on slot
+  // boundaries; pinned at first use.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+void WindowedHistogram::Slot::clear() {
+  for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+  count.store(0, std::memory_order_relaxed);
+  sum.store(0.0, std::memory_order_relaxed);
+  max.store(0.0, std::memory_order_relaxed);
+}
+
+WindowedHistogram::WindowedHistogram(double window_s, int slots)
+    : slot_span_s_(window_s / std::max(1, slots)), num_slots_(slots) {
+  RN_CHECK(window_s > 0.0, "window_s must be positive");
+  RN_CHECK(slots >= 2, "need at least 2 slots");
+  slots_.reserve(static_cast<std::size_t>(num_slots_));
+  for (int i = 0; i < num_slots_; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+std::int64_t WindowedHistogram::epoch_of(double now_s) const {
+  return static_cast<std::int64_t>(now_s / slot_span_s_);
+}
+
+WindowedHistogram::Slot& WindowedHistogram::rotate_to(std::int64_t epoch) {
+  Slot& slot = *slots_[static_cast<std::size_t>(
+      epoch % static_cast<std::int64_t>(num_slots_))];
+  if (slot.epoch.load(std::memory_order_acquire) != epoch) {
+    // A slot is reused only after the ring has rotated a full window past
+    // it, so whatever it held is out of the window by construction. The
+    // mutex serializes the clear; a racing recorder that read the stale
+    // epoch can land one sample in the cleared slot — telemetry-tolerable.
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    if (slot.epoch.load(std::memory_order_relaxed) != epoch) {
+      slot.clear();
+      slot.epoch.store(epoch, std::memory_order_release);
+    }
+  }
+  return slot;
+}
+
+void WindowedHistogram::record(double x) { record_at(x, windowed_now_s()); }
+
+void WindowedHistogram::record_at(double x, double now_s) {
+  Slot& slot = rotate_to(epoch_of(std::max(0.0, now_s)));
+  slot.counts[static_cast<std::size_t>(Histogram::bucket_index(x))].fetch_add(
+      1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(slot.sum, x);
+  atomic_max(slot.max, x);
+}
+
+WindowedHistogram::Stats WindowedHistogram::stats() const {
+  return stats_at(windowed_now_s());
+}
+
+WindowedHistogram::Stats WindowedHistogram::stats_at(double now_s) const {
+  const std::int64_t cur = epoch_of(std::max(0.0, now_s));
+  std::uint64_t merged[static_cast<std::size_t>(Histogram::kNumBuckets)] = {};
+  std::uint64_t total = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    const std::int64_t e = slot->epoch.load(std::memory_order_acquire);
+    // In-window slots cover epochs (cur - slots, cur]; anything older sits
+    // in the ring awaiting reuse and is excluded.
+    if (e < 0 || e > cur || e <= cur - static_cast<std::int64_t>(num_slots_)) {
+      continue;
+    }
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      merged[static_cast<std::size_t>(i)] +=
+          slot->counts[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+    }
+    total += slot->count.load(std::memory_order_relaxed);
+    sum += slot->sum.load(std::memory_order_relaxed);
+    max = std::max(max, slot->max.load(std::memory_order_relaxed));
+  }
+  Stats st;
+  st.count = total;
+  if (total == 0) return st;
+  st.mean = sum / static_cast<double>(total);
+  st.max = max;
+  st.p50 = Histogram::quantile_from_buckets(merged, total, max, 0.5);
+  st.p95 = Histogram::quantile_from_buckets(merged, total, max, 0.95);
+  st.p99 = Histogram::quantile_from_buckets(merged, total, max, 0.99);
+  return st;
+}
+
+void WindowedHistogram::reset() {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    slot->clear();
+    slot->epoch.store(-1, std::memory_order_release);
+  }
+}
+
+}  // namespace rn::obs

@@ -1,0 +1,99 @@
+// Sliding-window histogram: live p50/p95/p99 over the last W seconds, for
+// metrics whose all-time distribution hides what is happening *now* (a
+// serving latency ramp, a queue filling up). The ROADMAP's p99-adaptive
+// batching consumes exactly this.
+//
+// Design: a ring of `slots` time-bucketed sub-histograms sharing the
+// Histogram log-bucket geometry. Each slot covers one span of
+// window_s/slots seconds; recording lands in the slot for
+// floor(now/span) % slots. Slot rotation (resetting a slot whose epoch has
+// passed out of the window) takes a mutex, but only the first record of
+// each new span pays it — every other record is a handful of relaxed
+// atomics, same cost class as Histogram::record. Reads merge the in-window
+// slots into one bucket array and run the shared quantile interpolation.
+//
+// The reported window is slot-granular: stats() covers between
+// (slots-1)/slots * window_s and window_s seconds of history depending on
+// where "now" falls inside the current slot.
+//
+// Concurrency: records and reads may race on slot contents; a reader can
+// see a slot mid-update (count bumped, sum not yet). That skews one sample
+// in a telemetry aggregate — accepted by design, and every access is an
+// atomic so the type is clean under tsan.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rn::obs {
+
+class WindowedHistogram {
+ public:
+  // Defaults used by Registry::windowed(): 30 s window, 2 s slots.
+  static constexpr double kDefaultWindowS = 30.0;
+  static constexpr int kDefaultSlots = 15;
+
+  explicit WindowedHistogram(double window_s = kDefaultWindowS,
+                             int slots = kDefaultSlots);
+
+  double window_s() const {
+    return slot_span_s_ * static_cast<double>(num_slots_);
+  }
+  int slots() const { return num_slots_; }
+
+  // Records x at the current monotonic time.
+  void record(double x);
+  // Deterministic seam for tests: records x as if the monotonic clock read
+  // `now_s` (seconds; same timeline as stats_at).
+  void record_at(double x, double now_s);
+
+  struct Stats {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;  // largest in-window value (exact, not bucketed)
+  };
+
+  // Merged view of every slot still inside the window ending now.
+  Stats stats() const;
+  Stats stats_at(double now_s) const;
+
+  // Clears every slot. Same caveats as Registry::reset(): concurrent
+  // records may survive into the cleared state.
+  void reset();
+
+ private:
+  struct Slot {
+    // floor(record_time / slot_span): identifies which time span the slot
+    // currently holds. -1 = never written.
+    std::atomic<std::int64_t> epoch{-1};
+    std::atomic<std::uint64_t> counts[static_cast<std::size_t>(
+        Histogram::kNumBuckets)]{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+
+    void clear();
+  };
+
+  std::int64_t epoch_of(double now_s) const;
+  Slot& rotate_to(std::int64_t epoch);
+
+  double slot_span_s_;
+  int num_slots_;
+  // Slots are heap-allocated once and never move (atomics are pinned).
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::mutex rotate_mu_;
+};
+
+// Monotonic seconds on the process-shared timeline used by record()/stats().
+double windowed_now_s();
+
+}  // namespace rn::obs

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "util/check.h"
 
 namespace rn::serve {
@@ -20,6 +21,13 @@ struct ServeMetrics {
       obs::Registry::global().histogram("serve.batch_size");
   obs::Histogram& latency_s =
       obs::Registry::global().histogram("serve.latency_s");
+  // Sliding-window twins of the two load-sensitive histograms: the
+  // all-time view flattens a latency ramp, the window view is what a
+  // p99-adaptive batcher (and `obs.snapshot`) needs to see.
+  obs::WindowedHistogram& queue_depth_window =
+      obs::Registry::global().windowed("serve.queue_depth");
+  obs::WindowedHistogram& latency_window =
+      obs::Registry::global().windowed("serve.latency_s");
   obs::Counter& requests =
       obs::Registry::global().counter("serve.requests_total");
   obs::Counter& rejected =
@@ -89,6 +97,7 @@ std::future<core::RouteNet::Prediction> InferenceServer::submit(
   submitted_.fetch_add(1, std::memory_order_relaxed);
   metrics().requests.add();
   metrics().queue_depth.record(static_cast<double>(depth));
+  metrics().queue_depth_window.record(static_cast<double>(depth));
   cv_.notify_one();
   return fut;
 }
@@ -135,8 +144,10 @@ void InferenceServer::run_batch(std::vector<Request>& batch) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       obs::TraceSpan req_span("serve.request", span.id());
       req_span.arg("id", static_cast<std::int64_t>(batch[i].id));
-      metrics().latency_s.record(
-          std::chrono::duration<double>(now - batch[i].enqueued).count());
+      const double latency =
+          std::chrono::duration<double>(now - batch[i].enqueued).count();
+      metrics().latency_s.record(latency);
+      metrics().latency_window.record(latency);
       batch[i].promise.set_value(std::move(preds[i]));
     }
     served_.fetch_add(batch.size(), std::memory_order_relaxed);

@@ -176,6 +176,51 @@ TEST_F(CliCommands, ObsBadUsageReturnsUsageCode) {
   EXPECT_EQ(cmd_obs({}), 2);
   EXPECT_EQ(cmd_obs({"frobnicate"}), 2);
   EXPECT_EQ(cmd_obs({"trace"}), 2);
+  EXPECT_EQ(cmd_obs({"diff", "only_one.json"}), 2);
+}
+
+TEST_F(CliCommands, ObsDiffGatesOnDirectionAwareRegressions) {
+  {
+    std::ofstream out(path("base.json"));
+    out << "{\"telemetry\":{\"gauges\":{\"bench.wall_s\":10.0,"
+           "\"serve.throughput_rps\":100.0}}}";
+  }
+  {
+    std::ofstream out(path("same.json"));
+    out << "{\"telemetry\":{\"gauges\":{\"bench.wall_s\":10.0,"
+           "\"serve.throughput_rps\":100.0}}}";
+  }
+  {
+    std::ofstream out(path("worse.json"));
+    out << "{\"telemetry\":{\"gauges\":{\"bench.wall_s\":30.0,"
+           "\"serve.throughput_rps\":100.0}}}";
+  }
+  // Identical reports pass; a 3x wall-time regression fails the gate; a
+  // loose enough threshold lets the same pair pass again.
+  EXPECT_EQ(cmd_obs({"diff", path("base.json"), path("same.json")}), 0);
+  EXPECT_EQ(cmd_obs({"diff", path("base.json"), path("worse.json")}), 1);
+  EXPECT_EQ(cmd_obs({"diff", path("base.json"), path("worse.json"),
+                     "--threshold", "500"}),
+            0);
+  // Improvements never fail: worse -> base is wall-time shrinking.
+  EXPECT_EQ(cmd_obs({"diff", path("worse.json"), path("base.json")}), 0);
+}
+
+TEST_F(CliCommands, ObsDiffErrorAndUsageExits) {
+  {
+    std::ofstream out(path("ok.json"));
+    out << "{\"x\":1.0}";
+  }
+  // Operator mistakes: missing file and bad threshold are rc 1.
+  EXPECT_EQ(cmd_obs({"diff", path("missing.json"), path("ok.json")}), 1);
+  EXPECT_EQ(cmd_obs({"diff", path("ok.json"), path("ok.json"), "--threshold",
+                     "soon"}),
+            1);
+  EXPECT_EQ(cmd_obs({"diff", path("ok.json"), path("ok.json"), "--threshold",
+                     "-5"}),
+            1);
+  // Unknown extra flag is a usage error.
+  EXPECT_EQ(cmd_obs({"diff", path("ok.json"), path("ok.json"), "--frob"}), 2);
 }
 
 }  // namespace

@@ -127,5 +127,61 @@ TEST(TrainerHealth, WatchdogEmitsHealthEventAndResumableCheckpoint) {
   EXPECT_FALSE(report.epochs.empty());
 }
 
+TEST(TrainerHealth, DriftDetectorFlagsAnInjectedGradientBlowup) {
+  const std::string jsonl = temp_path("drift_events.jsonl");
+  const std::vector<dataset::Sample> train = tiny_dataset(8, 24);
+  RouteNet model(small_model());
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 4;
+  cfg.learning_rate = 1e-4f;  // keep norms stable so the baseline holds
+  cfg.health_drift_factor = 20.0;
+  // Epoch 0 establishes the per-module baselines; from epoch 1 on every
+  // gradient is scaled 400x after clipping, a clean divergence signal.
+  cfg.inject_grad_scale_at_epoch = 1;
+  cfg.inject_grad_scale = 400.0f;
+  obs::EventSink::global().open(jsonl);
+  Trainer trainer(model, cfg);
+  trainer.fit(train);  // drift warns, it does not abort
+  obs::EventSink::global().close();
+
+  const std::string log = slurp(jsonl);
+  EXPECT_NE(log.find("\"kind\":\"trainer.health.drift\""), std::string::npos)
+      << log;
+  EXPECT_NE(log.find("\"ratio\":"), std::string::npos);
+  EXPECT_NE(log.find("\"baseline_ratio\":"), std::string::npos);
+  EXPECT_NE(log.find("\"module\":"), std::string::npos);
+}
+
+TEST(TrainerHealth, NoDriftEventOnAHealthyRun) {
+  const std::string jsonl = temp_path("nodrift_events.jsonl");
+  const std::vector<dataset::Sample> train = tiny_dataset(8, 25);
+  RouteNet model(small_model());
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 4;
+  cfg.learning_rate = 1e-4f;
+  cfg.health_drift_factor = 20.0;
+  obs::EventSink::global().open(jsonl);
+  Trainer trainer(model, cfg);
+  trainer.fit(train);
+  obs::EventSink::global().close();
+
+  const std::string log = slurp(jsonl);
+  EXPECT_EQ(log.find("trainer.health.drift"), std::string::npos);
+  // The per-epoch health events still flowed.
+  EXPECT_NE(log.find("\"kind\":\"trainer.health\""), std::string::npos);
+}
+
+TEST(TrainerHealth, DriftConfigIsValidated) {
+  RouteNet model(small_model());
+  TrainConfig cfg;
+  cfg.health_drift_factor = -1.0;
+  EXPECT_THROW(Trainer(model, cfg), std::runtime_error);
+  TrainConfig cfg2;
+  cfg2.inject_grad_scale = 0.0f;
+  EXPECT_THROW(Trainer(model, cfg2), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace rn::core

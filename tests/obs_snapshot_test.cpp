@@ -1,0 +1,304 @@
+// Tests for the periodic stats reporter (src/obs/snapshot.h) and the
+// bench-regression diff (src/obs/diff.h): the reporter's drain contract
+// (at least one obs.snapshot, counter deltas between snapshots, clean
+// stop), and the diff's direction heuristics, threshold gating, and
+// schema-growth tolerance on constructed JSON pairs.
+#include "obs/diff.h"
+#include "obs/snapshot.h"
+
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/event.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/window.h"
+
+namespace rn::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "snap_" + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Parses a JSONL line and returns fields.<key> as a number (0 if absent).
+double field_of(const std::string& line, const std::string& key) {
+  JsonValue root;
+  std::string err;
+  if (!parse_json(line, &root, &err)) return 0.0;
+  const JsonValue* fields = root.find("fields");
+  if (fields == nullptr) return 0.0;
+  const JsonValue* v = fields->find(key.c_str());
+  return v != nullptr && v->is_number() ? v->number : 0.0;
+}
+
+std::vector<std::string> snapshot_lines(const std::string& path) {
+  std::vector<std::string> out;
+  for (const std::string& line : read_lines(path)) {
+    if (line.find("\"kind\":\"obs.snapshot\"") != std::string::npos) {
+      out.push_back(line);
+    }
+  }
+  return out;
+}
+
+class StatsReporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    Tracer::global().reset_for_tests();
+    StatsReporter::global().stop();
+  }
+  void TearDown() override {
+    StatsReporter::global().stop();
+    EventSink::global().close();
+    Registry::global().reset();
+  }
+};
+
+TEST_F(StatsReporterTest, StartThenStopEmitsAtLeastOneSnapshot) {
+  const std::string path = temp_path("one.jsonl");
+  EventSink::global().open(path);
+  Registry::global().counter("snap.requests_total").add(3);
+  StatsReporter& rep = StatsReporter::global();
+  ASSERT_FALSE(rep.running());
+  rep.start(/*period_s=*/0.05);
+  EXPECT_TRUE(rep.running());
+  // Even if we beat the first period, stop() emits a final snapshot.
+  rep.stop();
+  EXPECT_FALSE(rep.running());
+  EventSink::global().close();
+
+  const std::vector<std::string> snaps = snapshot_lines(path);
+  ASSERT_GE(snaps.size(), 1u);
+  EXPECT_EQ(field_of(snaps.back(), "snap.requests_total"), 3.0);
+  EXPECT_GT(field_of(snaps.back(), "period_s"), 0.0);
+  // stop() is idempotent and restart works.
+  rep.stop();
+  rep.start(0.05);
+  EXPECT_TRUE(rep.running());
+  rep.stop();
+}
+
+TEST_F(StatsReporterTest, StartRejectsNonPositivePeriod) {
+  EXPECT_THROW(StatsReporter::global().start(0.0), std::runtime_error);
+  EXPECT_THROW(StatsReporter::global().start(-1.0), std::runtime_error);
+}
+
+TEST_F(StatsReporterTest, EmitOnceReportsCounterDeltasNotTotals) {
+  const std::string path = temp_path("deltas.jsonl");
+  EventSink::global().open(path);
+  Counter& c = Registry::global().counter("snap.events_total");
+  StatsReporter& rep = StatsReporter::global();
+
+  c.add(10);
+  rep.emit_once();
+  c.add(5);
+  rep.emit_once();
+  rep.emit_once();  // no movement -> delta 0
+  EventSink::global().close();
+
+  const std::vector<std::string> snaps = snapshot_lines(path);
+  ASSERT_GE(snaps.size(), 3u);
+  const std::size_t n = snaps.size();
+  EXPECT_EQ(field_of(snaps[n - 3], "snap.events_total"), 10.0);
+  EXPECT_EQ(field_of(snaps[n - 2], "snap.events_total"), 5.0);
+  EXPECT_EQ(field_of(snaps[n - 1], "snap.events_total"), 0.0);
+  // Sequence numbers are monotonic across the run.
+  EXPECT_GT(field_of(snaps[n - 1], "seq"), field_of(snaps[n - 3], "seq"));
+}
+
+TEST_F(StatsReporterTest, SnapshotCarriesWindowedQuantilesAndTracerLosses) {
+  const std::string path = temp_path("window.jsonl");
+  EventSink::global().open(path);
+  Registry::global().windowed("snap.latency_s").record(0.25);
+  Registry::global().histogram("snap.alltime_s").record(0.25);
+  StatsReporter::global().emit_once();
+  EventSink::global().close();
+
+  const std::vector<std::string> snaps = snapshot_lines(path);
+  ASSERT_GE(snaps.size(), 1u);
+  const std::string& line = snaps.back();
+  EXPECT_EQ(field_of(line, "snap.latency_s.window_count"), 1.0);
+  EXPECT_GT(field_of(line, "snap.latency_s.window_p99"), 0.0);
+  EXPECT_GT(field_of(line, "snap.latency_s.window_p50"), 0.0);
+  EXPECT_GT(field_of(line, "snap.alltime_s.p99"), 0.0);
+  EXPECT_NE(line.find("trace.dropped"), std::string::npos) << line;
+  EXPECT_NE(line.find("trace.sampled_out"), std::string::npos) << line;
+}
+
+TEST_F(StatsReporterTest, BackgroundThreadEmitsPeriodically) {
+  const std::string path = temp_path("periodic.jsonl");
+  EventSink::global().open(path);
+  StatsReporter& rep = StatsReporter::global();
+  const std::uint64_t baseline = rep.emitted();  // counts span the process
+  rep.start(/*period_s=*/0.02);
+  // Wait for the thread itself (not stop's final emit) to produce output.
+  for (int i = 0; i < 500 && rep.emitted() < baseline + 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(rep.emitted(), baseline + 2);
+  rep.stop();
+  EventSink::global().close();
+  EXPECT_GE(snapshot_lines(path).size(), 2u);
+}
+
+TEST_F(StatsReporterTest, DisabledSinkMakesEmitANoOp) {
+  ASSERT_FALSE(EventSink::global().enabled());
+  StatsReporter& rep = StatsReporter::global();
+  const std::uint64_t before = rep.emitted();
+  rep.emit_once();
+  EXPECT_EQ(rep.emitted(), before);
+}
+
+// ---------------------------------------------------------------------------
+// obs diff
+// ---------------------------------------------------------------------------
+
+std::string write_json(const std::string& name, const std::string& body) {
+  const std::string path = temp_path(name);
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+TEST(MetricDirectionTest, ClassifiesByName) {
+  // Failure-ish names gate lower-better even when they end in _total.
+  EXPECT_EQ(metric_direction("serve.rejected_total"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("trace.dropped"), MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("trace.sampled_out"),
+            MetricDirection::kLowerBetter);
+  // Plain counts are neutral: more work is not worse.
+  EXPECT_EQ(metric_direction("sim.events_total"), MetricDirection::kNeutral);
+  EXPECT_EQ(metric_direction("telemetry.histograms.x.count"),
+            MetricDirection::kNeutral);
+  EXPECT_EQ(metric_direction("telemetry.windows.x.window_s"),
+            MetricDirection::kNeutral);
+  // Throughput-like is higher-better.
+  EXPECT_EQ(metric_direction("serve.throughput_rps"),
+            MetricDirection::kHigherBetter);
+  EXPECT_EQ(metric_direction("trainer.samples_per_s"),
+            MetricDirection::kHigherBetter);
+  // Latency / loss / error / seconds-suffixed are lower-better.
+  EXPECT_EQ(metric_direction("serve.latency_s.p99"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("bench.wall_s"), MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("eval.nsfnet.delay_mre"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("bench.train.final_loss"),
+            MetricDirection::kLowerBetter);
+  // Unclassified stays neutral.
+  EXPECT_EQ(metric_direction("bench.scale_name"), MetricDirection::kNeutral);
+}
+
+TEST(ObsDiffTest, IdenticalFilesPassWithNoRegressions) {
+  const std::string body =
+      "{\"telemetry\":{\"gauges\":{\"bench.wall_s\":10.0,"
+      "\"serve.throughput_rps\":100.0}}}";
+  const std::string a = write_json("diff_id_a.json", body);
+  const std::string b = write_json("diff_id_b.json", body);
+  const DiffReport rep = diff_bench_files(a, b);
+  EXPECT_EQ(rep.regressions, 0u);
+  EXPECT_EQ(rep.improvements, 0u);
+  EXPECT_EQ(rep.compared, 2u);
+  EXPECT_TRUE(rep.lines.empty());
+}
+
+TEST(ObsDiffTest, DirectionAwareRegressionsAndImprovements) {
+  const std::string a = write_json(
+      "diff_dir_a.json",
+      "{\"latency_s\":1.0,\"throughput_rps\":100.0,\"events_total\":50}");
+  const std::string b = write_json(
+      "diff_dir_b.json",
+      "{\"latency_s\":2.0,\"throughput_rps\":200.0,\"events_total\":500}");
+  const DiffReport rep = diff_bench_files(a, b);
+  // latency doubled: regression. throughput doubled: improvement. events
+  // (neutral) changed: reported but gates nothing.
+  EXPECT_EQ(rep.regressions, 1u);
+  EXPECT_EQ(rep.improvements, 1u);
+  ASSERT_GE(rep.lines.size(), 3u);
+  EXPECT_EQ(rep.lines.front().key, "latency_s");  // regressions sort first
+  EXPECT_TRUE(rep.lines.front().regression);
+  EXPECT_NEAR(rep.lines.front().change_pct, 100.0, 1e-9);
+
+  // Reversed order flips the verdict.
+  const DiffReport rev = diff_bench_files(b, a);
+  EXPECT_EQ(rev.regressions, 1u);  // throughput halved
+  EXPECT_EQ(rev.improvements, 1u);  // latency halved
+}
+
+TEST(ObsDiffTest, ThresholdGatesSmallChanges) {
+  const std::string a = write_json("diff_thr_a.json", "{\"latency_s\":1.0}");
+  const std::string b = write_json("diff_thr_b.json", "{\"latency_s\":1.08}");
+  DiffOptions opts;
+  opts.threshold_pct = 10.0;
+  EXPECT_EQ(diff_bench_files(a, b, opts).regressions, 0u);
+  opts.threshold_pct = 5.0;
+  EXPECT_EQ(diff_bench_files(a, b, opts).regressions, 1u);
+}
+
+TEST(ObsDiffTest, SchemaGrowthIsReportedButDoesNotGate) {
+  const std::string a =
+      write_json("diff_grow_a.json", "{\"latency_s\":1.0,\"old_key\":5.0}");
+  const std::string b =
+      write_json("diff_grow_b.json", "{\"latency_s\":1.0,\"new_key\":7.0}");
+  const DiffReport rep = diff_bench_files(a, b);
+  EXPECT_EQ(rep.regressions, 0u);
+  EXPECT_EQ(rep.compared, 1u);
+  ASSERT_EQ(rep.only_in_a.size(), 1u);
+  EXPECT_EQ(rep.only_in_a[0], "old_key");
+  ASSERT_EQ(rep.only_in_b.size(), 1u);
+  EXPECT_EQ(rep.only_in_b[0], "new_key");
+}
+
+TEST(ObsDiffTest, TraceByNameSubtreeIsIgnored) {
+  const std::string a = write_json(
+      "diff_noise_a.json",
+      "{\"trace\":{\"spans\":10,\"by_name\":{\"step\":{\"total_s\":1.0}}}}");
+  const std::string b = write_json(
+      "diff_noise_b.json",
+      "{\"trace\":{\"spans\":10,\"by_name\":{\"step\":{\"total_s\":9.0}}}}");
+  const DiffReport rep = diff_bench_files(a, b);
+  EXPECT_EQ(rep.regressions, 0u);
+  EXPECT_TRUE(rep.lines.empty());
+  EXPECT_EQ(rep.compared, 1u);  // only trace.spans
+}
+
+TEST(ObsDiffTest, FormatSummarizesRegressions) {
+  const std::string a = write_json("diff_fmt_a.json", "{\"latency_s\":1.0}");
+  const std::string b = write_json("diff_fmt_b.json", "{\"latency_s\":3.0}");
+  const DiffReport rep = diff_bench_files(a, b);
+  const std::string text = rep.format(a, b, 10.0);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos) << text;
+  EXPECT_NE(text.find("latency_s"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 regression"), std::string::npos) << text;
+}
+
+TEST(ObsDiffTest, ThrowsOnMissingOrMalformedInput) {
+  const std::string good = write_json("diff_ok.json", "{\"x\":1.0}");
+  EXPECT_THROW(diff_bench_files(temp_path("diff_nope.json"), good),
+               std::runtime_error);
+  const std::string bad = write_json("diff_bad.json", "this is not json");
+  EXPECT_THROW(diff_bench_files(good, bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rn::obs

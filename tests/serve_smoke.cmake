@@ -35,16 +35,21 @@ run_step("${RN_CLI}" train --dataset mini.ds --epochs 2 --batch 2 --dim 8
          --iterations 2 --out mini.model)
 
 # Normal load: everything is served, the run event and serve.* counters land
-# in the telemetry stream, and `obs summarize` accepts every line.
+# in the telemetry stream, and `obs summarize` accepts every line. The
+# periodic stats reporter (--stats-every-s) must contribute at least one
+# obs.snapshot carrying the sliding-window serve latency quantiles (stop()
+# emits a final snapshot even when the run beats the first period).
 run_step("${RN_CLI}" serve --model mini.model --topology net.topo
          --routing net.routes --traffic net.traffic --requests 24
          --clients 4 --batch-max 8 --batch-deadline-ms 2 --threads 2
-         --metrics-out serve.jsonl)
+         --stats-every-s 0.2 --metrics-out serve.jsonl)
 run_step("${RN_CLI}" obs summarize serve.jsonl)
 
 file(READ "${WORK_DIR}/serve.jsonl" serve_log)
 foreach(needle "\"kind\":\"serve.run\"" "\"served\":24" "\"rejected\":0"
-        "serve.batches_total" "serve.requests_total")
+        "serve.batches_total" "serve.requests_total"
+        "\"kind\":\"obs.snapshot\"" "serve.latency_s.window_p99"
+        "serve.latency_s.window_count" "trace.sampled_out")
   string(FIND "${serve_log}" "${needle}" found)
   if(found EQUAL -1)
     message(FATAL_ERROR "serve.jsonl is missing ${needle}")

@@ -52,6 +52,36 @@ expect_spans(train.trace.json
              trainer.fit trainer.epoch trainer.batch trainer.forward
              routenet.forward routenet.mp ag.backward ag.adam_step)
 
+# Span filtering: the same training run with a high min-duration threshold
+# must export a strictly smaller trace, and `obs trace` must disclose the
+# suppressed spans so the filtered file stays honest.
+run_step("${RN_CLI}" train --dataset mini.ds --epochs 2 --batch 2 --dim 8
+         --iterations 2 --out mini2.model
+         --trace-out filtered.trace.json --trace-min-us 500)
+file(SIZE "${WORK_DIR}/train.trace.json" full_size)
+file(SIZE "${WORK_DIR}/filtered.trace.json" filtered_size)
+if(NOT filtered_size LESS full_size)
+  message(FATAL_ERROR "--trace-min-us did not shrink the trace: "
+          "filtered ${filtered_size} >= unfiltered ${full_size}")
+endif()
+file(READ "${WORK_DIR}/filtered.trace.json" filtered_json)
+string(REGEX MATCH "\"rnSampledOut\":[1-9]" sampled_match "${filtered_json}")
+if(sampled_match STREQUAL "")
+  message(FATAL_ERROR "filtered trace does not count its suppressed spans")
+endif()
+execute_process(COMMAND "${RN_CLI}" obs trace filtered.trace.json
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE filtered_summary
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs trace on the filtered trace failed (${rc}): ${err}")
+endif()
+string(FIND "${filtered_summary}" "sampled out" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "obs trace does not report the sampled-out count:\n${filtered_summary}")
+endif()
+
 # The summarizer accepts both real traces...
 run_step("${RN_CLI}" obs trace gen.trace.json)
 run_step("${RN_CLI}" obs trace train.trace.json 5)

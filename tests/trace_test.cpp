@@ -6,13 +6,16 @@
 #include "obs/trace.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <new>
 #include <set>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -336,6 +339,151 @@ TEST_F(TraceTest, SummarizeTraceFileReportsTopSpansAndThrowsOnBadInput) {
     out << "{\"displayTimeUnit\":\"ms\"}";
   }
   EXPECT_THROW(summarize_trace_file(no_events), std::runtime_error);
+}
+
+// The min-duration filter suppresses quick spans at close time but keeps
+// their (necessarily longer) parents, and counts every suppression.
+TEST_F(TraceTest, MinDurationFilterDropsShortSpansButKeepsParents) {
+  Tracer::global().set_min_duration_s(0.002);
+  Tracer::global().enable();
+  std::uint64_t parent_id = 0;
+  {
+    TraceSpan parent("slow_parent");
+    parent_id = parent.id();
+    for (int i = 0; i < 10; ++i) {
+      TraceSpan child("fast_child");  // closes in microseconds
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const std::vector<TraceRecord> records = Tracer::global().collect();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_STREQ(records[0].name, "slow_parent");
+  EXPECT_EQ(records[0].id, parent_id);
+  EXPECT_EQ(Tracer::global().sampled_out(), 10u);
+  EXPECT_EQ(Tracer::global().dropped(), 0u);
+
+  // The suppressed children never disturbed the nesting stack: a sibling
+  // opened after them still parents to the enclosing span.
+  {
+    TraceSpan outer("outer2");
+    const std::uint64_t outer_id = outer.id();
+    { TraceSpan quick("quick"); }  // suppressed
+    {
+      TraceSpan sib("sibling");
+      EXPECT_EQ(trace_current_span(), sib.id());
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    EXPECT_EQ(trace_current_span(), outer_id);
+  }
+  const auto again = by_id(Tracer::global().collect());
+  bool saw_sibling = false;
+  for (const auto& [id, r] : again) {
+    if (std::string(r.name) == "sibling") {
+      saw_sibling = true;
+      ASSERT_NE(again.find(r.parent), again.end());
+      EXPECT_STREQ(again.at(r.parent).name, "outer2");
+    }
+  }
+  EXPECT_TRUE(saw_sibling);
+}
+
+TEST_F(TraceTest, SamplingSpecKeepsOneInNPerPrefix) {
+  Tracer::global().set_sampling_spec("hot=4,warm=2");
+  Tracer::global().enable();
+  for (int i = 0; i < 8; ++i) {
+    TraceSpan span("hot.loop");  // matches "hot" by prefix
+  }
+  for (int i = 0; i < 4; ++i) {
+    TraceSpan span("warm.step");
+  }
+  { TraceSpan span("cold.unsampled"); }  // no rule: always recorded
+  const std::vector<TraceRecord> records = Tracer::global().collect();
+  std::size_t hot = 0;
+  std::size_t warm = 0;
+  std::size_t cold = 0;
+  for (const TraceRecord& r : records) {
+    const std::string name(r.name);
+    hot += name == "hot.loop" ? 1 : 0;
+    warm += name == "warm.step" ? 1 : 0;
+    cold += name == "cold.unsampled" ? 1 : 0;
+  }
+  EXPECT_EQ(hot, 2u);   // spans 0 and 4 of 8
+  EXPECT_EQ(warm, 2u);  // spans 0 and 2 of 4
+  EXPECT_EQ(cold, 1u);
+  EXPECT_EQ(Tracer::global().sampled_out(), 8u);  // 6 hot + 2 warm
+}
+
+TEST_F(TraceTest, SamplingSpecValidationAndImmutabilityOnceEnabled) {
+  EXPECT_THROW(Tracer::global().set_sampling_spec("no_rate"),
+               std::runtime_error);
+  EXPECT_THROW(Tracer::global().set_sampling_spec("hot=0"),
+               std::runtime_error);
+  EXPECT_THROW(Tracer::global().set_sampling_spec("=4"), std::runtime_error);
+  EXPECT_THROW(Tracer::global().set_min_duration_s(-1.0), std::runtime_error);
+  Tracer::global().enable();
+  EXPECT_THROW(Tracer::global().set_sampling_spec("hot=4"),
+               std::runtime_error);
+  // reset_for_tests clears sampling state for the next test.
+  Tracer::global().reset_for_tests();
+  EXPECT_EQ(Tracer::global().sampled_out(), 0u);
+  EXPECT_EQ(Tracer::global().min_duration_s(), 0.0);
+}
+
+TEST_F(TraceTest, ExportCarriesSampledOutAndSummarizeReportsIt) {
+  Tracer::global().set_sampling_spec("chatty=2");
+  Tracer::global().enable();
+  { TraceSpan keep("kept_span"); }
+  for (int i = 0; i < 4; ++i) {
+    TraceSpan span("chatty.op");
+  }
+  const std::string path = temp_path("sampled.json");
+  Tracer::write_chrome_trace(path, Tracer::global().collect(),
+                             /*merge_existing=*/false,
+                             Tracer::global().dropped(),
+                             Tracer::global().sampled_out());
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(parse_json(text, &root, &err)) << err;
+  ASSERT_NE(root.find("rnSampledOut"), nullptr);
+  EXPECT_EQ(root.find("rnSampledOut")->number, 2.0);
+  ASSERT_NE(root.find("rnDropped"), nullptr);
+  EXPECT_EQ(root.find("rnDropped")->number, 0.0);
+
+  // The CLI rollup surfaces the loss so a filtered trace stays honest.
+  const std::string summary = summarize_trace_file(path);
+  EXPECT_NE(summary.find("sampled out"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("3 spans"), std::string::npos) << summary;
+
+  // Merging a second export accumulates the recording losses.
+  Tracer::global().reset_for_tests();
+  Tracer::global().enable();
+  { TraceSpan more("second_run"); }
+  Tracer::write_chrome_trace(path, Tracer::global().collect(),
+                             /*merge_existing=*/true, /*dropped=*/1,
+                             /*sampled_out=*/5);
+  std::ifstream in2(path);
+  std::string text2((std::istreambuf_iterator<char>(in2)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_TRUE(parse_json(text2, &root, &err)) << err;
+  EXPECT_EQ(root.find("rnSampledOut")->number, 7.0);
+  EXPECT_EQ(root.find("rnDropped")->number, 1.0);
+}
+
+TEST_F(TraceTest, SummaryJsonCarriesSampledOut) {
+  Tracer::global().enable();
+  { TraceSpan span("one"); }
+  const std::string json = trace_summary_json(Tracer::global().collect(),
+                                              /*dropped=*/2,
+                                              /*sampled_out=*/9);
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(parse_json(json, &root, &err)) << err << "\n" << json;
+  EXPECT_EQ(root.find("dropped")->number, 2.0);
+  EXPECT_EQ(root.find("sampled_out")->number, 9.0);
 }
 
 TEST_F(TraceTest, ExportAndCloseWritesOutPathAndDisables) {

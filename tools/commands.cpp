@@ -8,9 +8,11 @@
 #include <thread>
 
 #include "core/trainer.h"
+#include "obs/diff.h"
 #include "obs/event.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/window.h"
 #include "serve/server.h"
 #include "eval/export.h"
 #include "obs/summarize.h"
@@ -429,6 +431,13 @@ int cmd_serve(const Flags& flags) {
               "p99 %.3f ms\n",
               static_cast<unsigned long long>(stats.batches), bs.mean(),
               lat.quantile(0.5) * 1e3, lat.quantile(0.99) * 1e3);
+  const obs::WindowedHistogram::Stats window =
+      obs::Registry::global().windowed("serve.latency_s").stats();
+  std::printf("live window (%.0fs): %llu requests  latency p50 %.3f ms  "
+              "p99 %.3f ms\n",
+              obs::Registry::global().windowed("serve.latency_s").window_s(),
+              static_cast<unsigned long long>(window.count),
+              window.p50 * 1e3, window.p99 * 1e3);
   if (obs::EventSink::global().enabled()) {
     obs::Event ev("serve.run");
     ev.f("requests", requests)
@@ -441,7 +450,9 @@ int cmd_serve(const Flags& flags) {
         .f("wall_s", wall_s)
         .f("throughput_rps", throughput)
         .f("latency_p50_s", lat.quantile(0.5))
-        .f("latency_p99_s", lat.quantile(0.99));
+        .f("latency_p99_s", lat.quantile(0.99))
+        .f("latency_window_p99_s", window.p99)
+        .f("latency_window_count", window.count);
     obs::EventSink::global().emit(ev);
   }
   return 0;
@@ -570,13 +581,48 @@ int cmd_obs(const std::vector<std::string>& args) {
       std::fputs(obs::summarize_trace_file(args[1], top_n).c_str(), stdout);
       return 0;
     }
+    if (args.size() >= 3 && args[0] == "diff") {
+      obs::DiffOptions opts;
+      bool usage_error = false;
+      for (std::size_t i = 3; i < args.size(); i += 2) {
+        if (args[i] == "--threshold" && i + 1 < args.size()) {
+          try {
+            opts.threshold_pct = std::stod(args[i + 1]);
+          } catch (const std::exception&) {
+            std::fprintf(stderr,
+                         "error: --threshold must be a number, got '%s'\n",
+                         args[i + 1].c_str());
+            return 1;
+          }
+          if (opts.threshold_pct < 0.0) {
+            std::fprintf(stderr, "error: --threshold must be >= 0\n");
+            return 1;
+          }
+        } else {
+          usage_error = true;
+          break;
+        }
+      }
+      if (!usage_error) {
+        const obs::DiffReport report =
+            obs::diff_bench_files(args[1], args[2], opts);
+        std::fputs(
+            report.format(args[1], args[2], opts.threshold_pct).c_str(),
+            stdout);
+        // The gate: regressions fail the invocation (CI-friendly), pure
+        // improvements and neutral drift do not.
+        return report.regressions > 0 ? 1 : 0;
+      }
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   std::printf(
       "usage: routenet obs summarize <metrics.jsonl>\n"
-      "       routenet obs trace <trace.json> [top_n]\n");
+      "       routenet obs trace <trace.json> [top_n]\n"
+      "       routenet obs diff <baseline.json> <candidate.json> "
+      "[--threshold pct]\n");
   return 2;
 }
 

@@ -58,8 +58,12 @@ int cmd_whatif(const Flags& flags);
 
 // Telemetry utilities (positional, not flag-based):
 //   obs summarize <file.jsonl>  — validate and roll up a metrics file
-// Every line must parse as a {"ts","kind","fields"} JSON record; the first
-// malformed line is an error, making this a telemetry-format check too.
+//   obs trace <trace.json> [top_n] — roll up an exported trace
+//   obs diff <a.json> <b.json> [--threshold pct] — bench-regression gate;
+//     exits 1 when a direction-aware metric worsened past the threshold
+// Every metrics line must parse as a {"ts","kind","fields"} JSON record;
+// the first malformed line is an error, making this a telemetry-format
+// check too.
 int cmd_obs(const std::vector<std::string>& args);
 
 }  // namespace rn::cli

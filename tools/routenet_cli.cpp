@@ -30,6 +30,7 @@
 
 #include "commands.h"
 #include "obs/event.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
 
@@ -60,13 +61,23 @@ int usage() {
       "  whatif         rank link upgrades & failures with a trained model\n"
       "  info           describe a topology / dataset / model artifact\n"
       "  obs            telemetry tools: `obs summarize <file.jsonl>`,\n"
-      "                 `obs trace <trace.json> [top_n]`\n\n"
+      "                 `obs trace <trace.json> [top_n]`,\n"
+      "                 `obs diff BASELINE.json CANDIDATE.json\n"
+      "                 [--threshold pct]` — bench-regression gate, exits 1\n"
+      "                 on regressions past the threshold (default 10%%)\n\n"
       "global flags: --metrics-out PATH (or RN_METRICS_OUT) streams JSONL\n"
       "telemetry events; run `routenet obs summarize PATH` to roll it up.\n"
+      "--stats-every-s S (or RN_STATS_EVERY_S) additionally emits a\n"
+      "periodic `obs.snapshot` event — counter deltas, sliding-window\n"
+      "latency quantiles, tracer losses — every S seconds.\n"
       "--trace-out PATH (or RN_TRACE_OUT) records hierarchical spans as\n"
       "Chrome trace-event JSON (open in Perfetto / chrome://tracing, or\n"
       "`routenet obs trace PATH`). With --resume, both files are appended\n"
-      "to instead of truncated.\n"
+      "to instead of truncated. --trace-min-us U (or RN_TRACE_MIN_US)\n"
+      "records only spans at least U microseconds long; --trace-sample\n"
+      "\"prefix=N[,prefix=N]\" (or RN_TRACE_SAMPLE) keeps 1 in N spans per\n"
+      "name prefix. Suppressed spans are counted in the export, so\n"
+      "`obs trace` stays honest about what is missing.\n"
       "--threads N (or RN_THREADS) sets the worker-pool width (default:\n"
       "one per hardware core); generation and training are bitwise\n"
       "deterministic at any thread count.\n"
@@ -96,7 +107,14 @@ int main(int argc, char** argv) {
     resumed = flags.peek("resume");
     rn::obs::EventSink::global().open_or_env(
         flags.get_string("metrics-out", ""), resumed);
+    // Sampling must precede open_or_env: the spec is immutable once the
+    // tracer is enabled.
+    rn::obs::Tracer::global().configure_sampling_or_env(
+        flags.get_double("trace-min-us", -1.0),
+        flags.get_string("trace-sample", ""));
     rn::obs::Tracer::global().open_or_env(flags.get_string("trace-out", ""));
+    rn::obs::StatsReporter::global().start_or_env(
+        flags.get_double("stats-every-s", -1.0));
     // Worker threads for dataset generation and the matmul kernels:
     // --threads N beats RN_THREADS beats hardware_concurrency.
     rn::par::set_global_threads(flags.get_int("threads", 0));
@@ -115,6 +133,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
       return usage();
     }();
+    // Drain the stats reporter (its stop() emits a final obs.snapshot)
+    // before the terminal registry rollup and sink close.
+    rn::obs::StatsReporter::global().stop();
     // Append the final registry rollup so `obs summarize` reports counter
     // totals and timer percentiles even without per-event reconstruction.
     rn::obs::emit_registry_snapshot();
@@ -126,6 +147,7 @@ int main(int argc, char** argv) {
     // Spans collected up to the failure are still worth keeping — a
     // watchdog abort is exactly when the trace gets read.
     try {
+      rn::obs::StatsReporter::global().stop();
       rn::obs::Tracer::global().export_and_close(resumed);
     } catch (...) {
     }
