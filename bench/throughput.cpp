@@ -10,6 +10,7 @@
 // dataset-generation and training phases as usual.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -205,6 +206,41 @@ int main(int argc, char** argv) {
                 t, mm.value.back(), mm_tn.value.back(), mm_nt.value.back());
   }
 
+  // Multi-thread regression: adding a second worker must never cost
+  // throughput. The shape-aware matmul grain gives 2 threads 2 halves
+  // instead of dozens of tile-sized slivers; this assertion is what keeps
+  // that property. Each ratio is the median of interleaved 1t/2t pairs —
+  // pairing cancels the frequency drift that makes two separate sweep
+  // points noisy — and the 0.90 bar tolerates CPU-quota parity while still
+  // catching a real grain regression (slivers cost 2-3x, not 10%).
+  const auto paired_2t_ratio = [&](auto&& fn) {
+    std::vector<double> ratios;
+    for (int rep = 0; rep < 5; ++rep) {
+      rn::par::set_global_threads(1);
+      const double t1 = time_per_call(fn, 0.1);
+      rn::par::set_global_threads(2);
+      const double t2 = time_per_call(fn, 0.1);
+      ratios.push_back(t2 > 0.0 ? t1 / t2 : 0.0);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    return ratios[ratios.size() / 2];
+  };
+  const double scale_nn = paired_2t_ratio([&] { rn::ag::matmul(a, b); });
+  const double scale_tn = paired_2t_ratio([&] { rn::ag::matmul_tn(at, b); });
+  const double scale_nt = paired_2t_ratio([&] { rn::ag::matmul_nt(a, bt); });
+  std::printf("  mm   2-thread/1-thread (median of pairs): nn %.2fx / "
+              "tn %.2fx / nt %.2fx\n",
+              scale_nn, scale_tn, scale_nt);
+  int mm_violations = 0;
+  for (const double s : {scale_nn, scale_tn, scale_nt}) {
+    if (s < 0.90) ++mm_violations;
+  }
+  if (mm_violations > 0) {
+    std::printf("WARNING: %d matmul kernel(s) slower at 2 threads than 1\n",
+                mm_violations);
+    if (std::getenv("RN_BENCH_ENFORCE") == nullptr) mm_violations = 0;
+  }
+
   // Single-thread regression: blocked vs the original unblocked kernels
   // (ratio > 1 means the blocked kernel is faster).
   rn::par::set_global_threads(1);
@@ -255,6 +291,9 @@ int main(int argc, char** argv) {
   reg.gauge("bench.throughput.single_thread_ratio_nn").set(r_nn);
   reg.gauge("bench.throughput.single_thread_ratio_tn").set(r_tn);
   reg.gauge("bench.throughput.single_thread_ratio_nt").set(r_nt);
+  reg.gauge("bench.throughput.two_thread_ratio_nn").set(scale_nn);
+  reg.gauge("bench.throughput.two_thread_ratio_tn").set(scale_tn);
+  reg.gauge("bench.throughput.two_thread_ratio_nt").set(scale_nt);
 
   const std::string path =
       rn::bench::cache_dir() + "/BENCH_throughput.json";
@@ -275,6 +314,10 @@ int main(int argc, char** argv) {
           << rn::obs::json_number(r_nn)
           << ",\"tn\":" << rn::obs::json_number(r_tn)
           << ",\"nt\":" << rn::obs::json_number(r_nt) << "}"
+          << ",\"two_thread_speedup\":{\"nn\":"
+          << rn::obs::json_number(scale_nn)
+          << ",\"tn\":" << rn::obs::json_number(scale_tn)
+          << ",\"nt\":" << rn::obs::json_number(scale_nt) << "}"
           << ",\"train_step_s\":" << step_series.to_json("seconds")
           << ",\"train_step_speedup\":" << rn::obs::json_number(train_speedup)
           << ",\"telemetry\":" << reg.snapshot().to_json() << "}\n";
@@ -285,5 +328,9 @@ int main(int argc, char** argv) {
   std::printf("telemetry -> %s\n", path.c_str());
   rn::obs::emit_registry_snapshot();
   rn::obs::EventSink::global().close();
+  if (mm_violations > 0) {
+    std::printf("RN_BENCH_ENFORCE set: failing on 2-thread regression\n");
+    return 1;
+  }
   return gen_deterministic ? 0 : 1;
 }

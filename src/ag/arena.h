@@ -1,0 +1,105 @@
+// Workspace arena: pooled float-buffer storage behind every Tensor.
+//
+// The message-passing hot path used to heap-allocate a fresh buffer for
+// every tape node value/grad/aux tensor, every batch. The arena replaces
+// that with per-thread free lists of size-classed buffers: a Tensor draws
+// its backing store from the calling thread's arena and the buffer returns
+// to its origin arena automatically when the Tensor dies — wherever that
+// happens, on whatever thread. After one warm-up batch a steady-state
+// training step or InferenceServer forward performs zero system
+// allocations for tensor data (proven by the `tensor_fresh_allocs()`
+// counter hook in tests/ag/arena_test.cpp and the predict_merged
+// steady-state test).
+//
+// Safety model: buffers are reference-held, never reclaimed while a Tensor
+// is alive. An arena core stays alive as long as any of its buffers is
+// outstanding (shared_ptr), so a tensor may outlive the thread that
+// allocated it. Cross-thread frees take the origin core's mutex; the
+// single-thread fast path is one uncontended lock. `RN_ARENA=0` disables
+// pooling entirely (plain new[]/delete[]) for A/B comparisons.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace rn::ag {
+
+namespace detail {
+
+struct ArenaCore;  // defined in arena.cpp
+
+// Owning handle to one pooled float buffer. Move-only; destruction returns
+// the buffer to its origin arena (or delete[]s it when pooling is off).
+class Buffer {
+ public:
+  Buffer() = default;
+  // Acquires a buffer of at least `n` floats from the calling thread's
+  // arena (contents unspecified — callers must initialize). n == 0 leaves
+  // the buffer empty.
+  explicit Buffer(std::size_t n);
+  ~Buffer() { release(); }
+
+  Buffer(Buffer&& other) noexcept
+      : ptr_(other.ptr_), cap_(other.cap_), core_(std::move(other.core_)) {
+    other.ptr_ = nullptr;
+    other.cap_ = 0;
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      ptr_ = other.ptr_;
+      cap_ = other.cap_;
+      core_ = std::move(other.core_);
+      other.ptr_ = nullptr;
+      other.cap_ = 0;
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  void release();
+
+  float* ptr_ = nullptr;
+  std::size_t cap_ = 0;  // element capacity (size-class rounded)
+  std::shared_ptr<ArenaCore> core_;  // null: plain heap allocation
+};
+
+}  // namespace detail
+
+// Aggregate arena statistics. `fresh_allocs` counts system allocations
+// (new[]), `reuses` counts acquisitions served from a free list; a warm
+// steady-state loop keeps `fresh_allocs` flat while `reuses` climbs.
+struct ArenaStats {
+  std::uint64_t fresh_allocs = 0;
+  std::uint64_t reuses = 0;
+  std::uint64_t returns = 0;
+  std::uint64_t bytes_held = 0;  // bytes sitting in free lists, process-wide
+};
+
+// Process-wide counters over every thread's arena (relaxed atomics).
+ArenaStats arena_stats();
+
+// Total system allocations of tensor backing storage since process start —
+// the allocation-counter test hook. Counts pooled misses and, when pooling
+// is disabled, every allocation.
+std::uint64_t tensor_fresh_allocs();
+
+// Releases every free-listed buffer of the calling thread's arena back to
+// the system (outstanding tensors are untouched). Long-lived servers can
+// call this between load phases to drop the high-water mark.
+void arena_trim();
+
+// Pooling is on unless RN_ARENA=0 (read once at first use). The setter is
+// a test seam; flipping it mid-run only affects future allocations —
+// existing buffers still return to wherever they came from.
+bool arena_enabled();
+void set_arena_enabled(bool enabled);
+
+}  // namespace rn::ag

@@ -1,8 +1,34 @@
 #include "ag/nn.h"
 
+#include <atomic>
+#include <cstdlib>
+
 #include "ag/init.h"
 
 namespace rn::ag {
+
+namespace {
+
+bool read_fused_gru_env() {
+  const char* env = std::getenv("RN_FUSED_GRU");
+  return env == nullptr || env[0] == '\0' ||
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+std::atomic<bool>& fused_gru_flag() {
+  static std::atomic<bool> enabled{read_fused_gru_env()};
+  return enabled;
+}
+
+}  // namespace
+
+bool fused_gru_enabled() {
+  return fused_gru_flag().load(std::memory_order_relaxed);
+}
+
+void set_fused_gru(bool enabled) {
+  fused_gru_flag().store(enabled, std::memory_order_relaxed);
+}
 
 Dense::Dense(int in_dim, int out_dim, Activation act, Rng& rng,
              const std::string& name)
@@ -46,6 +72,7 @@ GruCell::GruCell(int input_dim, int hidden_dim, Rng& rng,
 }
 
 ValueId GruCell::step(Tape& tape, ValueId x, ValueId h) const {
+  if (fused_gru_enabled()) return tape.gru_step(x, h, weights());
   const ValueId z = tape.sigmoid(tape.add_bias(
       tape.add(tape.matmul(x, tape.param(wz_)), tape.matmul(h, tape.param(uz_))),
       tape.param(bz_)));
@@ -58,6 +85,32 @@ ValueId GruCell::step(Tape& tape, ValueId x, ValueId h) const {
                tape.matmul(rh, tape.param(uh_))),
       tape.param(bh_)));
   return tape.add(tape.mul(tape.one_minus(z), h), tape.mul(z, hc));
+}
+
+ValueId GruCell::step_gathered(Tape& tape, ValueId x_src,
+                               std::vector<int> x_idx, ValueId h_src,
+                               std::vector<int> h_idx) const {
+  if (fused_gru_enabled()) {
+    return tape.gru_step_gathered(x_src, std::move(x_idx), h_src,
+                                  std::move(h_idx), weights());
+  }
+  const ValueId x = tape.gather_rows(x_src, std::move(x_idx));
+  const ValueId h = tape.gather_rows(h_src, std::move(h_idx));
+  return step(tape, x, h);
+}
+
+GruWeights GruCell::weights() const {
+  GruWeights w;
+  w.wz = &wz_;
+  w.uz = &uz_;
+  w.bz = &bz_;
+  w.wr = &wr_;
+  w.ur = &ur_;
+  w.br = &br_;
+  w.wh = &wh_;
+  w.uh = &uh_;
+  w.bh = &bh_;
+  return w;
 }
 
 std::vector<Parameter*> GruCell::params() {

@@ -43,8 +43,20 @@ class GruCell {
  public:
   GruCell(int input_dim, int hidden_dim, Rng& rng, const std::string& name);
 
-  // x: N×input_dim, h: N×hidden_dim → new hidden N×hidden_dim.
+  // x: N×input_dim, h: N×hidden_dim → new hidden N×hidden_dim. Records the
+  // single fused gru_step node when fused_gru_enabled(), the composed
+  // ~20-node expression otherwise; both produce bitwise-identical values.
   ValueId step(Tape& tape, ValueId x, ValueId h) const;
+
+  // step() with both inputs gathered from row-state tensors:
+  // x = x_src[x_idx], h = h_src[h_idx]. The fused path folds the gathers
+  // into the gru_step node; the composed path records explicit
+  // gather_rows ops. RouteNet's per-hop path update.
+  ValueId step_gathered(Tape& tape, ValueId x_src, std::vector<int> x_idx,
+                        ValueId h_src, std::vector<int> h_idx) const;
+
+  // The cell's nine parameters as fused-op references.
+  GruWeights weights() const;
 
   int input_dim() const { return wz_.value.rows(); }
   int hidden_dim() const { return wz_.value.cols(); }
@@ -56,6 +68,11 @@ class GruCell {
   mutable Parameter wr_, ur_, br_;
   mutable Parameter wh_, uh_, bh_;
 };
+
+// Fused GRU is on unless RN_FUSED_GRU=0 (read once at first use); the
+// setter is the programmatic/test seam for A/B-ing fused vs composed.
+bool fused_gru_enabled();
+void set_fused_gru(bool enabled);
 
 // Multi-layer perceptron; hidden layers use ReLU, final layer is linear
 // unless an output activation is requested.

@@ -1,7 +1,9 @@
 #include "ag/tape.h"
 
 #include <cmath>
+#include <cstring>
 
+#include "ag/kernels.h"
 #include "obs/trace.h"
 
 namespace rn::ag {
@@ -115,9 +117,8 @@ ValueId Tape::mul(ValueId a, ValueId b) {
   n.a = a;
   n.b = b;
   n.value = av;
-  for (int i = 0; i < n.value.size(); ++i) {
-    n.value[static_cast<std::size_t>(i)] *= bv[static_cast<std::size_t>(i)];
-  }
+  kern::active().mul_inplace(n.value.data(), bv.data(),
+                             static_cast<std::size_t>(n.value.size()));
   n.needs_grad = any_needs_grad(a, b);
   return push(std::move(n));
 }
@@ -132,10 +133,8 @@ ValueId Tape::add_bias(ValueId m, ValueId bias) {
   n.a = m;
   n.b = bias;
   n.value = mv;
-  for (int r = 0; r < mv.rows(); ++r) {
-    float* row = n.value.row(r);
-    for (int c = 0; c < mv.cols(); ++c) row[c] += bv.at(0, c);
-  }
+  kern::active().add_bias_rows(n.value.data(), bv.data(), mv.rows(),
+                               mv.cols());
   n.needs_grad = any_needs_grad(m, bias);
   return push(std::move(n));
 }
@@ -159,11 +158,8 @@ ValueId Tape::scale_rows(ValueId a, std::vector<float> factors) {
   n.op = Op::kScaleRows;
   n.a = a;
   n.value = av;
-  for (int r = 0; r < av.rows(); ++r) {
-    float* row = n.value.row(r);
-    const float f = factors[static_cast<std::size_t>(r)];
-    for (int c = 0; c < av.cols(); ++c) row[c] *= f;
-  }
+  kern::active().scale_rows(n.value.data(), factors.data(), av.rows(),
+                            av.cols());
   n.row_factors = std::move(factors);
   n.needs_grad = any_needs_grad(a);
   return push(std::move(n));
@@ -327,11 +323,9 @@ ValueId Tape::gather_rows(ValueId a, std::vector<int> idx) {
   n.op = Op::kGatherRows;
   n.a = a;
   n.value = Tensor(static_cast<int>(idx.size()), av.cols());
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    const float* in = av.row(idx[i]);
-    float* out = n.value.row(static_cast<int>(i));
-    for (int c = 0; c < av.cols(); ++c) out[c] = in[c];
-  }
+  kern::active().gather_rows(av.data(), idx.data(),
+                             static_cast<int>(idx.size()), av.cols(),
+                             n.value.data());
   n.idx = std::move(idx);
   n.needs_grad = any_needs_grad(a);
   return push(std::move(n));
@@ -355,11 +349,9 @@ ValueId Tape::scatter_rows(ValueId base, std::vector<int> idx, ValueId rows) {
   n.a = base;
   n.b = rows;
   n.value = bv;
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    float* out = n.value.row(idx[i]);
-    const float* in = rv.row(static_cast<int>(i));
-    for (int c = 0; c < bv.cols(); ++c) out[c] = in[c];
-  }
+  kern::active().scatter_rows(n.value.data(), idx.data(),
+                              static_cast<int>(idx.size()), bv.cols(),
+                              rv.data());
   n.idx = std::move(idx);
   n.needs_grad = any_needs_grad(base, rows);
   return push(std::move(n));
@@ -377,13 +369,100 @@ ValueId Tape::segment_sum(ValueId a, std::vector<int> seg, int num_segments) {
   n.a = a;
   n.aux0 = num_segments;
   n.value = Tensor(num_segments, av.cols());
-  for (std::size_t i = 0; i < seg.size(); ++i) {
-    float* out = n.value.row(seg[i]);
-    const float* in = av.row(static_cast<int>(i));
-    for (int c = 0; c < av.cols(); ++c) out[c] += in[c];
-  }
+  kern::active().indexed_row_add(n.value.data(), seg.data(),
+                                 static_cast<int>(seg.size()), av.cols(),
+                                 av.data());
   n.idx = std::move(seg);
   n.needs_grad = any_needs_grad(a);
+  return push(std::move(n));
+}
+
+// --- Fused ops ---------------------------------------------------------------------------
+
+ValueId Tape::gru_step(ValueId x, ValueId h, const GruWeights& w) {
+  return gru_step_impl(x, h, w, {}, {});
+}
+
+ValueId Tape::gru_step_gathered(ValueId x_src, std::vector<int> x_idx,
+                                ValueId h_src, std::vector<int> h_idx,
+                                const GruWeights& w) {
+  RN_CHECK(x_idx.size() == h_idx.size(),
+           "gru_step_gathered: one x row per h row");
+  const Tensor& xs = node(x_src).value;
+  const Tensor& hs = node(h_src).value;
+  for (int i : x_idx) {
+    RN_CHECK(i >= 0 && i < xs.rows(), "gru_step x index out of range");
+  }
+  for (int i : h_idx) {
+    RN_CHECK(i >= 0 && i < hs.rows(), "gru_step h index out of range");
+  }
+  return gru_step_impl(x_src, h_src, w, std::move(x_idx), std::move(h_idx));
+}
+
+// The forward replicates the composed GruCell::step arithmetic exactly:
+// each gate is matmul + matmul, elementwise sum, broadcast bias add, then
+// the pointwise nonlinearity — the same per-element operation sequence the
+// separate tape nodes performed, so the fused value is bitwise identical.
+// The two matmuls per gate stay separate (summing the second result into
+// the first, not accumulating into one buffer) because that is the rounding
+// order the composed kAdd node produced.
+ValueId Tape::gru_step_impl(ValueId a, ValueId b, const GruWeights& w,
+                            std::vector<int> x_idx, std::vector<int> h_idx) {
+  RN_CHECK(w.wz && w.uz && w.bz && w.wr && w.ur && w.br && w.wh && w.uh &&
+               w.bh,
+           "gru_step: incomplete GruWeights");
+  const kern::Ops& K = kern::active();
+  Node n;
+  n.op = Op::kGruStep;
+  n.a = a;
+  n.b = b;
+  n.gru = std::make_unique<GruAux>();
+  GruAux& A = *n.gru;
+  A.w = w;
+  if (!x_idx.empty()) {
+    const Tensor& src = node(a).value;
+    A.xg = Tensor(static_cast<int>(x_idx.size()), src.cols());
+    K.gather_rows(src.data(), x_idx.data(), static_cast<int>(x_idx.size()),
+                  src.cols(), A.xg.data());
+    A.x_idx = std::move(x_idx);
+  }
+  if (!h_idx.empty()) {
+    const Tensor& src = node(b).value;
+    A.hg = Tensor(static_cast<int>(h_idx.size()), src.cols());
+    K.gather_rows(src.data(), h_idx.data(), static_cast<int>(h_idx.size()),
+                  src.cols(), A.hg.data());
+    A.h_idx = std::move(h_idx);
+  }
+  const Tensor& x = A.x_idx.empty() ? node(a).value : A.xg;
+  const Tensor& h = A.h_idx.empty() ? node(b).value : A.hg;
+  RN_CHECK(x.rows() == h.rows(), "gru_step row mismatch");
+  RN_CHECK(x.cols() == w.wz->value.rows() && h.cols() == w.uz->value.rows(),
+           "gru_step input dims do not match weights");
+  const int rows = h.rows(), cols = w.wz->value.cols();
+  const auto count = static_cast<std::size_t>(rows) * cols;
+
+  auto gate = [&](const Tensor& in, const Parameter& wp, const Parameter& up,
+                  const Parameter& bp) {
+    Tensor pre = ag::matmul(x, wp.value);
+    pre.add_scaled(ag::matmul(in, up.value), 1.0f);
+    K.add_bias_rows(pre.data(), bp.value.data(), rows, cols);
+    return pre;
+  };
+
+  A.z = gate(h, *w.wz, *w.uz, *w.bz);
+  kern::sigmoid_inplace(A.z.data(), count);
+  A.r = gate(h, *w.wr, *w.ur, *w.br);
+  kern::sigmoid_inplace(A.r.data(), count);
+  Tensor rh = A.r;
+  K.mul_inplace(rh.data(), h.data(), count);
+  A.hc = gate(rh, *w.wh, *w.uh, *w.bh);
+  kern::tanh_inplace(A.hc.data(), count);
+
+  n.value = Tensor(rows, cols);
+  K.gru_blend(A.z.data(), h.data(), A.hc.data(), n.value.data(), count);
+  // Parameters are always trainable, so the node unconditionally carries
+  // gradient (inference tapes simply never call backward()).
+  n.needs_grad = true;
   return push(std::move(n));
 }
 
@@ -536,27 +615,19 @@ void Tape::backward_node(ValueId id) {
     case Op::kMul: {
       const Tensor& av = node(n.a).value;
       const Tensor& bv = node(n.b).value;
+      const auto count = static_cast<std::size_t>(g.size());
       if (Tensor* ga = propagate(n.a)) {
-        for (int i = 0; i < g.size(); ++i) {
-          auto k = static_cast<std::size_t>(i);
-          (*ga)[k] += g[k] * bv[k];
-        }
+        kern::active().madd(ga->data(), g.data(), bv.data(), count);
       }
       if (Tensor* gb = propagate(n.b)) {
-        for (int i = 0; i < g.size(); ++i) {
-          auto k = static_cast<std::size_t>(i);
-          (*gb)[k] += g[k] * av[k];
-        }
+        kern::active().madd(gb->data(), g.data(), av.data(), count);
       }
       break;
     }
     case Op::kAddBias: {
       if (Tensor* ga = propagate(n.a)) ga->add_scaled(g, 1.0f);
       if (Tensor* gb = propagate(n.b)) {
-        for (int r = 0; r < g.rows(); ++r) {
-          const float* grow = g.row(r);
-          for (int c = 0; c < g.cols(); ++c) gb->at(0, c) += grow[c];
-        }
+        kern::active().colsum_add(gb->data(), g.data(), g.rows(), g.cols());
       }
       break;
     }
@@ -575,12 +646,9 @@ void Tape::backward_node(ValueId id) {
     }
     case Op::kScaleRows: {
       if (Tensor* ga = propagate(n.a)) {
-        for (int r = 0; r < g.rows(); ++r) {
-          const float f = n.row_factors[static_cast<std::size_t>(r)];
-          const float* grow = g.row(r);
-          float* out = ga->row(r);
-          for (int c = 0; c < g.cols(); ++c) out[c] += grow[c] * f;
-        }
+        kern::active().add_scaled_rows(ga->data(), g.data(),
+                                       n.row_factors.data(), g.rows(),
+                                       g.cols());
       }
       break;
     }
@@ -663,11 +731,9 @@ void Tape::backward_node(ValueId id) {
     }
     case Op::kGatherRows: {
       if (Tensor* ga = propagate(n.a)) {
-        for (std::size_t i = 0; i < n.idx.size(); ++i) {
-          const float* grow = g.row(static_cast<int>(i));
-          float* out = ga->row(n.idx[i]);
-          for (int c = 0; c < g.cols(); ++c) out[c] += grow[c];
-        }
+        kern::active().indexed_row_add(ga->data(), n.idx.data(),
+                                       static_cast<int>(n.idx.size()),
+                                       g.cols(), g.data());
       }
       break;
     }
@@ -686,21 +752,17 @@ void Tape::backward_node(ValueId id) {
       }
       if (n.b != kInvalidValue && node(n.b).needs_grad) {
         Tensor& gb = grad_buffer(n.b);
-        for (std::size_t i = 0; i < n.idx.size(); ++i) {
-          const float* grow = g.row(n.idx[i]);
-          float* out = gb.row(static_cast<int>(i));
-          for (int c = 0; c < g.cols(); ++c) out[c] += grow[c];
-        }
+        kern::active().gathered_row_add(gb.data(), n.idx.data(),
+                                        static_cast<int>(n.idx.size()),
+                                        g.cols(), g.data());
       }
       break;
     }
     case Op::kSegmentSum: {
       if (Tensor* ga = propagate(n.a)) {
-        for (std::size_t i = 0; i < n.idx.size(); ++i) {
-          const float* grow = g.row(n.idx[i]);
-          float* out = ga->row(static_cast<int>(i));
-          for (int c = 0; c < g.cols(); ++c) out[c] += grow[c];
-        }
+        kern::active().gathered_row_add(ga->data(), n.idx.data(),
+                                        static_cast<int>(n.idx.size()),
+                                        g.cols(), g.data());
       }
       break;
     }
@@ -742,6 +804,81 @@ void Tape::backward_node(ValueId id) {
           auto k = static_cast<std::size_t>(i);
           const float d = pv[k] - n.aux_tensor[k];
           (*ga)[k] += d > 0.0f ? gv : (d < 0.0f ? -gv : 0.0f);
+        }
+      }
+      break;
+    }
+    case Op::kGruStep: {
+      // Full GRU backward from the saved activations. With
+      //   h' = (1−z)∘h + z∘hc,  hc = tanh(a_h),  z = σ(a_z),  r = σ(a_r),
+      // the chain gives
+      //   dz = g∘(hc−h),  dhc = g∘z,  dh += g∘(1−z)
+      //   da_h = dhc∘(1−hc²) → Wh/Uh/bh grads, dx += da_h·Whᵀ,
+      //     drh = da_h·Uhᵀ → dr = drh∘h, dh += drh∘r
+      //   da_r = dr∘r∘(1−r),  da_z = dz∘z∘(1−z) → remaining grads.
+      // Parameter gradients accumulate straight into the live Parameters,
+      // so backward() must precede the optimizer step.
+      GruAux& A = *n.gru;
+      const kern::Ops& K = kern::active();
+      const Tensor& x = A.x_idx.empty() ? node(n.a).value : A.xg;
+      const Tensor& h = A.h_idx.empty() ? node(n.b).value : A.hg;
+      const int rows = g.rows(), cols = g.cols();
+      const auto count = static_cast<std::size_t>(g.size());
+
+      Tensor dh(rows, cols);    // grad wrt the (gathered) previous hidden
+      Tensor da_h(rows, cols);  // grad wrt the candidate pre-activation
+      Tensor da_r(rows, cols);
+      Tensor da_z(rows, cols);
+      for (std::size_t i = 0; i < count; ++i) {
+        const float gv = g[i];
+        const float z = A.z[i];
+        const float hc = A.hc[i];
+        dh[i] = gv * (1.0f - z);
+        da_h[i] = gv * z * (1.0f - hc * hc);
+        da_z[i] = gv * (hc - h[i]) * z * (1.0f - z);
+      }
+
+      Tensor rh = A.r;
+      K.mul_inplace(rh.data(), h.data(), count);
+      A.w.wh->grad.add_scaled(matmul_tn(x, da_h), 1.0f);
+      A.w.uh->grad.add_scaled(matmul_tn(rh, da_h), 1.0f);
+      K.colsum_add(A.w.bh->grad.data(), da_h.data(), rows, cols);
+      Tensor dx = matmul_nt(da_h, A.w.wh->value);
+      const Tensor drh = matmul_nt(da_h, A.w.uh->value);
+      for (std::size_t i = 0; i < count; ++i) {
+        const float r = A.r[i];
+        dh[i] += drh[i] * r;
+        da_r[i] = drh[i] * h[i] * r * (1.0f - r);
+      }
+
+      A.w.wr->grad.add_scaled(matmul_tn(x, da_r), 1.0f);
+      A.w.ur->grad.add_scaled(matmul_tn(h, da_r), 1.0f);
+      K.colsum_add(A.w.br->grad.data(), da_r.data(), rows, cols);
+      dx.add_scaled(matmul_nt(da_r, A.w.wr->value), 1.0f);
+      dh.add_scaled(matmul_nt(da_r, A.w.ur->value), 1.0f);
+
+      A.w.wz->grad.add_scaled(matmul_tn(x, da_z), 1.0f);
+      A.w.uz->grad.add_scaled(matmul_tn(h, da_z), 1.0f);
+      K.colsum_add(A.w.bz->grad.data(), da_z.data(), rows, cols);
+      dx.add_scaled(matmul_nt(da_z, A.w.wz->value), 1.0f);
+      dh.add_scaled(matmul_nt(da_z, A.w.uz->value), 1.0f);
+
+      if (node(n.a).needs_grad) {
+        Tensor& ga = grad_buffer(n.a);
+        if (A.x_idx.empty()) {
+          ga.add_scaled(dx, 1.0f);
+        } else {
+          K.indexed_row_add(ga.data(), A.x_idx.data(), rows, dx.cols(),
+                            dx.data());
+        }
+      }
+      if (node(n.b).needs_grad) {
+        Tensor& gb = grad_buffer(n.b);
+        if (A.h_idx.empty()) {
+          gb.add_scaled(dh, 1.0f);
+        } else {
+          K.indexed_row_add(gb.data(), A.h_idx.data(), rows, cols,
+                            dh.data());
         }
       }
       break;

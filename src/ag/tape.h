@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,21 @@ struct Parameter {
   std::string name;
   Tensor value;
   Tensor grad;
+};
+
+// The nine parameters of one GRU cell, referenced (not copied) by the fused
+// gru_step op. The tape accumulates straight into each Parameter's .grad in
+// backward(), exactly like a kParam node would.
+struct GruWeights {
+  Parameter* wz = nullptr;
+  Parameter* uz = nullptr;
+  Parameter* bz = nullptr;
+  Parameter* wr = nullptr;
+  Parameter* ur = nullptr;
+  Parameter* br = nullptr;
+  Parameter* wh = nullptr;
+  Parameter* uh = nullptr;
+  Parameter* bh = nullptr;
 };
 
 class Tape {
@@ -97,6 +113,26 @@ class Tape {
   // aggregator.
   ValueId segment_sum(ValueId a, std::vector<int> seg, int num_segments);
 
+  // --- Fused ops -------------------------------------------------------------
+
+  // One-node GRU step: h' = (1−z)∘h + z∘tanh(xWh + (r∘h)Uh + bh) with
+  // z/r the usual sigmoid gates. Replaces the ~20-node composed expression
+  // in GruCell::step with a single node whose forward replicates the
+  // composed per-element arithmetic order exactly (bitwise-identical
+  // values) while materializing only the three saved activations the
+  // backward needs. Gradients accumulate directly into the GruWeights
+  // parameters, so backward() must run before any optimizer step mutates
+  // them (the standard training order).
+  ValueId gru_step(ValueId x, ValueId h, const GruWeights& w);
+
+  // gru_step with both inputs gathered inside the node:
+  // x = x_src[x_idx], h = h_src[h_idx]. Fuses the two gather_rows nodes of
+  // the message-passing path update; the backward scatters dx/dh back into
+  // the source states' gradients (ascending-index accumulation).
+  ValueId gru_step_gathered(ValueId x_src, std::vector<int> x_idx,
+                            ValueId h_src, std::vector<int> h_idx,
+                            const GruWeights& w);
+
   // --- Reductions & losses ---------------------------------------------------
   ValueId reduce_sum(ValueId a);   // -> 1×1
   ValueId reduce_mean(ValueId a);  // -> 1×1
@@ -131,7 +167,17 @@ class Tape {
     kConstant, kParam, kMatmul, kAdd, kSub, kMul, kAddBias, kScale,
     kScaleRows, kOneMinus, kSigmoid, kTanh, kRelu, kConcatCols,
     kConcatRows, kSliceCols, kGatherRows, kScatterRows, kSegmentSum,
-    kReduceSum, kReduceMean, kMse, kMae, kHuber, kDropout,
+    kReduceSum, kReduceMean, kMse, kMae, kHuber, kDropout, kGruStep,
+  };
+
+  // Fused-GRU node state: parameter references, the optional gather indices,
+  // the materialized gathered inputs, and the three activations the
+  // backward pass needs (everything else is recomputed from them).
+  struct GruAux {
+    GruWeights w;
+    std::vector<int> x_idx, h_idx;  // empty → the input id is used directly
+    Tensor xg, hg;                  // gathered inputs (gathered variant only)
+    Tensor z, r, hc;                // saved gate / candidate activations
   };
 
   struct Node {
@@ -148,9 +194,12 @@ class Tape {
     int aux0 = 0, aux1 = 0;          // slice bounds / segment count
     float scalar = 0.0f;             // kScale factor / kHuber delta
     Tensor aux_tensor;               // loss target / dropout mask
+    std::unique_ptr<GruAux> gru;     // kGruStep only
   };
 
   ValueId push(Node node);
+  ValueId gru_step_impl(ValueId a, ValueId b, const GruWeights& w,
+                        std::vector<int> x_idx, std::vector<int> h_idx);
   Node& node(ValueId id);
   const Node& node(ValueId id) const;
   bool any_needs_grad(ValueId a, ValueId b = kInvalidValue) const;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 
+#include "ag/kernels.h"
 #include "obs/metrics.h"
 #include "par/thread_pool.h"
 
@@ -10,14 +12,37 @@ namespace rn::ag {
 
 Tensor::Tensor(int rows, int cols)
     : rows_(rows), cols_(cols),
-      data_(static_cast<std::size_t>(rows) * cols, 0.0f) {
+      buf_(static_cast<std::size_t>(rows) * cols) {
   RN_CHECK(rows >= 0 && cols >= 0, "negative tensor dimension");
+  // Pooled buffers come back dirty; the zero-filled contract stands.
+  std::memset(buf_.data(), 0,
+              static_cast<std::size_t>(rows) * cols * sizeof(float));
 }
 
 Tensor::Tensor(int rows, int cols, float fill)
     : rows_(rows), cols_(cols),
-      data_(static_cast<std::size_t>(rows) * cols, fill) {
+      buf_(static_cast<std::size_t>(rows) * cols) {
   RN_CHECK(rows >= 0 && cols >= 0, "negative tensor dimension");
+  const std::size_t n = static_cast<std::size_t>(rows) * cols;
+  float* p = buf_.data();
+  std::fill(p, p + n, fill);
+}
+
+Tensor::Tensor(const Tensor& other)
+    : rows_(other.rows_), cols_(other.cols_),
+      buf_(static_cast<std::size_t>(other.rows_) * other.cols_) {
+  const std::size_t n = static_cast<std::size_t>(rows_) * cols_;
+  if (n != 0) std::memcpy(buf_.data(), other.buf_.data(), n * sizeof(float));
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  const std::size_t n = static_cast<std::size_t>(other.rows_) * other.cols_;
+  if (buf_.capacity() < n) buf_ = detail::Buffer(n);
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  if (n != 0) std::memcpy(buf_.data(), other.buf_.data(), n * sizeof(float));
+  return *this;
 }
 
 Tensor Tensor::from_rows(
@@ -43,40 +68,35 @@ Tensor Tensor::column(const std::vector<float>& values) {
 }
 
 void Tensor::fill(float v) {
-  std::fill(data_.begin(), data_.end(), v);
+  float* p = buf_.data();
+  std::fill(p, p + static_cast<std::size_t>(size()), v);
 }
 
 void Tensor::add_scaled(const Tensor& other, float s) {
   RN_CHECK(same_shape(other), "add_scaled shape mismatch");
-  const std::size_t n = data_.size();
-  for (std::size_t i = 0; i < n; ++i) data_[i] += other.data_[i] * s;
+  kern::active().axpy(buf_.data(), other.buf_.data(),
+                      s, static_cast<std::size_t>(size()));
 }
 
 void Tensor::scale(float s) {
-  for (float& v : data_) v *= s;
+  float* p = buf_.data();
+  const std::size_t n = static_cast<std::size_t>(size());
+  for (std::size_t i = 0; i < n; ++i) p[i] *= s;
 }
 
 double Tensor::squared_norm() const {
+  const float* p = buf_.data();
+  const std::size_t n = static_cast<std::size_t>(size());
   double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(p[i]) * p[i];
+  }
   return acc;
 }
 
 namespace {
 
-// C-row tile: one chunk's working set of output rows; also the grain of the
-// row-range parallelism so a chunk never splits a tile.
-constexpr int kTileRows = 32;
-// Inner-dimension tile: the reused B panel (kTileK x n floats) stays cache
-// resident across a whole row tile.
-constexpr int kTileK = 240;
-
 std::atomic<long long> g_parallel_macs{1LL << 18};
-
-// matmul_nt tiles B's rows only when B outgrows this many elements (default
-// 64k floats = 256 KiB, a conservative L2 slice): below it the whole B panel
-// is cache-resident anyway and the untiled loops win.
-std::atomic<long long> g_nt_tile_min_elems{1LL << 16};
 
 struct KernelMetrics {
   obs::Counter& calls =
@@ -93,137 +113,37 @@ KernelMetrics& kernel_metrics() {
 }
 
 // Runs body over C's row range [0, rows), threaded when the kernel is big
-// enough. Every kernel below computes a C row entirely within its chunk, in
-// the serial accumulation order, so chunking never changes results.
+// enough. Every kernel computes a C row entirely within its chunk, in the
+// serial accumulation order, so chunking never changes results.
+//
+// The grain is shape-aware: wide-but-short operands (k·n per row large)
+// split fine, while tall-skinny ones (the paper shapes — thousands of rows,
+// 16–64 state dims) coarsen so each chunk still carries at least a
+// threshold's worth of multiply-adds. Capping chunk count at the pool width
+// stops the old failure mode where 4096 rows fanned out as 128 tile-sized
+// tasks whose enqueue/steal overhead outweighed the 2-thread speedup.
 template <typename Body>
 void run_rows(int rows, long long macs, const Body& body) {
   KernelMetrics& m = kernel_metrics();
   m.calls.add(1);
   m.flops.add(static_cast<std::uint64_t>(2 * macs));
-  if (macs >= g_parallel_macs.load(std::memory_order_relaxed) &&
-      par::global_threads() > 1) {
+  const long long threshold = g_parallel_macs.load(std::memory_order_relaxed);
+  const int threads = par::global_threads();
+  if (macs >= threshold && threads > 1 && rows > 0) {
+    const long long macs_per_row = std::max(1LL, macs / rows);
+    const long long rows_per_threshold =
+        (threshold + macs_per_row - 1) / macs_per_row;
+    const long long rows_per_thread = (rows + threads - 1) / threads;
+    long long grain = std::max<long long>(
+        {kern::kTileRows, rows_per_threshold, rows_per_thread});
+    grain = (grain + kern::kTileRows - 1) / kern::kTileRows * kern::kTileRows;
     m.parallel.add(1);
-    par::parallel_for(0, rows, kTileRows, [&body](std::int64_t lo,
-                                                  std::int64_t hi) {
-      body(static_cast<int>(lo), static_cast<int>(hi));
-    });
+    par::parallel_for(0, rows, grain,
+                      [&body](std::int64_t lo, std::int64_t hi) {
+                        body(static_cast<int>(lo), static_cast<int>(hi));
+                      });
   } else {
     body(0, rows);
-  }
-}
-
-// Kernel bodies take raw pointers and by-value dimensions so the optimizer
-// sees loop bounds that cannot alias the output stores — captured-by-
-// reference bounds inside a lambda defeat vectorization of the j loops.
-// c is always a freshly allocated output, so __restrict__ is sound and lets
-// the vectorizer skip runtime alias checks and the scalar fallback.
-
-// c[r0:r1) += a[r0:r1) * b for row-major a (m x k), b (k x n).
-void matmul_block(const float* __restrict__ a, const float* __restrict__ b,
-                  float* __restrict__ c, int r0, int r1, int k, int n) {
-  for (int ib = r0; ib < r1; ib += kTileRows) {
-    const int iend = std::min(r1, ib + kTileRows);
-    for (int pb = 0; pb < k; pb += kTileK) {
-      const int pend = std::min(k, pb + kTileK);
-      for (int i = ib; i < iend; ++i) {
-        float* crow = c + static_cast<std::size_t>(i) * n;
-        const float* arow = a + static_cast<std::size_t>(i) * k;
-        for (int p = pb; p < pend; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;
-          const float* brow = b + static_cast<std::size_t>(p) * n;
-          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
-}
-
-// c[r0:r1) += aᵀ[r0:r1) * b for row-major a (k x m), b (k x n); C rows are
-// A's columns. Tiling i keeps the C tile cache-resident across the whole p
-// sweep instead of re-streaming all of C per p; each row still accumulates
-// in ascending p exactly like the untiled kernel, so results are bitwise
-// identical.
-void matmul_tn_block(const float* __restrict__ a, const float* __restrict__ b,
-                     float* __restrict__ c, int r0, int r1, int m, int k,
-                     int n) {
-  for (int ib = r0; ib < r1; ib += kTileRows) {
-    const int iend = std::min(r1, ib + kTileRows);
-    int p = 0;
-    // p unrolled by two: one pass over the C tile per pair of A/B rows
-    // halves the read-modify-write traffic on C. The two adds stay
-    // sequential (never fused into av0*b0 + av1*b1) and zero A entries
-    // skip their add exactly like the tail loop, so rounding is bitwise
-    // identical to the one-p-at-a-time serial kernel.
-    for (; p + 1 < k; p += 2) {
-      const float* arow0 = a + static_cast<std::size_t>(p) * m;
-      const float* arow1 = arow0 + m;
-      const float* brow0 = b + static_cast<std::size_t>(p) * n;
-      const float* brow1 = brow0 + n;
-      for (int i = ib; i < iend; ++i) {
-        const float av0 = arow0[i];
-        const float av1 = arow1[i];
-        float* crow = c + static_cast<std::size_t>(i) * n;
-        if (av0 != 0.0f && av1 != 0.0f) {
-          for (int j = 0; j < n; ++j) {
-            crow[j] += av0 * brow0[j];
-            crow[j] += av1 * brow1[j];
-          }
-        } else if (av0 != 0.0f) {
-          for (int j = 0; j < n; ++j) crow[j] += av0 * brow0[j];
-        } else if (av1 != 0.0f) {
-          for (int j = 0; j < n; ++j) crow[j] += av1 * brow1[j];
-        }
-      }
-    }
-    for (; p < k; ++p) {
-      const float* arow = a + static_cast<std::size_t>(p) * m;
-      const float* brow = b + static_cast<std::size_t>(p) * n;
-      for (int i = ib; i < iend; ++i) {
-        const float av = arow[i];
-        if (av == 0.0f) continue;
-        float* crow = c + static_cast<std::size_t>(i) * n;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }
-}
-
-// c[r0:r1) += a[r0:r1) * bᵀ for row-major a (m x k), b (n x k).
-void matmul_nt_block(const float* __restrict__ a, const float* __restrict__ b,
-                     float* __restrict__ c, int r0, int r1, int k, int n) {
-  // Profitability gate: each c[i][j] is a single ascending-p dot product in
-  // either shape, so falling back is bitwise free — and when B fits in
-  // cache the j-tiling only re-runs loop bookkeeping per 32-column strip.
-  if (static_cast<long long>(k) * n <
-      g_nt_tile_min_elems.load(std::memory_order_relaxed)) {
-    for (int i = r0; i < r1; ++i) {
-      const float* arow = a + static_cast<std::size_t>(i) * k;
-      float* crow = c + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        const float* brow = b + static_cast<std::size_t>(j) * k;
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] += acc;
-      }
-    }
-    return;
-  }
-  for (int ib = r0; ib < r1; ib += kTileRows) {
-    const int iend = std::min(r1, ib + kTileRows);
-    for (int jb = 0; jb < n; jb += kTileRows) {
-      const int jend = std::min(n, jb + kTileRows);
-      for (int i = ib; i < iend; ++i) {
-        const float* arow = a + static_cast<std::size_t>(i) * k;
-        float* crow = c + static_cast<std::size_t>(i) * n;
-        for (int j = jb; j < jend; ++j) {
-          const float* brow = b + static_cast<std::size_t>(j) * k;
-          float acc = 0.0f;
-          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-          crow[j] += acc;
-        }
-      }
-    }
   }
 }
 
@@ -237,23 +157,13 @@ void set_matmul_parallel_threshold(long long macs) {
   g_parallel_macs.store(std::max(0LL, macs), std::memory_order_relaxed);
 }
 
-long long matmul_nt_tile_threshold() {
-  return g_nt_tile_min_elems.load(std::memory_order_relaxed);
-}
-
-void set_matmul_nt_tile_threshold(long long b_elems) {
-  g_nt_tile_min_elems.store(std::max(0LL, b_elems),
-                            std::memory_order_relaxed);
-}
-
 Tensor matmul(const Tensor& a, const Tensor& b) {
   RN_CHECK(a.cols() == b.rows(), "matmul inner-dimension mismatch");
   Tensor c(a.rows(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j loop order: streams through b and c rows; tiling over (i, p)
-  // keeps the active B panel hot across a block of output rows.
+  const kern::Ops& ops = kern::active();
   run_rows(m, static_cast<long long>(m) * k * n, [&](int r0, int r1) {
-    matmul_block(a.row(0), b.row(0), c.row(0), r0, r1, k, n);
+    ops.matmul_block(a.row(0), b.row(0), c.row(0), r0, r1, k, n);
   });
   return c;
 }
@@ -262,10 +172,9 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   RN_CHECK(a.rows() == b.rows(), "matmul_tn dimension mismatch");
   Tensor c(a.cols(), b.cols());
   const int m = a.cols(), k = a.rows(), n = b.cols();
-  // C rows are A's columns; chunks own disjoint i-ranges and keep the
-  // p-ascending accumulation of the serial kernel, streaming A and B rows.
+  const kern::Ops& ops = kern::active();
   run_rows(m, static_cast<long long>(m) * k * n, [&](int r0, int r1) {
-    matmul_tn_block(a.row(0), b.row(0), c.row(0), r0, r1, m, k, n);
+    ops.matmul_tn_block(a.row(0), b.row(0), c.row(0), r0, r1, m, k, n);
   });
   return c;
 }
@@ -274,10 +183,9 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   RN_CHECK(a.cols() == b.cols(), "matmul_nt dimension mismatch");
   Tensor c(a.rows(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.rows();
-  // Dot-product kernel; tiling over (i, j) reuses a B-row panel across a
-  // block of A rows instead of re-streaming all of B per output row.
+  const kern::Ops& ops = kern::active();
   run_rows(m, static_cast<long long>(m) * k * n, [&](int r0, int r1) {
-    matmul_nt_block(a.row(0), b.row(0), c.row(0), r0, r1, k, n);
+    ops.matmul_nt_block(a.row(0), b.row(0), c.row(0), r0, r1, k, n);
   });
   return c;
 }

@@ -66,6 +66,25 @@ RouteNet::Output RouteNet::forward(ag::Tape& tape, const GraphBatch& batch,
   ag::ValueId h_paths = tape.constant(
       pad_initial_state(batch.path_features, config_.path_state_dim));
 
+  // The hop → link assignment is a property of the batch, not of the
+  // iteration: hoist the flattened link list and the mean-aggregation
+  // inverse counts out of the message-passing loop instead of recomputing
+  // them config_.iterations times.
+  std::vector<int> message_links;
+  for (int s = 0; s < batch.max_path_length(); ++s) {
+    const std::vector<int>& links = batch.pos_links[static_cast<std::size_t>(s)];
+    if (batch.pos_paths[static_cast<std::size_t>(s)].empty()) continue;
+    message_links.insert(message_links.end(), links.begin(), links.end());
+  }
+  std::vector<float> inv_count;
+  if (config_.aggregation == Aggregation::kMean) {
+    inv_count.assign(static_cast<std::size_t>(batch.num_links), 0.0f);
+    for (int l : message_links) inv_count[static_cast<std::size_t>(l)] += 1.0f;
+    for (float& f : inv_count) {
+      if (f > 0.0f) f = 1.0f / f;
+    }
+  }
+
   for (int t = 0; t < config_.iterations; ++t) {
     obs::TraceSpan mp_span("routenet.mp");
     mp_span.arg("iter", t);
@@ -73,18 +92,15 @@ RouteNet::Output RouteNet::forward(ag::Tape& tape, const GraphBatch& batch,
     // Path update: vectorized RNN over hop positions. All paths that are at
     // least s+1 hops long advance together at position s.
     std::vector<ag::ValueId> messages;
-    std::vector<int> message_links;
     for (int s = 0; s < batch.max_path_length(); ++s) {
       const std::vector<int>& paths = batch.pos_paths[static_cast<std::size_t>(s)];
       const std::vector<int>& links = batch.pos_links[static_cast<std::size_t>(s)];
       if (paths.empty()) continue;
-      const ag::ValueId x = tape.gather_rows(h_links, links);
-      const ag::ValueId h = tape.gather_rows(h_paths, paths);
-      const ag::ValueId h_next = path_cell_.step(tape, x, h);
+      const ag::ValueId h_next =
+          path_cell_.step_gathered(tape, h_links, links, h_paths, paths);
       h_paths = tape.scatter_rows(h_paths, paths, h_next);
       // The post-hop path state is the message this hop sends to its link.
       messages.push_back(h_next);
-      message_links.insert(message_links.end(), links.begin(), links.end());
     }
     path_phase_s += phase.elapsed_s();
     phase.restart();
@@ -94,13 +110,7 @@ RouteNet::Output RouteNet::forward(ag::Tape& tape, const GraphBatch& batch,
     ag::ValueId aggregated =
         tape.segment_sum(stacked, message_links, batch.num_links);
     if (config_.aggregation == Aggregation::kMean) {
-      std::vector<float> inv_count(static_cast<std::size_t>(batch.num_links),
-                                   0.0f);
-      for (int l : message_links) inv_count[static_cast<std::size_t>(l)] += 1.0f;
-      for (float& f : inv_count) {
-        if (f > 0.0f) f = 1.0f / f;
-      }
-      aggregated = tape.scale_rows(aggregated, std::move(inv_count));
+      aggregated = tape.scale_rows(aggregated, inv_count);
     }
     h_links = link_cell_.step(tape, aggregated, h_links);
     link_phase_s += phase.elapsed_s();

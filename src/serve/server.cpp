@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "ag/arena.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/window.h"
@@ -36,6 +37,15 @@ struct ServeMetrics {
   obs::Counter& batches =
       obs::Registry::global().counter("serve.batches_total");
   obs::Gauge& workers = obs::Registry::global().gauge("serve.workers");
+  // Tensor-arena health, published per batch: a warm server keeps
+  // fresh_allocs flat (all buffers recycled) while reuses climbs —
+  // fresh_allocs growing under steady load means shapes are churning
+  // through the size classes.
+  obs::Gauge& arena_fresh =
+      obs::Registry::global().gauge("ag.arena.fresh_allocs");
+  obs::Gauge& arena_reuses = obs::Registry::global().gauge("ag.arena.reuses");
+  obs::Gauge& arena_bytes_held =
+      obs::Registry::global().gauge("ag.arena.bytes_held");
 };
 
 ServeMetrics& metrics() {
@@ -154,6 +164,10 @@ void InferenceServer::run_batch(std::vector<Request>& batch) {
     metrics().served.add(batch.size());
     batches_.fetch_add(1, std::memory_order_relaxed);
     metrics().batches.add();
+    const ag::ArenaStats arena = ag::arena_stats();
+    metrics().arena_fresh.set(static_cast<double>(arena.fresh_allocs));
+    metrics().arena_reuses.set(static_cast<double>(arena.reuses));
+    metrics().arena_bytes_held.set(static_cast<double>(arena.bytes_held));
   } catch (...) {
     // A failed forward fails every request in the batch; the server keeps
     // serving subsequent batches.

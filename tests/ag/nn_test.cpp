@@ -1,6 +1,9 @@
 #include "ag/nn.h"
 
 #include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -178,6 +181,182 @@ INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationSweep,
                                            Activation::kRelu,
                                            Activation::kSigmoid,
                                            Activation::kTanh));
+
+// Restores the process-wide fused-GRU flag no matter how the test exits.
+class FusedGruGuard {
+ public:
+  FusedGruGuard() : saved_(fused_gru_enabled()) {}
+  ~FusedGruGuard() { set_fused_gru(saved_); }
+
+ private:
+  bool saved_;
+};
+
+Tensor random_tensor(int rows, int cols, unsigned seed) {
+  Rng rng(seed);
+  Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) {
+    t[static_cast<std::size_t>(i)] =
+        static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+TEST(FusedGru, ForwardBitwiseIdenticalToComposed) {
+  FusedGruGuard guard;
+  Rng rng(30);
+  GruCell cell(5, 7, rng, "gru");
+  const Tensor x = random_tensor(11, 5, 31);
+  const Tensor h = random_tensor(11, 7, 32);
+  auto run = [&](bool fused) {
+    set_fused_gru(fused);
+    Tape tape;
+    return tape.value(cell.step(tape, tape.constant(x), tape.constant(h)));
+  };
+  EXPECT_TRUE(bitwise_equal(run(false), run(true)))
+      << "fused gru_step diverges from the composed op chain";
+}
+
+TEST(FusedGru, SingleNodeReplacesComposedChain) {
+  FusedGruGuard guard;
+  Rng rng(33);
+  GruCell cell(3, 4, rng, "gru");
+  const Tensor x = random_tensor(2, 3, 34);
+  const Tensor h = random_tensor(2, 4, 35);
+  set_fused_gru(true);
+  Tape fused_tape;
+  cell.step(fused_tape, fused_tape.constant(x), fused_tape.constant(h));
+  set_fused_gru(false);
+  Tape composed_tape;
+  cell.step(composed_tape, composed_tape.constant(x),
+            composed_tape.constant(h));
+  // 2 constants + 1 gru node, vs the ~20-node composed expression.
+  EXPECT_EQ(fused_tape.num_nodes(), 3u);
+  EXPECT_GT(composed_tape.num_nodes(), 10u);
+}
+
+TEST(FusedGru, ParameterGradientsMatchComposedBackward) {
+  FusedGruGuard guard;
+  Rng rng(36);
+  GruCell cell(4, 6, rng, "gru");
+  const Tensor x = random_tensor(9, 4, 37);
+  const Tensor h = random_tensor(9, 6, 38);
+  const Tensor target(9, 6, 0.1f);
+  auto grads = [&](bool fused) {
+    set_fused_gru(fused);
+    for (Parameter* p : cell.params()) p->zero_grad();
+    Tape tape;
+    const ValueId out =
+        cell.step(tape, tape.constant(x), tape.constant(h));
+    tape.backward(tape.mse(out, target));
+    std::vector<Tensor> out_grads;
+    for (Parameter* p : cell.params()) out_grads.push_back(p->grad);
+    return out_grads;
+  };
+  const std::vector<Tensor> composed = grads(false);
+  const std::vector<Tensor> fused = grads(true);
+  const std::vector<Parameter*> params = cell.params();
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    for (int i = 0; i < composed[pi].size(); ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      EXPECT_NEAR(fused[pi][k], composed[pi][k],
+                  1e-5f * (1.0f + std::abs(composed[pi][k])))
+          << "param " << params[pi]->name << " element " << i;
+    }
+  }
+}
+
+TEST(FusedGru, GradCheckThroughFusedStep) {
+  FusedGruGuard guard;
+  set_fused_gru(true);
+  Rng rng(39);
+  GruCell cell(2, 3, rng, "gru");
+  const Tensor x = random_tensor(3, 2, 40);
+  const Tensor target(3, 3, 0.2f);
+  expect_gradients_match(cell.params(), [&](Tape& tape) {
+    ValueId h = tape.constant(Tensor(3, 3, 0.0f));
+    h = cell.step(tape, tape.constant(x), h);
+    return tape.mse(h, target);
+  });
+}
+
+TEST(FusedGru, GatheredStepMatchesGatherThenStepBitwise) {
+  FusedGruGuard guard;
+  Rng rng(41);
+  GruCell cell(4, 5, rng, "gru");
+  const Tensor x_src = random_tensor(6, 4, 42);
+  const Tensor h_src = random_tensor(7, 5, 43);
+  // Duplicate indices on purpose: the backward must accumulate repeats.
+  const std::vector<int> x_idx = {0, 3, 3, 5, 1, 0, 2, 4};
+  const std::vector<int> h_idx = {6, 0, 2, 2, 5, 1, 4, 3};
+  auto run = [&](bool fused) {
+    set_fused_gru(fused);
+    Tape tape;
+    const ValueId out = cell.step_gathered(
+        tape, tape.constant(x_src), x_idx, tape.constant(h_src), h_idx);
+    return tape.value(out);
+  };
+  const Tensor composed = run(false);
+  EXPECT_EQ(composed.rows(), 8);
+  EXPECT_EQ(composed.cols(), 5);
+  EXPECT_TRUE(bitwise_equal(composed, run(true)));
+}
+
+TEST(FusedGru, GradCheckThroughGatheredFusedStep) {
+  FusedGruGuard guard;
+  set_fused_gru(true);
+  Rng rng(44);
+  GruCell cell(2, 3, rng, "gru");
+  const Tensor x_src = random_tensor(4, 2, 45);
+  const Tensor h_src = random_tensor(4, 3, 46);
+  const std::vector<int> x_idx = {1, 1, 3, 0, 2};
+  const std::vector<int> h_idx = {2, 0, 0, 3, 1};
+  const Tensor target(5, 3, 0.15f);
+  expect_gradients_match(cell.params(), [&](Tape& tape) {
+    const ValueId out = cell.step_gathered(
+        tape, tape.constant(x_src), x_idx, tape.constant(h_src), h_idx);
+    return tape.mse(out, target);
+  });
+}
+
+TEST(FusedGru, GatheredSourceGradientsMatchComposed) {
+  FusedGruGuard guard;
+  Rng rng(47);
+  GruCell cell(3, 4, rng, "gru");
+  Parameter x_src("x_src", random_tensor(5, 3, 48));
+  Parameter h_src("h_src", random_tensor(5, 4, 49));
+  const std::vector<int> x_idx = {4, 0, 0, 2, 3, 1};
+  const std::vector<int> h_idx = {1, 1, 3, 0, 4, 2};
+  const Tensor target(6, 4, 0.1f);
+  auto source_grads = [&](bool fused) {
+    set_fused_gru(fused);
+    x_src.zero_grad();
+    h_src.zero_grad();
+    Tape tape;
+    const ValueId out = cell.step_gathered(
+        tape, tape.param(x_src), x_idx, tape.param(h_src), h_idx);
+    tape.backward(tape.mse(out, target));
+    return std::pair<Tensor, Tensor>(x_src.grad, h_src.grad);
+  };
+  const auto composed = source_grads(false);
+  const auto fused = source_grads(true);
+  for (int i = 0; i < composed.first.size(); ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    EXPECT_NEAR(fused.first[k], composed.first[k],
+                1e-5f * (1.0f + std::abs(composed.first[k])));
+  }
+  for (int i = 0; i < composed.second.size(); ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    EXPECT_NEAR(fused.second[k], composed.second[k],
+                1e-5f * (1.0f + std::abs(composed.second[k])));
+  }
+}
 
 TEST(Mlp, CanOverfitTinyRegression) {
   // y = 2*x0 - x1 on 8 points; a small MLP must drive MSE near zero.

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ag/arena.h"
+#include "ag/nn.h"
 #include "gradcheck.h"
 #include "topology/generators.h"
 
@@ -322,6 +324,55 @@ TEST(RouteNet, RejectsBadConfig) {
   RouteNetConfig cfg;
   cfg.iterations = 0;
   EXPECT_THROW(RouteNet{cfg}, std::runtime_error);
+}
+
+TEST(RouteNet, FusedGruPredictionBitwiseMatchesComposed) {
+  // The fused gru_step must not change model outputs at all — bitwise, not
+  // just numerically — for both aggregation modes.
+  auto topology = std::make_shared<const topo::Topology>(topo::nsfnet());
+  const dataset::Sample s = make_sample(topology, 51);
+  for (const Aggregation agg : {Aggregation::kSum, Aggregation::kMean}) {
+    RouteNetConfig cfg = tiny_config();
+    cfg.aggregation = agg;
+    RouteNet model(cfg);
+    const bool saved = ag::fused_gru_enabled();
+    ag::set_fused_gru(true);
+    const RouteNet::Prediction fused = model.predict(s);
+    ag::set_fused_gru(false);
+    const RouteNet::Prediction composed = model.predict(s);
+    ag::set_fused_gru(saved);
+    ASSERT_EQ(fused.delay_s.size(), composed.delay_s.size());
+    for (std::size_t i = 0; i < fused.delay_s.size(); ++i) {
+      EXPECT_EQ(fused.delay_s[i], composed.delay_s[i]) << "path " << i;
+      EXPECT_EQ(fused.jitter_s[i], composed.jitter_s[i]) << "path " << i;
+    }
+  }
+}
+
+TEST(RouteNet, PredictMergedSteadyStateZeroTensorAllocs) {
+  // The serving hot path: after warm-up, a predict_merged loop over the
+  // same workload must perform ZERO fresh tensor allocations — every
+  // buffer comes from the arena free lists.
+  if (!ag::arena_enabled()) GTEST_SKIP() << "arena disabled via RN_ARENA=0";
+  auto ring5 = std::make_shared<const topo::Topology>(topo::ring(5));
+  auto nsf = std::make_shared<const topo::Topology>(topo::nsfnet());
+  std::vector<dataset::Sample> samples;
+  samples.push_back(make_sample(ring5, 61));
+  samples.push_back(make_sample(nsf, 62));
+  std::vector<const dataset::Sample*> ptrs;
+  for (const dataset::Sample& s : samples) ptrs.push_back(&s);
+  RouteNet model(tiny_config());
+  for (int i = 0; i < 3; ++i) model.predict_merged(ptrs);  // warm up
+
+  const std::uint64_t fresh_before = ag::tensor_fresh_allocs();
+  std::vector<RouteNet::Prediction> last;
+  for (int i = 0; i < 20; ++i) last = model.predict_merged(ptrs);
+  EXPECT_EQ(ag::tensor_fresh_allocs(), fresh_before)
+      << "warm predict_merged loop allocated fresh tensor storage";
+  ASSERT_EQ(last.size(), samples.size());
+  for (const RouteNet::Prediction& p : last) {
+    for (double d : p.delay_s) EXPECT_GT(d, 0.0);
+  }
 }
 
 }  // namespace
