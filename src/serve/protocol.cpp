@@ -1,0 +1,394 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "ag/serialize.h"  // crc32
+#include "topology/topology.h"
+
+namespace rn::serve::wire {
+
+namespace {
+
+// Bounds-checked cursor over one payload: every read states what it is
+// reading, and a read past the remaining bytes throws before touching
+// memory. This is the RNCKPT2 reader discipline on a string_view.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  T pod(const char* what) {
+    require(sizeof(T), what);
+    T v{};
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  // u16 length prefix + bytes, capped at max_len.
+  std::string str(std::size_t max_len, const char* what) {
+    const auto len = pod<std::uint16_t>(what);
+    if (len > max_len) {
+      throw ProtocolError(std::string(what) + " length " +
+                          std::to_string(len) + " exceeds cap " +
+                          std::to_string(max_len));
+    }
+    require(len, what);
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  void require(std::size_t n, const char* what) {
+    if (n > data_.size() - pos_) {
+      throw ProtocolError(std::string("truncated payload reading ") + what +
+                          " (need " + std::to_string(n) + " bytes, have " +
+                          std::to_string(data_.size() - pos_) + ")");
+    }
+  }
+
+  void expect_done(const char* what) {
+    if (pos_ != data_.size()) {
+      throw ProtocolError(std::string(what) + " payload has " +
+                          std::to_string(data_.size() - pos_) +
+                          " trailing bytes");
+    }
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+template <typename T>
+void put_pod(std::string& buf, const T& v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_str(std::string& buf, std::string_view s, std::size_t max_len,
+             const char* what) {
+  if (s.size() > max_len) {
+    throw ProtocolError(std::string(what) + " length " +
+                        std::to_string(s.size()) + " exceeds cap " +
+                        std::to_string(max_len));
+  }
+  put_pod(buf, static_cast<std::uint16_t>(s.size()));
+  buf.append(s);
+}
+
+std::uint32_t frame_crc(FrameType type, std::string_view payload) {
+  // CRC covers the type byte too, so a flipped type cannot masquerade as a
+  // different (structurally valid) message.
+  std::string covered;
+  covered.reserve(1 + payload.size());
+  covered.push_back(static_cast<char>(type));
+  covered.append(payload);
+  return ag::crc32(covered.data(), covered.size());
+}
+
+bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kPredictRequest) &&
+         t <= static_cast<std::uint8_t>(FrameType::kShutdownAck);
+}
+
+double finite_or_throw(double v, const char* what) {
+  if (!std::isfinite(v)) {
+    throw ProtocolError(std::string(what) + " is not finite");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxPayload) {
+    throw ProtocolError("payload of " + std::to_string(payload.size()) +
+                        " bytes exceeds the " + std::to_string(kMaxPayload) +
+                        "-byte cap");
+  }
+  std::string out;
+  out.reserve(kHeaderLen + payload.size() + kTrailerLen);
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(type));
+  put_pod(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  put_pod(out, frame_crc(type, payload));
+  return out;
+}
+
+FrameHeader parse_frame_header(const char* bytes) {
+  if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0) {
+    throw ProtocolError("bad magic (expected \"RNP1\")");
+  }
+  const auto raw_type = static_cast<std::uint8_t>(bytes[4]);
+  if (!known_type(raw_type)) {
+    throw ProtocolError("unknown frame type " + std::to_string(raw_type));
+  }
+  FrameHeader h;
+  h.type = static_cast<FrameType>(raw_type);
+  std::memcpy(&h.payload_len, bytes + 5, sizeof(h.payload_len));
+  if (h.payload_len > kMaxPayload) {
+    throw ProtocolError("declared payload of " +
+                        std::to_string(h.payload_len) + " bytes exceeds the " +
+                        std::to_string(kMaxPayload) + "-byte cap");
+  }
+  return h;
+}
+
+void verify_frame_crc(FrameType type, std::string_view payload,
+                      std::uint32_t trailer_crc) {
+  if (frame_crc(type, payload) != trailer_crc) {
+    throw ProtocolError("frame CRC mismatch");
+  }
+}
+
+Frame parse_frame(std::string_view bytes) {
+  if (bytes.size() < kHeaderLen + kTrailerLen) {
+    throw ProtocolError("frame of " + std::to_string(bytes.size()) +
+                        " bytes is shorter than header + trailer");
+  }
+  const FrameHeader h = parse_frame_header(bytes.data());
+  if (bytes.size() != kHeaderLen + h.payload_len + kTrailerLen) {
+    throw ProtocolError("frame length " + std::to_string(bytes.size()) +
+                        " does not match declared payload of " +
+                        std::to_string(h.payload_len) + " bytes");
+  }
+  Frame f;
+  f.type = h.type;
+  f.payload = std::string(bytes.substr(kHeaderLen, h.payload_len));
+  std::uint32_t crc = 0;
+  std::memcpy(&crc, bytes.data() + kHeaderLen + h.payload_len, sizeof(crc));
+  verify_frame_crc(f.type, f.payload, crc);
+  return f;
+}
+
+// --- Predict request -------------------------------------------------------
+//
+// payload := model:str16 topo_name:str16 n_nodes:i32 n_links:i32
+//            links[n_links]{src:i32 dst:i32 capacity_bps:f64 prop_delay_s:f64}
+//            paths[n_pairs]{len:u16 link_ids[len]:i32}
+//            rates[n_pairs]:f64
+// with n_pairs = n_nodes*(n_nodes-1), in topo::pair_index order.
+
+std::string encode_predict_request(const std::string& model,
+                                   const dataset::Sample& sample) {
+  const topo::Topology& t = *sample.topology;
+  std::string out;
+  put_str(out, model, kMaxNameLen, "model name");
+  put_str(out, t.name(), kMaxNameLen, "topology name");
+  put_pod(out, static_cast<std::int32_t>(t.num_nodes()));
+  put_pod(out, static_cast<std::int32_t>(t.num_links()));
+  for (const topo::Link& l : t.links()) {
+    put_pod(out, static_cast<std::int32_t>(l.src));
+    put_pod(out, static_cast<std::int32_t>(l.dst));
+    put_pod(out, l.capacity_bps);
+    put_pod(out, l.prop_delay_s);
+  }
+  for (int idx = 0; idx < t.num_pairs(); ++idx) {
+    const routing::Path& p = sample.routing.path_by_index(idx);
+    if (p.size() > static_cast<std::size_t>(t.num_nodes())) {
+      throw ProtocolError("path " + std::to_string(idx) + " has " +
+                          std::to_string(p.size()) +
+                          " hops on a topology of " +
+                          std::to_string(t.num_nodes()) + " nodes");
+    }
+    put_pod(out, static_cast<std::uint16_t>(p.size()));
+    for (topo::LinkId id : p) put_pod(out, static_cast<std::int32_t>(id));
+  }
+  for (int idx = 0; idx < t.num_pairs(); ++idx) {
+    put_pod(out, sample.tm.rate_by_index(idx));
+  }
+  return out;
+}
+
+PredictRequest decode_predict_request(std::string_view payload) {
+  Cursor c(payload);
+  std::string model = c.str(kMaxNameLen, "model name");
+  if (model.empty()) throw ProtocolError("model name is empty");
+  const std::string topo_name = c.str(kMaxNameLen, "topology name");
+  const auto n_nodes = c.pod<std::int32_t>("node count");
+  if (n_nodes < 2 || n_nodes > kMaxNodes) {
+    throw ProtocolError("node count " + std::to_string(n_nodes) +
+                        " outside [2, " + std::to_string(kMaxNodes) + "]");
+  }
+  const auto n_links = c.pod<std::int32_t>("link count");
+  if (n_links < 1 || n_links > kMaxLinks) {
+    throw ProtocolError("link count " + std::to_string(n_links) +
+                        " outside [1, " + std::to_string(kMaxLinks) + "]");
+  }
+  // Each link is 24 bytes on the wire; reject a count the payload cannot
+  // possibly cover before looping (no unbounded allocation either way).
+  c.require(static_cast<std::size_t>(n_links) * 24, "link table");
+  auto topology = std::make_shared<topo::Topology>(topo_name, n_nodes);
+  for (std::int32_t i = 0; i < n_links; ++i) {
+    const auto src = c.pod<std::int32_t>("link src");
+    const auto dst = c.pod<std::int32_t>("link dst");
+    const double cap = finite_or_throw(c.pod<double>("link capacity"),
+                                       "link capacity");
+    const double prop = finite_or_throw(c.pod<double>("link prop delay"),
+                                        "link prop delay");
+    if (src < 0 || src >= n_nodes || dst < 0 || dst >= n_nodes) {
+      throw ProtocolError("link " + std::to_string(i) + " endpoints (" +
+                          std::to_string(src) + ", " + std::to_string(dst) +
+                          ") outside [0, " + std::to_string(n_nodes) + ")");
+    }
+    if (cap <= 0.0) {
+      throw ProtocolError("link " + std::to_string(i) +
+                          " capacity must be positive");
+    }
+    if (prop < 0.0) {
+      throw ProtocolError("link " + std::to_string(i) +
+                          " propagation delay must be >= 0");
+    }
+    topology->add_link(src, dst, cap, prop);
+  }
+  const int n_pairs = topology->num_pairs();
+  routing::RoutingScheme scheme(n_nodes);
+  for (int idx = 0; idx < n_pairs; ++idx) {
+    const auto len = c.pod<std::uint16_t>("path length");
+    // A loop-free path visits each node at most once.
+    if (len > static_cast<std::uint16_t>(n_nodes)) {
+      throw ProtocolError("path " + std::to_string(idx) + " length " +
+                          std::to_string(len) + " exceeds node count " +
+                          std::to_string(n_nodes));
+    }
+    c.require(static_cast<std::size_t>(len) * 4, "path link ids");
+    routing::Path p(len);
+    for (auto& id : p) {
+      id = c.pod<std::int32_t>("path link id");
+      if (id < 0 || id >= n_links) {
+        throw ProtocolError("path " + std::to_string(idx) + " link id " +
+                            std::to_string(id) + " outside [0, " +
+                            std::to_string(n_links) + ")");
+      }
+    }
+    const auto [src, dst] = topo::pair_from_index(idx, n_nodes);
+    scheme.set_path(src, dst, std::move(p));
+  }
+  traffic::TrafficMatrix tm(n_nodes);
+  for (int idx = 0; idx < n_pairs; ++idx) {
+    const double rate = finite_or_throw(c.pod<double>("traffic rate"),
+                                        "traffic rate");
+    if (rate < 0.0) {
+      throw ProtocolError("traffic rate " + std::to_string(idx) +
+                          " must be >= 0");
+    }
+    const auto [src, dst] = topo::pair_from_index(idx, n_nodes);
+    tm.set_rate_bps(src, dst, rate);
+  }
+  c.expect_done("predict request");
+  return PredictRequest{
+      std::move(model),
+      dataset::make_inference_sample(
+          std::shared_ptr<const topo::Topology>(std::move(topology)),
+          std::move(scheme), std::move(tm))};
+}
+
+// --- Predict response ------------------------------------------------------
+//
+// payload := n_pairs:u32 pairs[n_pairs]{delay_s:f64 jitter_s:f64}
+
+std::string encode_predict_response(const core::RouteNet::Prediction& pred) {
+  if (pred.delay_s.size() != pred.jitter_s.size()) {
+    throw ProtocolError("prediction delay/jitter sizes disagree");
+  }
+  std::string out;
+  put_pod(out, static_cast<std::uint32_t>(pred.delay_s.size()));
+  for (std::size_t i = 0; i < pred.delay_s.size(); ++i) {
+    put_pod(out, pred.delay_s[i]);
+    put_pod(out, pred.jitter_s[i]);
+  }
+  return out;
+}
+
+core::RouteNet::Prediction decode_predict_response(std::string_view payload) {
+  constexpr std::uint32_t kMaxPairs =
+      static_cast<std::uint32_t>(kMaxNodes) * (kMaxNodes - 1);
+  Cursor c(payload);
+  const auto n_pairs = c.pod<std::uint32_t>("pair count");
+  if (n_pairs > kMaxPairs) {
+    throw ProtocolError("pair count " + std::to_string(n_pairs) +
+                        " exceeds cap " + std::to_string(kMaxPairs));
+  }
+  c.require(static_cast<std::size_t>(n_pairs) * 16, "prediction rows");
+  core::RouteNet::Prediction pred;
+  pred.delay_s.resize(n_pairs);
+  pred.jitter_s.resize(n_pairs);
+  for (std::uint32_t i = 0; i < n_pairs; ++i) {
+    pred.delay_s[i] = c.pod<double>("delay");
+    pred.jitter_s[i] = c.pod<double>("jitter");
+  }
+  c.expect_done("predict response");
+  return pred;
+}
+
+// --- Error -----------------------------------------------------------------
+
+std::string encode_error(ErrorCode code, std::string_view message) {
+  std::string out;
+  put_pod(out, static_cast<std::uint16_t>(code));
+  put_str(out, message.substr(0, kMaxErrorMsgLen), kMaxErrorMsgLen,
+          "error message");
+  return out;
+}
+
+ErrorFrame decode_error(std::string_view payload) {
+  Cursor c(payload);
+  ErrorFrame e;
+  const auto raw = c.pod<std::uint16_t>("error code");
+  if (raw < static_cast<std::uint16_t>(ErrorCode::kMalformed) ||
+      raw > static_cast<std::uint16_t>(ErrorCode::kInternal)) {
+    throw ProtocolError("unknown error code " + std::to_string(raw));
+  }
+  e.code = static_cast<ErrorCode>(raw);
+  e.message = c.str(kMaxErrorMsgLen, "error message");
+  c.expect_done("error");
+  return e;
+}
+
+// --- Reload ----------------------------------------------------------------
+
+std::string encode_reload_request(const std::string& model) {
+  std::string out;
+  put_str(out, model, kMaxNameLen, "model name");
+  return out;
+}
+
+std::string decode_reload_request(std::string_view payload) {
+  Cursor c(payload);
+  const std::string model = c.str(kMaxNameLen, "model name");
+  if (model.empty()) throw ProtocolError("model name is empty");
+  c.expect_done("reload request");
+  return model;
+}
+
+std::string encode_reload_response(const std::string& model,
+                                   std::uint64_t version) {
+  std::string out;
+  put_str(out, model, kMaxNameLen, "model name");
+  put_pod(out, version);
+  return out;
+}
+
+ReloadResponse decode_reload_response(std::string_view payload) {
+  Cursor c(payload);
+  ReloadResponse r;
+  r.model = c.str(kMaxNameLen, "model name");
+  r.version = c.pod<std::uint64_t>("version");
+  c.expect_done("reload response");
+  return r;
+}
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kMalformed: return "malformed";
+    case ErrorCode::kUnknownModel: return "unknown-model";
+    case ErrorCode::kRejected: return "rejected";
+    case ErrorCode::kStopping: return "stopping";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace rn::serve::wire

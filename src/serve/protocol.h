@@ -1,0 +1,145 @@
+// RNP/1 — the RouteNet serving wire protocol.
+//
+// A tiny length-prefixed binary request/response protocol spoken by
+// serve::NetServer / serve::NetClient over TCP or Unix domain sockets.
+// One frame is:
+//
+//   offset 0  magic   "RNP1"                      (4 bytes)
+//   offset 4  type    FrameType                   (1 byte)
+//   offset 5  len     payload length, LE uint32   (4 bytes)
+//   offset 9  payload `len` bytes
+//   trailer   crc32 over (type byte ‖ payload), LE uint32
+//
+// The reader follows the RNCKPT2 bounds-checked discipline: every length
+// is validated against the bytes actually present BEFORE anything is
+// allocated or read, absurd counts (name_len, n_nodes, n_links, path
+// lengths, payload lengths) are rejected with a clean ProtocolError —
+// never an abort, never an over-read — and the CRC trailer makes every
+// single-byte corruption detectable (protocol_fuzz_test flips every byte
+// and truncates at every offset to prove it). Integers are little-endian;
+// doubles are IEEE-754 binary64.
+//
+// Message payloads:
+//   kPredictRequest   model name + a full inference scenario (topology,
+//                     per-pair routing paths, per-pair traffic rates)
+//   kPredictResponse  per-pair predicted delay/jitter seconds
+//   kError            ErrorCode + human-readable message
+//   kReloadRequest    model name — hot-reload it from its source path
+//   kReloadResponse   model name + new registry version
+//   kShutdownRequest  empty — drain queued requests and exit
+//   kShutdownAck      empty
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/routenet.h"
+#include "dataset/dataset.h"
+
+namespace rn::serve::wire {
+
+inline constexpr char kMagic[4] = {'R', 'N', 'P', '1'};
+inline constexpr std::size_t kHeaderLen = 9;   // magic + type + payload len
+inline constexpr std::size_t kTrailerLen = 4;  // crc32(type ‖ payload)
+// Hard ceilings the reader enforces before allocating anything.
+inline constexpr std::uint32_t kMaxPayload = 64u << 20;  // 64 MiB
+inline constexpr std::size_t kMaxNameLen = 256;
+inline constexpr std::size_t kMaxErrorMsgLen = 512;
+inline constexpr int kMaxNodes = 4096;
+inline constexpr int kMaxLinks = 1 << 18;
+
+enum class FrameType : std::uint8_t {
+  kPredictRequest = 1,
+  kPredictResponse = 2,
+  kError = 3,
+  kReloadRequest = 4,
+  kReloadResponse = 5,
+  kShutdownRequest = 6,
+  kShutdownAck = 7,
+};
+
+enum class ErrorCode : std::uint16_t {
+  kMalformed = 1,     // frame or payload failed validation
+  kUnknownModel = 2,  // no such name in the registry
+  kRejected = 3,      // backpressure: the model's queue is full
+  kStopping = 4,      // server is shutting down
+  kInternal = 5,      // forward pass / reload failure
+};
+
+// Every malformed byte sequence raises this (a std::runtime_error), with a
+// message naming the offending field.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error("RNP/1: " + what) {}
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kError;
+  std::uint32_t payload_len = 0;
+};
+
+struct PredictRequest {
+  std::string model;
+  dataset::Sample sample;
+};
+
+struct ErrorFrame {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+struct ReloadResponse {
+  std::string model;
+  std::uint64_t version = 0;
+};
+
+// --- Framing ---------------------------------------------------------------
+
+// Wraps a payload in the magic/type/len envelope and appends the CRC.
+std::string encode_frame(FrameType type, std::string_view payload);
+
+// Validates magic, type, and payload length of the fixed-size header
+// (exactly kHeaderLen bytes). Throws ProtocolError.
+FrameHeader parse_frame_header(const char* bytes);
+
+// Validates the trailer CRC against (type ‖ payload). Throws ProtocolError.
+void verify_frame_crc(FrameType type, std::string_view payload,
+                      std::uint32_t trailer_crc);
+
+// Whole-buffer parse: header + payload + trailer with nothing left over.
+// The entry point the fuzz suite drives; socket readers stream the same
+// validations via parse_frame_header/verify_frame_crc.
+Frame parse_frame(std::string_view bytes);
+
+// --- Payload codecs --------------------------------------------------------
+// decode_* functions accept exactly one payload (no envelope) and throw
+// ProtocolError on any structural violation.
+
+std::string encode_predict_request(const std::string& model,
+                                   const dataset::Sample& sample);
+PredictRequest decode_predict_request(std::string_view payload);
+
+std::string encode_predict_response(const core::RouteNet::Prediction& pred);
+core::RouteNet::Prediction decode_predict_response(std::string_view payload);
+
+std::string encode_error(ErrorCode code, std::string_view message);
+ErrorFrame decode_error(std::string_view payload);
+
+std::string encode_reload_request(const std::string& model);
+std::string decode_reload_request(std::string_view payload);
+
+std::string encode_reload_response(const std::string& model,
+                                   std::uint64_t version);
+ReloadResponse decode_reload_response(std::string_view payload);
+
+const char* error_code_name(ErrorCode code);
+
+}  // namespace rn::serve::wire

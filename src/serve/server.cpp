@@ -60,8 +60,7 @@ InferenceServer::InferenceServer(const core::RouteNet& model, ServerConfig cfg)
   RN_CHECK(cfg_.max_batch >= 1, "max_batch must be positive");
   RN_CHECK(cfg_.batch_deadline_s >= 0.0, "batch deadline must be >= 0");
   RN_CHECK(cfg_.queue_capacity >= 1, "queue capacity must be positive");
-  deadline_ = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-      std::chrono::duration<double>(cfg_.batch_deadline_s));
+  set_batch_deadline(cfg_.batch_deadline_s);
   pool_ = par::global_pool();
   num_workers_ = cfg_.workers > 0 ? cfg_.workers : pool_->size();
   num_workers_ = std::max(1, num_workers_);
@@ -117,17 +116,23 @@ void InferenceServer::worker_loop() {
     std::vector<Request> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and fully drained
+      cv_.wait(lock,
+               [&] { return stopping_ || (!paused_ && !queue_.empty()); });
+      if (queue_.empty()) {
+        if (stopping_) return;  // stopping and fully drained
+        continue;               // resumed from a pause with nothing queued
+      }
       // Hold a partial batch open until it fills or the oldest request's
       // deadline passes. During drain (stopping_) ship immediately.
-      const auto deadline = queue_.front().enqueued + deadline_;
+      const auto deadline = queue_.front().enqueued + current_deadline();
       cv_.wait_until(lock, deadline, [&] {
         return stopping_ ||
-               queue_.size() >= static_cast<std::size_t>(cfg_.max_batch);
+               (!paused_ &&
+                queue_.size() >= static_cast<std::size_t>(cfg_.max_batch));
       });
-      // Another worker may have taken everything while we waited.
-      if (queue_.empty()) continue;
+      // Another worker may have taken everything while we waited; a pause
+      // holds the queue untouched until resume (stop() overrides).
+      if (queue_.empty() || (paused_ && !stopping_)) continue;
       const std::size_t take =
           std::min(queue_.size(), static_cast<std::size_t>(cfg_.max_batch));
       batch.reserve(take);
@@ -175,6 +180,33 @@ void InferenceServer::run_batch(std::vector<Request>& batch) {
       req.promise.set_exception(std::current_exception());
     }
   }
+}
+
+void InferenceServer::set_batch_deadline(double seconds) {
+  RN_CHECK(seconds >= 0.0, "batch deadline must be >= 0");
+  deadline_ns_.store(
+      static_cast<std::int64_t>(seconds * 1e9),
+      std::memory_order_relaxed);
+}
+
+double InferenceServer::batch_deadline_s() const {
+  return static_cast<double>(deadline_ns_.load(std::memory_order_relaxed)) /
+         1e9;
+}
+
+std::chrono::steady_clock::duration InferenceServer::current_deadline()
+    const {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::nanoseconds(
+          deadline_ns_.load(std::memory_order_relaxed)));
+}
+
+void InferenceServer::set_paused_for_test(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = paused;
+  }
+  cv_.notify_all();
 }
 
 void InferenceServer::stop() {

@@ -51,6 +51,8 @@ struct ServerConfig {
   // Coalesce at most this many requests into one forward pass.
   int max_batch = 8;
   // How long a worker holds a partial batch open waiting for it to fill.
+  // This is the initial value; set_batch_deadline() retunes it live (the
+  // p99-adaptive policy's actuator).
   double batch_deadline_s = 0.005;
   // Pending requests beyond which submit() rejects.
   std::size_t queue_capacity = 256;
@@ -91,6 +93,18 @@ class InferenceServer {
   // Idempotent.
   void stop();
 
+  // Retunes the batch deadline live (thread-safe; workers pick the new
+  // value up at their next batch). This is the adaptive batching policy's
+  // actuator. Throws on negative values.
+  void set_batch_deadline(double seconds);
+  double batch_deadline_s() const;
+
+  // Test seam: while paused, workers take nothing off the queue, so a
+  // queue-overflow test can fill it to capacity deterministically instead
+  // of racing worker drain behind a long deadline. stop() overrides a
+  // pause (drain still happens). Resuming wakes every worker.
+  void set_paused_for_test(bool paused);
+
   ServerStats stats() const;
   std::size_t queue_depth() const;
   int num_workers() const { return num_workers_; }
@@ -111,15 +125,20 @@ class InferenceServer {
   void worker_loop();
   void run_batch(std::vector<Request>& batch);
 
+  std::chrono::steady_clock::duration current_deadline() const;
+
   const core::RouteNet& model_;
   ServerConfig cfg_;
-  std::chrono::steady_clock::duration deadline_;
+  // Nanoseconds; atomic so the adaptive policy can retune it while workers
+  // and submitters run.
+  std::atomic<std::int64_t> deadline_ns_{0};
   int num_workers_ = 1;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool stopping_ = false;
+  bool paused_ = false;
   bool joined_ = false;
   std::uint64_t next_id_ = 0;
 

@@ -1,0 +1,190 @@
+// AdaptiveBatchPolicy determinism suite (labels: serve, net).
+//
+// The controller's inputs are injectable (SampleFn is the p99 source,
+// tick() is the clock), so every behavior here is exact, no sleeps:
+// a fixed window trace produces the identical deadline sequence on every
+// run, a constructed overload converges below the SLO and stays there,
+// the deadline never leaves [min, max], and windows thinner than
+// min_samples hold the deadline (no actuation on no signal).
+#include "serve/policy.h"
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rn::serve {
+namespace {
+
+using WindowSample = AdaptiveBatchPolicy::WindowSample;
+
+PolicyConfig test_config() {
+  PolicyConfig cfg;
+  cfg.slo_p99_s = 0.010;
+  cfg.initial_deadline_s = 0.005;
+  cfg.min_deadline_s = 0.0005;
+  cfg.max_deadline_s = 0.050;
+  cfg.increase_step_s = 0.001;
+  cfg.decrease_factor = 0.5;
+  cfg.min_samples = 16;
+  return cfg;
+}
+
+TEST(AdaptiveBatchPolicy, ValidatesItsConfig) {
+  const auto sample = [] { return WindowSample{}; };
+  const auto apply = [](double) {};
+  PolicyConfig bad = test_config();
+  bad.decrease_factor = 1.5;
+  EXPECT_THROW(AdaptiveBatchPolicy(bad, sample, apply),
+               std::runtime_error);
+  bad = test_config();
+  bad.min_deadline_s = bad.max_deadline_s + 1.0;
+  EXPECT_THROW(AdaptiveBatchPolicy(bad, sample, apply),
+               std::runtime_error);
+  bad = test_config();
+  bad.initial_deadline_s = bad.max_deadline_s * 2;
+  EXPECT_THROW(AdaptiveBatchPolicy(bad, sample, apply),
+               std::runtime_error);
+}
+
+TEST(AdaptiveBatchPolicy, FixedTraceProducesIdenticalDeadlineSequence) {
+  // Alternating healthy/breaching windows with a thin window mixed in.
+  const std::vector<WindowSample> trace = {
+      {100, 0.004}, {100, 0.015}, {8, 0.050},  {100, 0.009},
+      {100, 0.012}, {100, 0.002}, {100, 0.011}, {40, 0.008},
+  };
+  const auto run = [&trace] {
+    std::size_t i = 0;
+    std::vector<double> deadlines;
+    AdaptiveBatchPolicy policy(
+        test_config(), [&] { return trace[i++ % trace.size()]; },
+        [](double) {});
+    for (std::size_t t = 0; t < 3 * trace.size(); ++t) {
+      deadlines.push_back(policy.tick());
+    }
+    return deadlines;
+  };
+  const std::vector<double> first = run();
+  const std::vector<double> second = run();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "tick " << i << " diverged";
+  }
+}
+
+TEST(AdaptiveBatchPolicy, ConvergesBelowSloOnConstructedOverload) {
+  // Latency model of an over-coalescing server: the windowed p99 is a
+  // fixed compute base plus the full batch deadline (every request waits
+  // the deadline out). Base 6ms, SLO 10ms: only deadlines under 4ms are
+  // healthy, and the starting 40ms is far over.
+  constexpr double kBase = 0.006;
+  PolicyConfig cfg = test_config();
+  cfg.initial_deadline_s = 0.040;
+  double applied = cfg.initial_deadline_s;
+  AdaptiveBatchPolicy policy(
+      cfg, [&] { return WindowSample{100, kBase + applied}; },
+      [&](double d) { applied = d; });
+
+  std::size_t first_healthy = 0;
+  for (std::size_t t = 0; t < 64; ++t) {
+    const double deadline = policy.tick();
+    EXPECT_GE(deadline, cfg.min_deadline_s);
+    EXPECT_LE(deadline, cfg.max_deadline_s);
+    if (first_healthy == 0 && kBase + deadline <= cfg.slo_p99_s) {
+      first_healthy = t + 1;
+    }
+  }
+  ASSERT_GT(first_healthy, 0u) << "never reached a healthy deadline";
+  // Multiplicative decrease gets under the SLO fast: 40 -> 20 -> 10 ->
+  // 5 -> 2.5ms, healthy by tick 4.
+  EXPECT_LE(first_healthy, 4u);
+  // Steady state oscillates around the SLO boundary: additive increases
+  // probe up until one breach halves the deadline again, so the p99 never
+  // runs away and the deadline stays in the band around slo - base.
+  EXPECT_LE(kBase + policy.deadline_s(),
+            cfg.slo_p99_s + cfg.increase_step_s);
+  const AdaptiveBatchPolicy::Stats stats = policy.stats();
+  EXPECT_EQ(stats.ticks, 64u);
+  EXPECT_GT(stats.increases, 0u);
+  EXPECT_GT(stats.decreases, 0u);
+  EXPECT_EQ(stats.holds, 0u);
+}
+
+TEST(AdaptiveBatchPolicy, DeadlineNeverLeavesTheClamps) {
+  PolicyConfig cfg = test_config();
+  // Permanent breach: the deadline floors at min and stays there.
+  AdaptiveBatchPolicy breached(
+      cfg, [] { return WindowSample{100, 1.0}; }, [](double) {});
+  for (int t = 0; t < 40; ++t) {
+    EXPECT_GE(breached.tick(), cfg.min_deadline_s);
+  }
+  EXPECT_DOUBLE_EQ(breached.deadline_s(), cfg.min_deadline_s);
+
+  // Permanently healthy: the deadline climbs to max and caps there.
+  AdaptiveBatchPolicy healthy(
+      cfg, [] { return WindowSample{100, 0.0001}; }, [](double) {});
+  for (int t = 0; t < 200; ++t) {
+    EXPECT_LE(healthy.tick(), cfg.max_deadline_s);
+  }
+  EXPECT_DOUBLE_EQ(healthy.deadline_s(), cfg.max_deadline_s);
+}
+
+TEST(AdaptiveBatchPolicy, ThinWindowsHoldWithoutActuating) {
+  int applies = 0;
+  PolicyConfig cfg = test_config();
+  AdaptiveBatchPolicy policy(
+      cfg,
+      [&cfg] {
+        // One below the threshold — and a p99 that would otherwise slam
+        // the deadline to min.
+        return WindowSample{cfg.min_samples - 1, 10.0};
+      },
+      [&applies](double) { ++applies; });
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_DOUBLE_EQ(policy.tick(), cfg.initial_deadline_s);
+  }
+  EXPECT_EQ(applies, 0);
+  const AdaptiveBatchPolicy::Stats stats = policy.stats();
+  EXPECT_EQ(stats.ticks, 10u);
+  EXPECT_EQ(stats.holds, 10u);
+  EXPECT_EQ(stats.increases, 0u);
+  EXPECT_EQ(stats.decreases, 0u);
+}
+
+TEST(AdaptiveBatchPolicy, ApplySeesEveryAdjustedDeadline) {
+  std::vector<double> applied;
+  std::vector<double> returned;
+  std::size_t i = 0;
+  const std::vector<WindowSample> trace = {
+      {100, 0.020}, {100, 0.001}, {100, 0.030}, {100, 0.005}};
+  AdaptiveBatchPolicy policy(
+      test_config(), [&] { return trace[i++ % trace.size()]; },
+      [&applied](double d) { applied.push_back(d); });
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    returned.push_back(policy.tick());
+  }
+  ASSERT_EQ(applied.size(), returned.size());
+  for (std::size_t t = 0; t < returned.size(); ++t) {
+    EXPECT_EQ(applied[t], returned[t]);
+  }
+}
+
+TEST(AdaptiveBatchPolicy, BackgroundThreadStartsAndStopsCleanly) {
+  PolicyConfig cfg = test_config();
+  cfg.interval_s = 0.005;
+  AdaptiveBatchPolicy policy(
+      cfg, [] { return WindowSample{100, 0.001}; }, [](double) {});
+  EXPECT_FALSE(policy.running());
+  policy.start();
+  EXPECT_TRUE(policy.running());
+  policy.stop();
+  EXPECT_FALSE(policy.running());
+  // stop() is idempotent and restart works.
+  policy.stop();
+  policy.start();
+  policy.stop();
+  EXPECT_FALSE(policy.running());
+}
+
+}  // namespace
+}  // namespace rn::serve

@@ -1,0 +1,359 @@
+// RNP/1 wire-protocol fuzz suite (labels: serve, net, asan).
+//
+// The serving frontend reads frames off sockets from arbitrary peers, so
+// the parser gets the RNCKPT2 hostile-input treatment: round-trips must be
+// bitwise exact, EVERY truncation of a valid frame must throw a clean
+// ProtocolError (never an abort or over-read), EVERY single-byte
+// corruption must throw (the CRC trailer covers type ‖ payload; the
+// envelope fields are each independently validated), and forged payloads
+// with absurd counts — name lengths, node/link counts, path lengths, pair
+// counts — must be rejected before anything is allocated. Runs under
+// -DRN_SANITIZE=address so an over-read would crash loudly.
+#include "serve/protocol.h"
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "routing/routing.h"
+#include "topology/generators.h"
+#include "traffic/traffic.h"
+
+namespace rn::serve::wire {
+namespace {
+
+dataset::Sample make_sample(int nodes, std::uint64_t seed) {
+  auto topology =
+      std::make_shared<const topo::Topology>(topo::ring(nodes));
+  Rng rng(seed);
+  routing::RoutingScheme scheme =
+      routing::random_k_shortest_routing(*topology, 2, rng);
+  traffic::TrafficMatrix tm =
+      traffic::uniform_traffic(topology->num_nodes(), 50.0, 150.0, rng);
+  return dataset::make_inference_sample(topology, std::move(scheme),
+                                        std::move(tm));
+}
+
+template <typename T>
+void put_pod(std::string& buf, const T& v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_str(std::string& buf, std::string_view s) {
+  put_pod(buf, static_cast<std::uint16_t>(s.size()));
+  buf.append(s);
+}
+
+// --- Round trips -----------------------------------------------------------
+
+TEST(ProtocolRoundTrip, PredictRequestIsBitwiseStable) {
+  const dataset::Sample sample = make_sample(5, 7);
+  const std::string payload = encode_predict_request("prod", sample);
+  const PredictRequest decoded = decode_predict_request(payload);
+  EXPECT_EQ(decoded.model, "prod");
+  EXPECT_EQ(decoded.sample.topology->num_nodes(),
+            sample.topology->num_nodes());
+  EXPECT_EQ(decoded.sample.topology->num_links(),
+            sample.topology->num_links());
+  EXPECT_EQ(decoded.sample.topology->name(), sample.topology->name());
+  // Re-encoding the decoded request must reproduce the exact bytes: the
+  // encoding is canonical, so any drift (field order, rounding, lost
+  // paths) shows up as inequality here.
+  EXPECT_EQ(encode_predict_request("prod", decoded.sample), payload);
+}
+
+TEST(ProtocolRoundTrip, PredictResponsePreservesEveryBit) {
+  core::RouteNet::Prediction pred;
+  pred.delay_s = {0.0, 1e-9, 0.25, std::numeric_limits<double>::min(),
+                  12345.678};
+  pred.jitter_s = {0.5, 0.0, 3e-7, 1.0, 2.0};
+  const std::string payload = encode_predict_response(pred);
+  const core::RouteNet::Prediction decoded =
+      decode_predict_response(payload);
+  ASSERT_EQ(decoded.delay_s.size(), pred.delay_s.size());
+  for (std::size_t i = 0; i < pred.delay_s.size(); ++i) {
+    EXPECT_EQ(decoded.delay_s[i], pred.delay_s[i]);
+    EXPECT_EQ(decoded.jitter_s[i], pred.jitter_s[i]);
+  }
+  EXPECT_EQ(encode_predict_response(decoded), payload);
+}
+
+TEST(ProtocolRoundTrip, ErrorReloadAndControlFrames) {
+  const ErrorFrame err =
+      decode_error(encode_error(ErrorCode::kRejected, "queue full"));
+  EXPECT_EQ(err.code, ErrorCode::kRejected);
+  EXPECT_EQ(err.message, "queue full");
+
+  EXPECT_EQ(decode_reload_request(encode_reload_request("canary")),
+            "canary");
+  const ReloadResponse r =
+      decode_reload_response(encode_reload_response("canary", 17));
+  EXPECT_EQ(r.model, "canary");
+  EXPECT_EQ(r.version, 17u);
+
+  for (const FrameType t :
+       {FrameType::kShutdownRequest, FrameType::kShutdownAck}) {
+    const Frame f = parse_frame(encode_frame(t, {}));
+    EXPECT_EQ(f.type, t);
+    EXPECT_TRUE(f.payload.empty());
+  }
+}
+
+TEST(ProtocolRoundTrip, FrameEnvelopeCarriesPayloadVerbatim) {
+  const std::string payload = encode_error(ErrorCode::kInternal, "boom");
+  const std::string bytes = encode_frame(FrameType::kError, payload);
+  EXPECT_EQ(bytes.size(), kHeaderLen + payload.size() + kTrailerLen);
+  const Frame f = parse_frame(bytes);
+  EXPECT_EQ(f.type, FrameType::kError);
+  EXPECT_EQ(f.payload, payload);
+}
+
+// --- Exhaustive corruption -------------------------------------------------
+
+std::string valid_frame() {
+  return encode_frame(FrameType::kPredictRequest,
+                      encode_predict_request("m", make_sample(4, 3)));
+}
+
+TEST(ProtocolFuzz, EveryTruncationThrows) {
+  const std::string bytes = valid_frame();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(parse_frame(std::string_view(bytes.data(), len)),
+                 ProtocolError)
+        << "truncation at " << len << " of " << bytes.size()
+        << " bytes parsed";
+  }
+}
+
+TEST(ProtocolFuzz, EveryByteFlipThrows) {
+  const std::string pristine = valid_frame();
+  // Two flip patterns per offset: all-bits (gross corruption) and
+  // low-bit (the subtle off-by-one a buggy sender would produce). The
+  // CRC trailer covers type ‖ payload, the magic and declared length are
+  // checked directly — so no single-byte change may parse.
+  for (const unsigned char mask : {0xFFu, 0x01u}) {
+    for (std::size_t i = 0; i < pristine.size(); ++i) {
+      std::string bytes = pristine;
+      bytes[i] = static_cast<char>(bytes[i] ^ static_cast<char>(mask));
+      EXPECT_THROW(parse_frame(bytes), ProtocolError)
+          << "flip mask 0x" << std::hex << static_cast<int>(mask)
+          << " at offset " << std::dec << i << " parsed";
+    }
+  }
+}
+
+TEST(ProtocolFuzz, TrailingBytesAfterAValidFrameThrow) {
+  std::string bytes = valid_frame();
+  bytes.push_back('\0');
+  EXPECT_THROW(parse_frame(bytes), ProtocolError);
+}
+
+// --- Hostile envelopes -----------------------------------------------------
+
+TEST(ProtocolFuzz, WrongMagicThrows) {
+  std::string bytes = encode_frame(FrameType::kShutdownRequest, {});
+  bytes[0] = 'X';
+  EXPECT_THROW(parse_frame(bytes), ProtocolError);
+}
+
+TEST(ProtocolFuzz, UnknownFrameTypeThrows) {
+  for (const std::uint8_t t : {std::uint8_t{0}, std::uint8_t{8},
+                               std::uint8_t{0x7F}, std::uint8_t{0xFF}}) {
+    std::string bytes = encode_frame(FrameType::kShutdownRequest, {});
+    bytes[4] = static_cast<char>(t);
+    EXPECT_THROW(parse_frame(bytes), ProtocolError)
+        << "type " << static_cast<int>(t) << " parsed";
+  }
+}
+
+TEST(ProtocolFuzz, AbsurdDeclaredPayloadLengthThrows) {
+  // Forge a header declaring a payload far over the cap: the header parse
+  // must reject it before anyone tries to allocate 4 GiB.
+  std::string bytes(kMagic, sizeof(kMagic));
+  bytes.push_back(
+      static_cast<char>(FrameType::kPredictRequest));
+  put_pod(bytes, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_THROW(parse_frame_header(bytes.data()), ProtocolError);
+
+  // Over-cap but bounded: encode_frame refuses to build it at all.
+  EXPECT_THROW(
+      encode_frame(FrameType::kError, std::string(kMaxPayload + 1, 'x')),
+      ProtocolError);
+}
+
+TEST(ProtocolFuzz, DeclaredLengthDisagreeingWithBufferThrows) {
+  std::string bytes = encode_frame(FrameType::kShutdownRequest, {});
+  // Declare 1 payload byte while providing none.
+  bytes[5] = 1;
+  EXPECT_THROW(parse_frame(bytes), ProtocolError);
+}
+
+// --- Hostile predict-request payloads --------------------------------------
+
+// Preamble shared by the forged-payload cases below.
+std::string forged_preamble(std::int32_t n_nodes, std::int32_t n_links) {
+  std::string p;
+  put_str(p, "m");
+  put_str(p, "forged");
+  put_pod(p, n_nodes);
+  put_pod(p, n_links);
+  return p;
+}
+
+TEST(ProtocolFuzz, AbsurdNameLengthThrows) {
+  std::string p;
+  put_pod(p, std::numeric_limits<std::uint16_t>::max());  // name_len 65535
+  p.append(16, 'x');  // far fewer bytes than declared
+  EXPECT_THROW(decode_predict_request(p), ProtocolError);
+}
+
+TEST(ProtocolFuzz, EmptyModelNameThrows) {
+  std::string p;
+  put_str(p, "");
+  EXPECT_THROW(decode_predict_request(p), ProtocolError);
+}
+
+TEST(ProtocolFuzz, AbsurdNodeAndLinkCountsThrow) {
+  // Node count over the cap, negative, and below the minimum.
+  for (const std::int32_t nodes :
+       {kMaxNodes + 1, -5, 0, 1, std::numeric_limits<std::int32_t>::max()}) {
+    EXPECT_THROW(decode_predict_request(forged_preamble(nodes, 1)),
+                 ProtocolError)
+        << "node count " << nodes << " accepted";
+  }
+  // Link count over the cap / non-positive.
+  for (const std::int32_t links :
+       {kMaxLinks + 1, -1, 0, std::numeric_limits<std::int32_t>::max()}) {
+    EXPECT_THROW(decode_predict_request(forged_preamble(4, links)),
+                 ProtocolError)
+        << "link count " << links << " accepted";
+  }
+  // In-cap link count with far too few bytes behind it: the bulk require()
+  // must reject before looping/allocating.
+  EXPECT_THROW(decode_predict_request(forged_preamble(4, kMaxLinks)),
+               ProtocolError);
+}
+
+TEST(ProtocolFuzz, OutOfRangeLinkEndpointsAndValuesThrow) {
+  const auto with_link = [](std::int32_t src, std::int32_t dst, double cap,
+                            double prop) {
+    std::string p = forged_preamble(4, 1);
+    put_pod(p, src);
+    put_pod(p, dst);
+    put_pod(p, cap);
+    put_pod(p, prop);
+    return p;
+  };
+  EXPECT_THROW(decode_predict_request(with_link(4, 0, 1e6, 0.0)),
+               ProtocolError);  // src == n_nodes
+  EXPECT_THROW(decode_predict_request(with_link(-1, 0, 1e6, 0.0)),
+               ProtocolError);
+  EXPECT_THROW(decode_predict_request(with_link(0, 1, 0.0, 0.0)),
+               ProtocolError);  // capacity must be positive
+  EXPECT_THROW(decode_predict_request(with_link(
+                   0, 1, std::numeric_limits<double>::quiet_NaN(), 0.0)),
+               ProtocolError);
+  EXPECT_THROW(decode_predict_request(with_link(
+                   0, 1, std::numeric_limits<double>::infinity(), 0.0)),
+               ProtocolError);
+  EXPECT_THROW(decode_predict_request(with_link(0, 1, 1e6, -0.5)),
+               ProtocolError);  // negative prop delay
+}
+
+TEST(ProtocolFuzz, AbsurdPathLengthAndLinkIdsThrow) {
+  // A valid 2-node, 1-link preamble; then a hostile path section.
+  const auto with_paths = [](std::uint16_t len0, std::int32_t id0) {
+    std::string p = forged_preamble(2, 1);
+    put_pod(p, std::int32_t{0});  // link 0: 0 -> 1
+    put_pod(p, std::int32_t{1});
+    put_pod(p, 1e6);
+    put_pod(p, 0.001);
+    put_pod(p, len0);  // path for pair 0
+    if (len0 > 0) put_pod(p, id0);
+    return p;
+  };
+  // Path longer than the node count (loop-free bound).
+  EXPECT_THROW(decode_predict_request(with_paths(3, 0)), ProtocolError);
+  EXPECT_THROW(
+      decode_predict_request(
+          with_paths(std::numeric_limits<std::uint16_t>::max(), 0)),
+      ProtocolError);
+  // Link id outside the declared link table.
+  EXPECT_THROW(decode_predict_request(with_paths(1, 1)), ProtocolError);
+  EXPECT_THROW(decode_predict_request(with_paths(1, -1)), ProtocolError);
+}
+
+TEST(ProtocolFuzz, HostileTrafficRatesThrow) {
+  const dataset::Sample sample = make_sample(4, 11);
+  std::string p = encode_predict_request("m", sample);
+  // The rates are the trailing n_pairs doubles; corrupt the last one.
+  const std::size_t rate_off = p.size() - sizeof(double);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(p.data() + rate_off, &nan, sizeof(nan));
+  EXPECT_THROW(decode_predict_request(p), ProtocolError);
+  const double neg = -1.0;
+  std::memcpy(p.data() + rate_off, &neg, sizeof(neg));
+  EXPECT_THROW(decode_predict_request(p), ProtocolError);
+}
+
+TEST(ProtocolFuzz, TrailingPayloadBytesThrow) {
+  std::string p = encode_predict_request("m", make_sample(4, 13));
+  p.push_back('\0');
+  EXPECT_THROW(decode_predict_request(p), ProtocolError);
+  std::string r = encode_reload_request("m");
+  r.push_back('\0');
+  EXPECT_THROW(decode_reload_request(r), ProtocolError);
+}
+
+// --- Hostile response/error payloads ---------------------------------------
+
+TEST(ProtocolFuzz, AbsurdPairCountInResponseThrows) {
+  std::string p;
+  put_pod(p, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_THROW(decode_predict_response(p), ProtocolError);
+  // In-cap count, no rows behind it.
+  std::string q;
+  put_pod(q, std::uint32_t{1000});
+  EXPECT_THROW(decode_predict_response(q), ProtocolError);
+}
+
+TEST(ProtocolFuzz, UnknownErrorCodeThrows) {
+  for (const std::uint16_t code :
+       {std::uint16_t{0}, std::uint16_t{6},
+        std::numeric_limits<std::uint16_t>::max()}) {
+    std::string p;
+    put_pod(p, code);
+    put_str(p, "msg");
+    EXPECT_THROW(decode_error(p), ProtocolError) << "code " << code;
+  }
+}
+
+TEST(ProtocolFuzz, OversizedErrorMessageThrows) {
+  std::string p;
+  put_pod(p, static_cast<std::uint16_t>(ErrorCode::kInternal));
+  put_pod(p, static_cast<std::uint16_t>(kMaxErrorMsgLen + 1));
+  p.append(kMaxErrorMsgLen + 1, 'x');
+  EXPECT_THROW(decode_error(p), ProtocolError);
+  // encode_error itself truncates instead of throwing.
+  const std::string enc =
+      encode_error(ErrorCode::kInternal, std::string(4096, 'y'));
+  EXPECT_EQ(decode_error(enc).message.size(), kMaxErrorMsgLen);
+}
+
+TEST(ProtocolFuzz, EmptyAndGarbagePayloadsThrowEverywhere) {
+  const std::string garbage(64, '\xA5');
+  EXPECT_THROW(decode_predict_request({}), ProtocolError);
+  EXPECT_THROW(decode_predict_request(garbage), ProtocolError);
+  EXPECT_THROW(decode_predict_response({}), ProtocolError);
+  EXPECT_THROW(decode_error({}), ProtocolError);
+  EXPECT_THROW(decode_reload_request({}), ProtocolError);
+  EXPECT_THROW(decode_reload_response({}), ProtocolError);
+  EXPECT_THROW(decode_reload_response(garbage), ProtocolError);
+}
+
+}  // namespace
+}  // namespace rn::serve::wire

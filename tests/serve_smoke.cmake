@@ -56,24 +56,22 @@ foreach(needle "\"kind\":\"serve.run\"" "\"served\":24" "\"rejected\":0"
   endif()
 endforeach()
 
-# Backpressure: one worker holds its batch open for 10 s waiting for 8
-# requests while the queue only fits one — with 4 concurrent clients, at
-# most max-batch requests can ever be served per deadline window, so some
-# submits must reject; the run still exits cleanly with everything counted.
+# Backpressure: --force-overflow pauses the workers while submitting, so a
+# one-slot queue accepts exactly 1 of 12 requests and rejects the other 11
+# — an exact count, independent of scheduling, deadlines, or machine load.
 run_step("${RN_CLI}" serve --model mini.model --topology net.topo
          --routing net.routes --traffic net.traffic --requests 12
-         --clients 4 --batch-max 8 --batch-deadline-ms 50 --queue-cap 1
-         --threads 1 --metrics-out reject.jsonl)
+         --queue-cap 1 --force-overflow --threads 1
+         --metrics-out reject.jsonl)
 run_step("${RN_CLI}" obs summarize reject.jsonl)
 
 file(READ "${WORK_DIR}/reject.jsonl" reject_log)
-string(FIND "${reject_log}" "\"kind\":\"serve.run\"" found)
-if(found EQUAL -1)
-  message(FATAL_ERROR "reject.jsonl is missing the serve.run event")
-endif()
-string(REGEX MATCH "\"rejected\":[1-9]" rejected_match "${reject_log}")
-if(rejected_match STREQUAL "")
-  message(FATAL_ERROR "constrained run rejected nothing — backpressure path untested:\n${reject_log}")
-endif()
+foreach(needle "\"kind\":\"serve.run\"" "\"served\":1" "\"rejected\":11")
+  string(FIND "${reject_log}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "reject.jsonl is missing ${needle} — the forced \
+overflow must reject exactly 11 of 12 requests:\n${reject_log}")
+  endif()
+endforeach()
 
 message(STATUS "serve smoke OK")

@@ -122,31 +122,79 @@ TEST(InferenceServer, QueueOverflowRejectsDeterministically) {
   par::set_global_threads(2);
   auto topology = std::make_shared<const topo::Topology>(topo::ring(5));
   core::RouteNet model(tiny_config());
-  // One worker holds its partial batch open for 10 s waiting for 8 requests;
-  // capacity 4 means the first four submits queue and the fifth must reject
-  // — no timing involved.
+  // Paused workers take nothing off the queue, so capacity 4 fills with
+  // exactly four submits and the fifth rejects — no long-deadline trick,
+  // no dependence on how fast the worker wakes.
   ServerConfig cfg;
   cfg.max_batch = 8;
-  cfg.batch_deadline_s = 10.0;
+  cfg.batch_deadline_s = 0.001;
   cfg.queue_capacity = 4;
   cfg.workers = 1;
   InferenceServer server(model, cfg);
+  server.set_paused_for_test(true);
   std::vector<std::future<core::RouteNet::Prediction>> futures;
   for (int i = 0; i < 4; ++i) {
     futures.push_back(server.submit(make_request(topology, 200 + i)));
   }
+  EXPECT_EQ(server.queue_depth(), 4u);
   EXPECT_THROW(server.submit(make_request(topology, 299)), RejectedError);
-  // Drain: the four queued requests are still served.
-  server.stop();
+  // Resume: the four queued requests are served as if nothing happened.
+  server.set_paused_for_test(false);
   for (std::future<core::RouteNet::Prediction>& f : futures) {
     const core::RouteNet::Prediction pred = f.get();
     EXPECT_FALSE(pred.delay_s.empty());
   }
+  server.stop();
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.submitted, 4u);
   EXPECT_EQ(stats.served, 4u);
   EXPECT_EQ(stats.rejected, 1u);
   EXPECT_THROW(server.submit(make_request(topology, 300)), RejectedError);
+}
+
+TEST(InferenceServer, PauseHoldsTheQueueAcrossDeadlinesAndStopOverrides) {
+  par::set_global_threads(2);
+  auto topology = std::make_shared<const topo::Topology>(topo::ring(4));
+  core::RouteNet model(tiny_config());
+  ServerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.batch_deadline_s = 0.0;  // immediate dispatch when not paused
+  cfg.queue_capacity = 8;
+  cfg.workers = 1;
+  InferenceServer server(model, cfg);
+  server.set_paused_for_test(true);
+  std::vector<std::future<core::RouteNet::Prediction>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.submit(make_request(topology, 600 + i)));
+  }
+  EXPECT_EQ(server.queue_depth(), 3u);
+  // stop() overrides the pause: everything queued is still drained.
+  server.stop();
+  for (std::future<core::RouteNet::Prediction>& f : futures) {
+    EXPECT_FALSE(f.get().delay_s.empty());
+  }
+  EXPECT_EQ(server.stats().served, 3u);
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
+TEST(InferenceServer, BatchDeadlineIsRetunableLive) {
+  par::set_global_threads(2);
+  auto topology = std::make_shared<const topo::Topology>(topo::ring(4));
+  core::RouteNet model(tiny_config());
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_deadline_s = 0.004;
+  cfg.queue_capacity = 8;
+  cfg.workers = 1;
+  InferenceServer server(model, cfg);
+  EXPECT_DOUBLE_EQ(server.batch_deadline_s(), 0.004);
+  server.set_batch_deadline(0.0);
+  EXPECT_DOUBLE_EQ(server.batch_deadline_s(), 0.0);
+  EXPECT_THROW(server.set_batch_deadline(-0.001), std::runtime_error);
+  // Still serves after the retune (and with a zero deadline, immediately).
+  EXPECT_FALSE(
+      server.submit(make_request(topology, 700)).get().delay_s.empty());
+  server.stop();
 }
 
 TEST(InferenceServer, StopDrainsEveryQueuedRequest) {

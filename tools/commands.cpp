@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <memory>
 #include <thread>
 
@@ -13,6 +15,9 @@
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/window.h"
+#include "serve/net.h"
+#include "serve/policy.h"
+#include "serve/registry.h"
 #include "serve/server.h"
 #include "eval/export.h"
 #include "obs/summarize.h"
@@ -351,7 +356,116 @@ int cmd_predict(const Flags& flags) {
   return 0;
 }
 
+namespace {
+
+// `serve --listen ADDR`: the network frontend. Loads one or more models
+// into a hot-reloadable registry, optionally attaches the p99-adaptive
+// batching policy (--slo-ms), and serves RNP/1 until a remote shutdown
+// request (routenet query --shutdown) arrives.
+int cmd_serve_listen(const Flags& flags) {
+  const std::string listen = flags.require_string("listen");
+  serve::ServerConfig scfg;
+  scfg.max_batch = flags.get_int("batch-max", 8);
+  scfg.batch_deadline_s = flags.get_double("batch-deadline-ms", 5.0) / 1e3;
+  scfg.queue_capacity =
+      static_cast<std::size_t>(flags.get_int("queue-cap", 256));
+
+  serve::ModelRegistry registry(scfg);
+  if (flags.has("model")) {
+    registry.load("default", flags.require_string("model"));
+  }
+  if (flags.has("models")) {
+    // --models name=path[,name=path...]
+    const std::string spec = flags.require_string("models");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      const std::string item = spec.substr(pos, comma - pos);
+      const std::size_t eq = item.find('=');
+      RN_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < item.size(),
+               "--models entries must be name=path, got '" + item + "'");
+      registry.load(item.substr(0, eq), item.substr(eq + 1));
+      pos = comma + 1;
+    }
+  }
+  RN_CHECK(registry.size() > 0, "serve --listen needs --model or --models");
+
+  std::unique_ptr<serve::AdaptiveBatchPolicy> policy;
+  if (flags.has("slo-ms")) {
+    serve::PolicyConfig pcfg;
+    pcfg.slo_p99_s = flags.get_double("slo-ms", 20.0) / 1e3;
+    pcfg.min_deadline_s = flags.get_double("deadline-min-ms", 0.2) / 1e3;
+    pcfg.max_deadline_s = flags.get_double("deadline-max-ms", 100.0) / 1e3;
+    pcfg.interval_s = flags.get_double("policy-interval-ms", 100.0) / 1e3;
+    pcfg.initial_deadline_s = std::min(
+        pcfg.max_deadline_s,
+        std::max(pcfg.min_deadline_s, scfg.batch_deadline_s));
+    policy = std::make_unique<serve::AdaptiveBatchPolicy>(
+        pcfg,
+        [] {
+          const obs::WindowedHistogram::Stats w =
+              obs::Registry::global().windowed("serve.latency_s").stats();
+          return serve::AdaptiveBatchPolicy::WindowSample{w.count, w.p99};
+        },
+        [&registry](double deadline_s) {
+          registry.set_batch_deadline(deadline_s);
+        });
+  }
+
+  serve::NetServerConfig ncfg;
+  ncfg.listen = listen;
+  const std::string address_file = flags.get_string("address-file", "");
+  flags.reject_unused();
+
+  serve::NetServer server(registry, ncfg, policy.get());
+  server.start();
+  std::printf("listening on %s (%zu model%s, batch-max %d, deadline "
+              "%.1fms, queue-cap %zu%s)\n",
+              server.address().c_str(), registry.size(),
+              registry.size() == 1 ? "" : "s", scfg.max_batch,
+              registry.batch_deadline_s() * 1e3, scfg.queue_capacity,
+              policy ? ", adaptive" : "");
+  std::fflush(stdout);
+  if (!address_file.empty()) {
+    // Written after a successful bind: pollers learn the ephemeral port by
+    // watching for this file.
+    std::ofstream f(address_file);
+    RN_CHECK(f.good(), "cannot open " + address_file);
+    f << server.address() << '\n';
+  }
+
+  server.wait();
+  server.stop();
+  const serve::NetStats ns = server.stats();
+  std::printf("server drained: %llu connections, %llu requests, "
+              "%llu responses, %llu errors (%llu rejected)\n",
+              static_cast<unsigned long long>(ns.connections),
+              static_cast<unsigned long long>(ns.requests),
+              static_cast<unsigned long long>(ns.responses),
+              static_cast<unsigned long long>(ns.errors),
+              static_cast<unsigned long long>(ns.rejected));
+  if (obs::EventSink::global().enabled()) {
+    obs::Event ev("serve.net.run");
+    ev.f("address", server.address())
+        .f("models", registry.size())
+        .f("connections", ns.connections)
+        .f("requests", ns.requests)
+        .f("responses", ns.responses)
+        .f("errors", ns.errors)
+        .f("rejected", ns.rejected)
+        .f("bytes_rx", ns.bytes_rx)
+        .f("bytes_tx", ns.bytes_tx)
+        .f("deadline_final_s", registry.batch_deadline_s());
+    obs::EventSink::global().emit(ev);
+  }
+  return 0;
+}
+
+}  // namespace
+
 int cmd_serve(const Flags& flags) {
+  if (flags.has("listen")) return cmd_serve_listen(flags);
   const core::RouteNet model =
       core::RouteNet::load(flags.require_string("model"));
   Scenario sc = load_scenario(flags);
@@ -362,6 +476,7 @@ int cmd_serve(const Flags& flags) {
   scfg.batch_deadline_s = flags.get_double("batch-deadline-ms", 5.0) / 1e3;
   scfg.queue_capacity =
       static_cast<std::size_t>(flags.get_int("queue-cap", 256));
+  const bool force_overflow = flags.get_bool("force-overflow");
   const std::uint64_t seed = flags.get_seed("seed", 1);
   flags.reject_unused();
   RN_CHECK(requests >= 1, "need at least one request");
@@ -386,31 +501,57 @@ int cmd_serve(const Flags& flags) {
               server.num_workers(), scfg.max_batch,
               scfg.batch_deadline_s * 1e3, scfg.queue_capacity);
 
-  // Closed-loop load generator: each client submits, waits for the result,
-  // moves to the next request; rejects (backpressure) are counted, not
-  // retried.
   std::atomic<int> next{0};
   std::atomic<std::uint64_t> ok{0}, rejected{0}, failed{0};
   obs::Stopwatch wall;
-  std::vector<std::thread> load;
-  load.reserve(static_cast<std::size_t>(clients));
-  for (int c = 0; c < clients; ++c) {
-    load.emplace_back([&] {
-      for (;;) {
-        const int i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= requests) return;
-        try {
-          server.submit(pool[static_cast<std::size_t>(i)]).get();
-          ok.fetch_add(1, std::memory_order_relaxed);
-        } catch (const serve::RejectedError&) {
-          rejected.fetch_add(1, std::memory_order_relaxed);
-        } catch (const std::exception&) {
-          failed.fetch_add(1, std::memory_order_relaxed);
-        }
+  if (force_overflow) {
+    // Deterministic backpressure demo: with workers paused the queue fills
+    // to exactly its capacity, every further submit rejects, and resuming
+    // drains the queued requests — so `--queue-cap Q` with N requests
+    // always reports exactly N - Q rejects, no timing involved.
+    server.set_paused_for_test(true);
+    std::vector<std::future<core::RouteNet::Prediction>> inflight;
+    inflight.reserve(static_cast<std::size_t>(requests));
+    for (const dataset::Sample& sample : pool) {
+      try {
+        inflight.push_back(server.submit(sample));
+      } catch (const serve::RejectedError&) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
       }
-    });
+    }
+    server.set_paused_for_test(false);
+    for (std::future<core::RouteNet::Prediction>& f : inflight) {
+      try {
+        f.get();
+        ok.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception&) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } else {
+    // Closed-loop load generator: each client submits, waits for the
+    // result, moves to the next request; rejects (backpressure) are
+    // counted, not retried.
+    std::vector<std::thread> load;
+    load.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      load.emplace_back([&] {
+        for (;;) {
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= requests) return;
+          try {
+            server.submit(pool[static_cast<std::size_t>(i)]).get();
+            ok.fetch_add(1, std::memory_order_relaxed);
+          } catch (const serve::RejectedError&) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          } catch (const std::exception&) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : load) t.join();
   }
-  for (std::thread& t : load) t.join();
   const double wall_s = wall.elapsed_s();
   server.stop();
 
@@ -456,6 +597,149 @@ int cmd_serve(const Flags& flags) {
     obs::EventSink::global().emit(ev);
   }
   return 0;
+}
+
+int cmd_query(const Flags& flags) {
+  const std::string connect = flags.require_string("connect");
+  const std::string model = flags.get_string("model-name", "default");
+  if (flags.get_bool("shutdown")) {
+    flags.reject_unused();
+    serve::NetClient client(connect);
+    client.shutdown_server();
+    std::printf("server at %s acknowledged shutdown\n", connect.c_str());
+    return 0;
+  }
+  if (flags.get_bool("reload")) {
+    flags.reject_unused();
+    serve::NetClient client(connect);
+    const serve::wire::ReloadResponse r = client.reload(model);
+    std::printf("reloaded '%s' -> version %llu\n", r.model.c_str(),
+                static_cast<unsigned long long>(r.version));
+    return 0;
+  }
+
+  Scenario sc = load_scenario(flags);
+  const int requests = flags.get_int("requests", 1);
+  const int clients = flags.get_int("clients", 1);
+  const int top_n = flags.get_int("top", 5);
+  const std::uint64_t seed = flags.get_seed("seed", 1);
+  flags.reject_unused();
+  RN_CHECK(requests >= 1, "need at least one request");
+  RN_CHECK(clients >= 1, "need at least one client");
+
+  if (requests == 1) {
+    // One remote predict, reported like a local `predict --top N`.
+    serve::NetClient client(connect);
+    const core::RouteNet::Prediction pred = client.predict(
+        model, dataset::make_inference_sample(sc.topology, sc.scheme,
+                                              std::move(sc.tm)));
+    const int pairs = static_cast<int>(pred.delay_s.size());
+    std::vector<int> order(static_cast<std::size_t>(pairs));
+    for (int i = 0; i < pairs; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return pred.delay_s[static_cast<std::size_t>(a)] >
+             pred.delay_s[static_cast<std::size_t>(b)];
+    });
+    std::printf("%d pairs from %s via %s\n", pairs,
+                sc.topology->name().c_str(), connect.c_str());
+    std::printf("%4s %10s %15s %15s\n", "rank", "path", "delay (ms)",
+                "jitter (ms)");
+    const int show = std::min(top_n, pairs);
+    for (int i = 0; i < show; ++i) {
+      const int idx = order[static_cast<std::size_t>(i)];
+      const auto [s, d] = topo::pair_from_index(idx, sc.topology->num_nodes());
+      std::printf("%4d %4d->%-5d %15.3f %15.3f\n", i + 1, s, d,
+                  pred.delay_s[static_cast<std::size_t>(idx)] * 1e3,
+                  pred.jitter_s[static_cast<std::size_t>(idx)] * 1e3);
+    }
+    return 0;
+  }
+
+  // Remote load generator: the socket twin of `serve`'s in-process loop.
+  // Each client owns one connection; requests are the base matrix scaled
+  // per-request so batches merge genuinely different samples.
+  std::vector<dataset::Sample> pool;
+  pool.reserve(static_cast<std::size_t>(requests));
+  Rng rng(derive_seed(seed, /*stream=*/0x5e7e, 0));
+  for (int i = 0; i < requests; ++i) {
+    traffic::TrafficMatrix tm = sc.tm;
+    tm.scale(rng.uniform(0.5, 1.5));
+    pool.push_back(
+        dataset::make_inference_sample(sc.topology, sc.scheme, std::move(tm)));
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<std::uint64_t> ok{0}, rejected{0}, failed{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  obs::Stopwatch wall;
+  std::vector<std::thread> load;
+  load.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    load.emplace_back([&, c] {
+      serve::NetClient client(connect);
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests) return;
+        const auto started = std::chrono::steady_clock::now();
+        try {
+          client.predict(model, pool[static_cast<std::size_t>(i)]);
+          latencies[static_cast<std::size_t>(c)].push_back(
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            started)
+                  .count());
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const serve::RemoteError& e) {
+          if (e.code() == serve::wire::ErrorCode::kRejected) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const std::exception&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : load) t.join();
+  const double wall_s = wall.elapsed_s();
+
+  std::vector<double> all;
+  for (const std::vector<double>& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  const auto quantile = [&](double q) {
+    if (all.empty()) return 0.0;
+    const std::size_t idx = std::min(
+        all.size() - 1, static_cast<std::size_t>(q * (all.size() - 1) + 0.5));
+    return all[idx];
+  };
+  const double throughput =
+      wall_s > 0.0 ? static_cast<double>(ok.load()) / wall_s : 0.0;
+  std::printf("sent %d requests over %d connection%s to %s\n", requests,
+              clients, clients == 1 ? "" : "s", connect.c_str());
+  std::printf("ok %llu (rejected %llu, failed %llu) in %.3f s — "
+              "%.1f req/s   rtt p50 %.3f ms  p99 %.3f ms\n",
+              static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(rejected.load()),
+              static_cast<unsigned long long>(failed.load()), wall_s,
+              throughput, quantile(0.5) * 1e3, quantile(0.99) * 1e3);
+  if (obs::EventSink::global().enabled()) {
+    obs::Event ev("serve.client.run");
+    ev.f("address", connect)
+        .f("requests", requests)
+        .f("clients", clients)
+        .f("ok", ok.load())
+        .f("rejected", rejected.load())
+        .f("failed", failed.load())
+        .f("wall_s", wall_s)
+        .f("throughput_rps", throughput)
+        .f("rtt_p50_s", quantile(0.5))
+        .f("rtt_p99_s", quantile(0.99));
+    obs::EventSink::global().emit(ev);
+  }
+  return failed.load() == 0 ? 0 : 1;
 }
 
 int cmd_whatif(const Flags& flags) {

@@ -42,11 +42,27 @@ int cmd_eval(const Flags& flags);
 // [--top N] [--out CSV]
 int cmd_predict(const Flags& flags);
 
-// Runs the in-process batched inference server under a closed-loop load
-// generator: --model FILE --topology FILE --routing FILE --traffic FILE
-// [--requests N] [--clients C] [--batch-max B] [--batch-deadline-ms D]
-// [--queue-cap Q] [--seed S]. Worker count follows the global --threads.
+// Two modes. Default: the in-process batched inference server under a
+// closed-loop load generator: --model FILE --topology FILE --routing FILE
+// --traffic FILE [--requests N] [--clients C] [--batch-max B]
+// [--batch-deadline-ms D] [--queue-cap Q] [--force-overflow] [--seed S].
+// Worker count follows the global --threads. --force-overflow pauses the
+// workers while submitting so exactly requests - queue-cap submissions
+// reject — the deterministic backpressure demo.
+// With --listen tcp:HOST:PORT|unix:PATH: the RNP/1 network frontend.
+// Models come from --model FILE (named "default") and/or --models
+// name=path[,...]; [--address-file PATH] publishes the bound address
+// (ephemeral ports); [--slo-ms S] enables the p99-adaptive batching policy
+// ([--policy-interval-ms I] [--deadline-min-ms A] [--deadline-max-ms B]).
+// Runs until `routenet query --shutdown`.
 int cmd_serve(const Flags& flags);
+
+// RNP/1 client: --connect ADDR [--model-name NAME]. One of:
+//   --shutdown                  ask the server to drain and exit
+//   --reload                    hot-reload the named model from its path
+//   --topology/--routing/--traffic [--top N]   one remote predict
+//   ... with --requests N --clients C          closed-loop load generator
+int cmd_query(const Flags& flags);
 
 // Describes an artifact: --topology FILE | --dataset FILE | --model FILE
 int cmd_info(const Flags& flags);

@@ -57,7 +57,16 @@ int usage() {
       "                 load generator: --requests/--clients drive traffic;\n"
       "                 --batch-max/--batch-deadline-ms/--queue-cap tune\n"
       "                 coalescing and backpressure; workers follow\n"
-      "                 --threads\n"
+      "                 --threads; --force-overflow demonstrates exact\n"
+      "                 deterministic rejects. With --listen tcp:HOST:PORT\n"
+      "                 (or unix:PATH) it becomes the RNP/1 network server:\n"
+      "                 --models name=path,... routes by model name with\n"
+      "                 hot reload, --address-file publishes the bound\n"
+      "                 address, --slo-ms enables p99-adaptive batching\n"
+      "  query          RNP/1 client: --connect ADDR + a scenario for one\n"
+      "                 remote predict (--top N), --requests/--clients for\n"
+      "                 a socket load generator, --reload for a hot\n"
+      "                 reload, --shutdown to drain the server\n"
       "  whatif         rank link upgrades & failures with a trained model\n"
       "  info           describe a topology / dataset / model artifact\n"
       "  obs            telemetry tools: `obs summarize <file.jsonl>`,\n"
@@ -97,7 +106,8 @@ int main(int argc, char** argv) {
       const std::vector<std::string> args(argv + 2, argv + argc);
       return rn::cli::cmd_obs(args);
     }
-    const std::vector<std::string> bool_flags = {"bursty"};
+    const std::vector<std::string> bool_flags = {"bursty", "force-overflow",
+                                                 "reload", "shutdown"};
     const rn::cli::Flags flags(argc, argv, 2, bool_flags);
     // Telemetry sink is process-global: open it before dispatch so every
     // layer (trainer, simulator, message passing) streams to one file.
@@ -128,6 +138,7 @@ int main(int argc, char** argv) {
       if (cmd == "eval") return rn::cli::cmd_eval(flags);
       if (cmd == "predict") return rn::cli::cmd_predict(flags);
       if (cmd == "serve") return rn::cli::cmd_serve(flags);
+      if (cmd == "query") return rn::cli::cmd_query(flags);
       if (cmd == "info") return rn::cli::cmd_info(flags);
       if (cmd == "whatif") return rn::cli::cmd_whatif(flags);
       std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
