@@ -63,6 +63,10 @@ struct PhaseResult {
   std::uint64_t ok = 0;
   std::uint64_t rejected = 0;
   std::uint64_t failed = 0;
+  // Server-attributed share of client rtt spent in the batching queue
+  // (sum of echoed queue_wait_s over sum of rtt_s) — how much of what the
+  // client feels the server could shed by batching less.
+  double queue_wait_share = 0.0;
 
   std::string to_json() const {
     std::string out = "{\"phase\":\"" + name + "\"";
@@ -72,6 +76,7 @@ struct PhaseResult {
     out += ",\"throughput_rps\":" + rn::obs::json_number(throughput_rps);
     out += ",\"p50_s\":" + rn::obs::json_number(p50_s);
     out += ",\"p99_s\":" + rn::obs::json_number(p99_s);
+    out += ",\"queue_wait_share\":" + rn::obs::json_number(queue_wait_share);
     out += ",\"ok\":" + std::to_string(ok);
     out += ",\"rejected\":" + std::to_string(rejected);
     out += ",\"failed\":" + std::to_string(failed) + "}";
@@ -93,6 +98,8 @@ PhaseResult run_load(const std::string& name, const std::string& address,
   std::mutex lat_mu;
   std::vector<double> latencies;
   latencies.reserve(static_cast<std::size_t>(total));
+  double queue_wait_sum = 0.0;
+  double rtt_sum = 0.0;
   rn::obs::Stopwatch wall;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
@@ -100,15 +107,19 @@ PhaseResult run_load(const std::string& name, const std::string& address,
     threads.emplace_back([&] {
       rn::serve::NetClient client(address);
       std::vector<double> mine;
+      double my_queue_wait = 0.0;
+      double my_rtt = 0.0;
       for (;;) {
         const int i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= total) break;
         const rn::dataset::Sample& s =
             pool[static_cast<std::size_t>(i) % pool.size()];
         try {
-          rn::obs::Stopwatch watch;
-          client.predict("default", s);
-          mine.push_back(watch.elapsed_s());
+          const rn::serve::NetClient::PredictOutcome outcome =
+              client.predict_traced("default", s);
+          mine.push_back(outcome.rtt_s);
+          my_rtt += outcome.rtt_s;
+          my_queue_wait += outcome.queue_wait_s;
           ok.fetch_add(1, std::memory_order_relaxed);
         } catch (const rn::serve::RemoteError& e) {
           if (e.code() == rn::serve::wire::ErrorCode::kRejected) {
@@ -122,6 +133,8 @@ PhaseResult run_load(const std::string& name, const std::string& address,
       }
       std::lock_guard<std::mutex> lock(lat_mu);
       latencies.insert(latencies.end(), mine.begin(), mine.end());
+      queue_wait_sum += my_queue_wait;
+      rtt_sum += my_rtt;
     });
   }
   for (std::thread& t : threads) t.join();
@@ -137,6 +150,7 @@ PhaseResult run_load(const std::string& name, const std::string& address,
       res.wall_s > 0.0 ? static_cast<double>(res.ok) / res.wall_s : 0.0;
   res.p50_s = rn::quantile(latencies, 0.5);
   res.p99_s = rn::quantile(latencies, 0.99);
+  res.queue_wait_share = rtt_sum > 0.0 ? queue_wait_sum / rtt_sum : 0.0;
   return res;
 }
 
@@ -316,7 +330,12 @@ int main(int argc, char** argv) {
         if (i > 0) out << ',';
         out << results[i].to_json();
       }
-      out << "],\"deadline_final_s\":"
+      out << "],\"client_latency\":{\"p50_s\":"
+          << rn::obs::json_number(adaptive.p50_s)
+          << ",\"p99_s\":" << rn::obs::json_number(adaptive.p99_s)
+          << ",\"queue_wait_share\":"
+          << rn::obs::json_number(adaptive.queue_wait_share) << '}'
+          << ",\"deadline_final_s\":"
           << rn::obs::json_number(deadline_final_s)
           << ",\"fixed_breaches_slo\":" << (fixed_breaches ? "true" : "false")
           << ",\"adaptive_holds_slo\":" << (adaptive_holds ? "true" : "false")

@@ -30,6 +30,9 @@ bool ends_with(const std::string& s, const char* suffix) {
 
 void flatten(const JsonValue& v, const std::string& prefix,
              std::map<std::string, double>& out) {
+  // Exemplars carry request ids and single-sample values — identifiers and
+  // noise, not metrics; their presence also churns with traffic.
+  if (ends_with(prefix, ".exemplars")) return;
   if (v.is_number()) {
     if (!prefix.empty()) out[prefix] = v.number;
     return;

@@ -186,6 +186,22 @@ std::string RegistrySnapshot::to_json() const {
     append_json_number(out, w.p95);
     out += ",\"p99\":";
     append_json_number(out, w.p99);
+    if (!w.exemplars.empty()) {
+      out += ",\"exemplars\":[";
+      bool first_ex = true;
+      for (const Exemplar& ex : w.exemplars) {
+        if (!first_ex) out += ',';
+        first_ex = false;
+        out += "{\"bucket\":";
+        out += std::to_string(ex.bucket);
+        out += ",\"value\":";
+        append_json_number(out, ex.value);
+        out += ",\"rid\":";
+        out += std::to_string(ex.tag);
+        out += '}';
+      }
+      out += ']';
+    }
     out += '}';
   }
   out += "}}";
@@ -271,6 +287,7 @@ RegistrySnapshot Registry::snapshot() const {
     s.p50 = ws.p50;
     s.p95 = ws.p95;
     s.p99 = ws.p99;
+    s.exemplars = w->exemplars();
     snap.windows.push_back(std::move(s));
   }
   return snap;

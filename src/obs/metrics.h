@@ -95,6 +95,15 @@ class Histogram {
 
 class WindowedHistogram;  // see obs/window.h
 
+// Prometheus-style exemplar: the largest sample that landed in one
+// histogram bucket, tagged with the request id that produced it — so a
+// quantile breach points at a concrete, traceable request.
+struct Exemplar {
+  int bucket = 0;          // Histogram bucket index
+  double value = 0.0;      // the slowest in-bucket sample
+  std::uint64_t tag = 0;   // request id (never 0 for a live exemplar)
+};
+
 // Immutable view of the registry at one point in time.
 struct RegistrySnapshot {
   struct HistogramStats {
@@ -114,6 +123,9 @@ struct RegistrySnapshot {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    // In-window exemplars (tagged records only); empty for windows whose
+    // recorders never tag.
+    std::vector<Exemplar> exemplars;
   };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
@@ -121,7 +133,10 @@ struct RegistrySnapshot {
   std::vector<WindowStats> windows;
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,...}},
-  //  "windows":{name:{window_s,count,p50,p95,p99}}}
+  //  "windows":{name:{window_s,count,p50,p95,p99,
+  //                   exemplars:[{bucket,value,rid},...]}}}
+  // The exemplars key is emitted only when non-empty (`obs diff` skips the
+  // subtree — request ids are not comparable metrics).
   std::string to_json() const;
 };
 

@@ -309,6 +309,39 @@ std::uint64_t trace_current_span() {
   return state.depth > 0 ? state.stack[state.depth - 1] : 0;
 }
 
+double trace_now_s() {
+  if (!Tracer::global().enabled()) return 0.0;
+  return now_s();
+}
+
+std::uint64_t Tracer::emit_complete(const char* name, std::uint64_t parent,
+                                    double start_s, double dur_s,
+                                    const char* arg_key,
+                                    std::int64_t arg_val) {
+  if (!enabled()) return 0;
+  if (!should_record(name, dur_s)) return 0;
+  ThreadState& state = thread_state();
+  TraceRecord record;
+  record.name = name;
+  record.id = next_span_id();
+  record.parent = parent;
+  record.start_s = start_s;
+  record.dur_s = dur_s;
+  record.tid = state.tid;
+  record.arg_key = arg_key;
+  record.arg_val = arg_val;
+  if (!state.ring->push(record)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  if (state.ring->size() >= ThreadRing::kCapacity / 2) {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    state.ring->drain_into(c.spilled);
+  }
+  return record.id;
+}
+
 TraceSpan::TraceSpan(const char* name) {
   if (!Tracer::global().enabled()) return;  // the entire disabled path
   begin(name, 0, /*explicit_parent=*/false);

@@ -97,6 +97,18 @@ class Tracer {
   // beats RN_TRACE_SAMPLE. Call before open_or_env.
   void configure_sampling_or_env(double min_us, const std::string& spec);
 
+  // Publishes an already-measured interval as a completed span on the
+  // calling thread's ring. `start_s` is on the trace timeline (see
+  // trace_now_s()); the span may have started on another thread — this is
+  // how the serving worker backdates a `serve.queue.wait` span to the
+  // moment the handler thread enqueued the request. Subject to the same
+  // sampling/min-duration policy as TraceSpan. Returns the span id
+  // (0 when disabled or suppressed).
+  std::uint64_t emit_complete(const char* name, std::uint64_t parent,
+                              double start_s, double dur_s,
+                              const char* arg_key = nullptr,
+                              std::int64_t arg_val = 0);
+
   // Drains every thread ring plus previous spills; returns all completed
   // spans collected since the last call (unsorted).
   std::vector<TraceRecord> collect();
@@ -150,6 +162,12 @@ class Tracer {
 // span is open). Capture before handing work to another thread and pass to
 // TraceSpan(name, parent) so the receiving thread nests correctly.
 std::uint64_t trace_current_span();
+
+// Seconds since the process trace epoch — the timeline TraceRecord.start_s
+// lives on. Capture at an event of interest and pass to
+// Tracer::emit_complete() to publish the interval later (possibly from
+// another thread). Returns 0 when tracing is disabled.
+double trace_now_s();
 
 // RAII span. Must end on the thread that constructed it (stack discipline);
 // cross-thread nesting goes through the explicit-parent constructor.

@@ -39,6 +39,8 @@ void WindowedHistogram::Slot::clear() {
   count.store(0, std::memory_order_relaxed);
   sum.store(0.0, std::memory_order_relaxed);
   max.store(0.0, std::memory_order_relaxed);
+  for (auto& v : ex_value) v.store(0.0, std::memory_order_relaxed);
+  for (auto& t : ex_tag) t.store(0, std::memory_order_relaxed);
 }
 
 WindowedHistogram::WindowedHistogram(double window_s, int slots)
@@ -83,6 +85,29 @@ void WindowedHistogram::record_at(double x, double now_s) {
   atomic_max(slot.max, x);
 }
 
+void WindowedHistogram::record_tagged(double x, std::uint64_t tag) {
+  record_tagged_at(x, tag, windowed_now_s());
+}
+
+void WindowedHistogram::record_tagged_at(double x, std::uint64_t tag,
+                                         double now_s) {
+  const auto b = static_cast<std::size_t>(Histogram::bucket_index(x));
+  Slot& slot = rotate_to(epoch_of(std::max(0.0, now_s)));
+  slot.counts[b].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(slot.sum, x);
+  atomic_max(slot.max, x);
+  if (tag == 0 || !(x > 0.0)) return;  // underflow bucket keeps no exemplar
+  double cur = slot.ex_value[b].load(std::memory_order_relaxed);
+  while (cur < x) {
+    if (slot.ex_value[b].compare_exchange_weak(cur, x,
+                                               std::memory_order_relaxed)) {
+      slot.ex_tag[b].store(tag, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
 WindowedHistogram::Stats WindowedHistogram::stats() const {
   return stats_at(windowed_now_s());
 }
@@ -118,6 +143,41 @@ WindowedHistogram::Stats WindowedHistogram::stats_at(double now_s) const {
   st.p95 = Histogram::quantile_from_buckets(merged, total, max, 0.95);
   st.p99 = Histogram::quantile_from_buckets(merged, total, max, 0.99);
   return st;
+}
+
+std::vector<Exemplar> WindowedHistogram::exemplars() const {
+  return exemplars_at(windowed_now_s());
+}
+
+std::vector<Exemplar> WindowedHistogram::exemplars_at(double now_s) const {
+  const std::int64_t cur = epoch_of(std::max(0.0, now_s));
+  // Per-bucket best across in-window slots; tag 0 = no tagged record.
+  double best_value[static_cast<std::size_t>(Histogram::kNumBuckets)] = {};
+  std::uint64_t best_tag[static_cast<std::size_t>(Histogram::kNumBuckets)] =
+      {};
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    const std::int64_t e = slot->epoch.load(std::memory_order_acquire);
+    if (e < 0 || e > cur || e <= cur - static_cast<std::int64_t>(num_slots_)) {
+      continue;
+    }
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Histogram::kNumBuckets); ++i) {
+      const std::uint64_t tag = slot->ex_tag[i].load(std::memory_order_relaxed);
+      if (tag == 0) continue;
+      const double v = slot->ex_value[i].load(std::memory_order_relaxed);
+      if (best_tag[i] == 0 || v > best_value[i]) {
+        best_value[i] = v;
+        best_tag[i] = tag;
+      }
+    }
+  }
+  std::vector<Exemplar> out;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(Histogram::kNumBuckets); ++i) {
+    if (best_tag[i] == 0) continue;
+    out.push_back({static_cast<int>(i), best_value[i], best_tag[i]});
+  }
+  return out;
 }
 
 void WindowedHistogram::reset() {

@@ -52,6 +52,14 @@ class WindowedHistogram {
   // `now_s` (seconds; same timeline as stats_at).
   void record_at(double x, double now_s);
 
+  // Records x and, if it is the largest sample its bucket has seen this
+  // slot, remembers `tag` (a request id, must be non-zero) as the bucket's
+  // exemplar. The value/tag pair is two atomics, not one — a reader racing
+  // a faster recorder can pair a value with the tag of the runner-up, which
+  // is telemetry-tolerable (both are in-bucket slow requests).
+  void record_tagged(double x, std::uint64_t tag);
+  void record_tagged_at(double x, std::uint64_t tag, double now_s);
+
   struct Stats {
     std::uint64_t count = 0;
     double mean = 0.0;
@@ -64,6 +72,11 @@ class WindowedHistogram {
   // Merged view of every slot still inside the window ending now.
   Stats stats() const;
   Stats stats_at(double now_s) const;
+
+  // In-window exemplars, one per bucket that has any tagged record: the
+  // slowest tagged sample across the in-window slots, ordered by bucket.
+  std::vector<Exemplar> exemplars() const;
+  std::vector<Exemplar> exemplars_at(double now_s) const;
 
   // Clears every slot. Same caveats as Registry::reset(): concurrent
   // records may survive into the cleared state.
@@ -79,6 +92,12 @@ class WindowedHistogram {
     std::atomic<std::uint64_t> count{0};
     std::atomic<double> sum{0.0};
     std::atomic<double> max{0.0};
+    // Per-bucket exemplar: slowest tagged sample + its request id. A tag of
+    // 0 means no tagged record landed in that bucket this slot.
+    std::atomic<double> ex_value[static_cast<std::size_t>(
+        Histogram::kNumBuckets)]{};
+    std::atomic<std::uint64_t> ex_tag[static_cast<std::size_t>(
+        Histogram::kNumBuckets)]{};
 
     void clear();
   };

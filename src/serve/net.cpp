@@ -5,17 +5,22 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/event.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/window.h"
 #include "util/check.h"
 
 namespace rn::serve {
@@ -35,6 +40,8 @@ struct NetMetrics {
       obs::Registry::global().counter("serve.net.errors_total");
   obs::Counter& rejected =
       obs::Registry::global().counter("serve.net.rejected_total");
+  obs::Counter& timeouts =
+      obs::Registry::global().counter("serve.net.timeouts_total");
   obs::Counter& bytes_rx =
       obs::Registry::global().counter("serve.net.bytes_rx_total");
   obs::Counter& bytes_tx =
@@ -60,10 +67,20 @@ std::uint32_t load_le32(const char* p) {
          (static_cast<std::uint32_t>(b[3]) << 24);
 }
 
-enum class ReadResult { kOk, kEof, kTruncated };
+enum class ReadResult { kOk, kEof, kTruncated, kTimeout };
+
+// SO_RCVTIMEO expired on a server-side connection (idle or stalled
+// mid-frame). Distinguished from generic malformed traffic so the handler
+// can answer with ErrorCode::kTimeout instead of kMalformed.
+class ReadTimeoutError : public wire::ProtocolError {
+ public:
+  explicit ReadTimeoutError(const std::string& what)
+      : wire::ProtocolError(what) {}
+};
 
 // Reads exactly n bytes. kEof = the peer closed cleanly before the first
-// byte; kTruncated = it closed mid-way (or the read errored).
+// byte; kTruncated = it closed mid-way (or the read errored); kTimeout =
+// SO_RCVTIMEO expired before the read completed.
 ReadResult read_exact(int fd, char* buf, std::size_t n,
                       std::uint64_t* bytes_read) {
   std::size_t got = 0;
@@ -75,6 +92,9 @@ ReadResult read_exact(int fd, char* buf, std::size_t n,
     }
     if (r < 0 && errno == EINTR) continue;
     if (bytes_read != nullptr) *bytes_read += got;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return ReadResult::kTimeout;
+    }
     return got == 0 ? ReadResult::kEof : ReadResult::kTruncated;
   }
   if (bytes_read != nullptr) *bytes_read += got;
@@ -111,20 +131,31 @@ bool read_frame(int fd, wire::Frame& out, std::uint64_t* bytes_read) {
       return false;
     case ReadResult::kTruncated:
       throw wire::ProtocolError("connection closed mid-header");
+    case ReadResult::kTimeout:
+      throw ReadTimeoutError("read timed out waiting for a frame");
     case ReadResult::kOk:
       break;
   }
   const wire::FrameHeader fh = wire::parse_frame_header(header);
   std::string payload(fh.payload_len, '\0');
-  if (fh.payload_len > 0 &&
-      read_exact(fd, payload.data(), payload.size(), bytes_read) !=
-          ReadResult::kOk) {
-    throw wire::ProtocolError("connection closed mid-payload");
+  if (fh.payload_len > 0) {
+    switch (read_exact(fd, payload.data(), payload.size(), bytes_read)) {
+      case ReadResult::kTimeout:
+        throw ReadTimeoutError("read timed out mid-payload");
+      case ReadResult::kOk:
+        break;
+      default:
+        throw wire::ProtocolError("connection closed mid-payload");
+    }
   }
   char trailer[wire::kTrailerLen];
-  if (read_exact(fd, trailer, sizeof(trailer), bytes_read) !=
-      ReadResult::kOk) {
-    throw wire::ProtocolError("connection closed mid-trailer");
+  switch (read_exact(fd, trailer, sizeof(trailer), bytes_read)) {
+    case ReadResult::kTimeout:
+      throw ReadTimeoutError("read timed out mid-trailer");
+    case ReadResult::kOk:
+      break;
+    default:
+      throw wire::ProtocolError("connection closed mid-trailer");
   }
   wire::verify_frame_crc(fh.type, payload, load_le32(trailer));
   out.type = fh.type;
@@ -138,6 +169,15 @@ void set_nodelay(int fd, const Address& addr) {
   // Batched request/response round trips on loopback; Nagle only adds
   // latency here. Failure is harmless, so the return value is ignored.
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_recv_timeout(int fd, double seconds) {
+  if (!(seconds > 0.0)) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 sockaddr_in resolve_ipv4(const std::string& host, std::uint16_t port) {
@@ -301,6 +341,7 @@ void NetServer::accept_loop() {
       return;  // listener closed by stop()
     }
     set_nodelay(fd, addr_);
+    set_recv_timeout(fd, cfg_.read_timeout_s);
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       ::close(fd);
@@ -339,10 +380,22 @@ void NetServer::serve_connection(Connection* conn) {
     wire::Frame frame;
     try {
       rx = 0;
-      const bool got = read_frame(fd, frame, &rx);
+      bool got;
+      {
+        obs::TraceSpan rd("serve.net.read");
+        got = read_frame(fd, frame, &rx);
+        rd.arg("bytes", static_cast<std::int64_t>(rx));
+      }
       bytes_rx_.fetch_add(rx, std::memory_order_relaxed);
       metrics().bytes_rx.add(rx);
       if (!got) break;  // clean EOF (or stop()'s SHUT_RD)
+    } catch (const ReadTimeoutError& e) {
+      bytes_rx_.fetch_add(rx, std::memory_order_relaxed);
+      metrics().bytes_rx.add(rx);
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      metrics().timeouts.add();
+      send_error(fd, wire::ErrorCode::kTimeout, e.what());
+      break;
     } catch (const wire::ProtocolError& e) {
       bytes_rx_.fetch_add(rx, std::memory_order_relaxed);
       metrics().bytes_rx.add(rx);
@@ -383,10 +436,35 @@ bool NetServer::handle_frame(int fd, const wire::Frame& frame) {
           return true;
         }
         const ModelRegistry::Handle entry = registry_.acquire(req.model);
+        // Root of the server-side request timeline. Traced requests carry
+        // the client's rid and hand this span's id to the batching worker,
+        // which parents its queue.wait/batch.assemble/forward spans here.
+        obs::TraceSpan root("serve.net.request");
+        std::shared_ptr<RequestTrace> trace;
+        if (req.has_trace) {
+          root.arg("rid",
+                   static_cast<std::int64_t>(req.trace.request_id));
+          trace = std::make_shared<RequestTrace>();
+          trace->request_id = req.trace.request_id;
+          trace->parent_span = root.id();
+        }
         core::RouteNet::Prediction pred =
-            entry->server().submit(std::move(req.sample)).get();
-        send_frame(fd, wire::FrameType::kPredictResponse,
-                   wire::encode_predict_response(pred));
+            entry->server().submit(std::move(req.sample), trace).get();
+        std::string payload;
+        if (trace != nullptr) {
+          const double server_s =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - started)
+                  .count();
+          payload = wire::encode_predict_response(
+              pred, trace->request_id, trace->queue_wait_s, server_s);
+        } else {
+          payload = wire::encode_predict_response(pred);
+        }
+        {
+          obs::TraceSpan wr("serve.net.write");
+          send_frame(fd, wire::FrameType::kPredictResponse, payload);
+        }
         responses_.fetch_add(1, std::memory_order_relaxed);
         metrics().responses.add();
         metrics().request_s.record(
@@ -428,6 +506,20 @@ bool NetServer::handle_frame(int fd, const wire::Frame& frame) {
         send_error(fd, wire::ErrorCode::kInternal, e.what());
         return true;
       }
+    }
+    case wire::FrameType::kStatsRequest: {
+      if (!frame.payload.empty()) {
+        send_error(fd, wire::ErrorCode::kMalformed,
+                   "stats request carries no payload");
+        return false;
+      }
+      try {
+        send_frame(fd, wire::FrameType::kStatsResponse,
+                   wire::encode_stats_response(stats_snapshot()));
+      } catch (const std::exception& e) {
+        send_error(fd, wire::ErrorCode::kInternal, e.what());
+      }
+      return true;
     }
     case wire::FrameType::kShutdownRequest: {
       if (!frame.payload.empty()) {
@@ -538,9 +630,54 @@ NetStats NetServer::stats() const {
   s.responses = responses_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
   s.bytes_rx = bytes_rx_.load(std::memory_order_relaxed);
   s.bytes_tx = bytes_tx_.load(std::memory_order_relaxed);
   return s;
+}
+
+wire::StatsSnapshot NetServer::stats_snapshot() const {
+  const obs::RegistrySnapshot reg = obs::Registry::global().snapshot();
+  wire::StatsSnapshot snap;
+  snap.server_time_s = obs::windowed_now_s();
+  snap.trace_dropped = obs::Tracer::global().dropped();
+  snap.trace_sampled_out = obs::Tracer::global().sampled_out();
+  snap.counters.reserve(reg.counters.size());
+  for (const auto& [name, value] : reg.counters) {
+    snap.counters.push_back({name, value});
+  }
+  snap.gauges.reserve(reg.gauges.size());
+  for (const auto& [name, value] : reg.gauges) {
+    snap.gauges.push_back({name, value});
+  }
+  snap.histograms.reserve(reg.histograms.size());
+  for (const auto& h : reg.histograms) {
+    snap.histograms.push_back(
+        {h.name, h.count, h.mean, h.p50, h.p95, h.p99, h.max});
+  }
+  snap.windows.reserve(reg.windows.size());
+  for (const auto& w : reg.windows) {
+    wire::StatsSnapshot::WindowEntry entry;
+    entry.name = w.name;
+    entry.window_s = w.window_s;
+    entry.count = w.count;
+    entry.p50 = w.p50;
+    entry.p95 = w.p95;
+    entry.p99 = w.p99;
+    entry.exemplars.reserve(w.exemplars.size());
+    for (const obs::Exemplar& e : w.exemplars) {
+      entry.exemplars.push_back(
+          {static_cast<std::uint16_t>(e.bucket), e.value, e.tag});
+    }
+    snap.windows.push_back(std::move(entry));
+  }
+  const std::vector<ModelRegistry::ModelInfo> models = registry_.list();
+  snap.models.reserve(models.size());
+  for (const auto& m : models) {
+    snap.models.push_back(
+        {m.name, m.version, static_cast<std::uint64_t>(m.parameters)});
+  }
+  return snap;
 }
 
 NetClient::NetClient(const std::string& address)
@@ -568,15 +705,59 @@ wire::Frame NetClient::roundtrip(wire::FrameType type,
   return reply;
 }
 
+std::uint64_t NetClient::next_request_id() {
+  // Distinct across the processes of one test/bench run (pid in the high
+  // half) and across this client's requests (counter in the low half);
+  // never 0, which the wire layer reserves for "untraced".
+  return (static_cast<std::uint64_t>(::getpid()) << 32) | ++rid_counter_;
+}
+
 core::RouteNet::Prediction NetClient::predict(const std::string& model,
                                               const dataset::Sample& sample) {
-  wire::Frame reply = roundtrip(wire::FrameType::kPredictRequest,
-                                wire::encode_predict_request(model, sample));
+  return std::move(predict_traced(model, sample).prediction);
+}
+
+NetClient::PredictOutcome NetClient::predict_traced(
+    const std::string& model, const dataset::Sample& sample) {
+  PredictOutcome out;
+  out.request_id = next_request_id();
+  wire::TraceContext ctx;
+  ctx.request_id = out.request_id;
+  ctx.client_send_unix_s = obs::unix_now_s();
+  obs::TraceSpan span("serve.client.request");
+  span.arg("rid", static_cast<std::int64_t>(out.request_id));
+  const auto sent = std::chrono::steady_clock::now();
+  wire::Frame reply =
+      roundtrip(wire::FrameType::kPredictRequest,
+                wire::encode_predict_request(model, sample, ctx));
+  out.rtt_s = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - sent)
+                  .count();
   if (reply.type != wire::FrameType::kPredictResponse) {
     throw wire::ProtocolError("expected a predict response, got type " +
                               std::to_string(static_cast<int>(reply.type)));
   }
-  return wire::decode_predict_response(reply.payload);
+  wire::PredictResponse resp =
+      wire::decode_predict_response_full(reply.payload);
+  if (resp.has_trace && resp.request_id != out.request_id) {
+    throw wire::ProtocolError(
+        "response echoes request id " + std::to_string(resp.request_id) +
+        ", expected " + std::to_string(out.request_id));
+  }
+  out.prediction = std::move(resp.prediction);
+  out.server_traced = resp.has_trace;
+  out.queue_wait_s = resp.queue_wait_s;
+  out.server_s = resp.server_s;
+  return out;
+}
+
+wire::StatsSnapshot NetClient::stats() {
+  wire::Frame reply = roundtrip(wire::FrameType::kStatsRequest, {});
+  if (reply.type != wire::FrameType::kStatsResponse) {
+    throw wire::ProtocolError("expected a stats response, got type " +
+                              std::to_string(static_cast<int>(reply.type)));
+  }
+  return wire::decode_stats_response(reply.payload);
 }
 
 wire::ReloadResponse NetClient::reload(const std::string& model) {

@@ -23,13 +23,25 @@
 // AdaptiveBatchPolicy is started/stopped with the server.
 //
 // NetClient is the matching blocking client: one connection, synchronous
-// predict()/reload()/shutdown_server(); server-side error frames surface
-// as RemoteError carrying the wire ErrorCode.
+// predict()/reload()/shutdown_server()/stats(); server-side error frames
+// surface as RemoteError carrying the wire ErrorCode. predict() always
+// attaches a client-generated request id + send timestamp (the server
+// echoes the id with queue-wait/server-time attribution); predict_traced()
+// exposes that attribution, and a `serve.client.request` span (arg: rid)
+// ties the client side of the timeline to the server's spans.
+//
+// Per-connection read timeout: a stalled client holding a half-sent frame
+// (or an idle connection) must not pin a handler thread forever —
+// SO_RCVTIMEO on each accepted socket turns the stall into one clean
+// kTimeout error frame followed by close (read_timeout_s, 0 disables).
 //
 // Telemetry: counters serve.net.connections_total / requests_total /
-// responses_total / errors_total / rejected_total / bytes_rx_total /
-// bytes_tx_total; gauge serve.net.active_connections; histogram
-// serve.net.request_s; events serve.net.listen / serve.net.shutdown.
+// responses_total / errors_total / rejected_total / timeouts_total /
+// bytes_rx_total / bytes_tx_total; gauge serve.net.active_connections;
+// histogram serve.net.request_s; events serve.net.listen /
+// serve.net.shutdown; spans serve.net.request (arg: rid) with
+// serve.net.read / serve.net.write plus the InferenceServer's per-request
+// decomposition nested by parent id.
 #pragma once
 
 #include <atomic>
@@ -67,6 +79,10 @@ struct NetServerConfig {
   // Whether a kShutdownRequest frame may stop the server (the smoke test
   // and load tools use it; set false to ignore remote shutdown).
   bool allow_remote_shutdown = true;
+  // Per-connection receive timeout (SO_RCVTIMEO). A connection whose read
+  // blocks this long — idle or stalled mid-frame — gets one kTimeout error
+  // frame and is closed. 0 disables.
+  double read_timeout_s = 30.0;
 };
 
 struct NetStats {
@@ -75,6 +91,7 @@ struct NetStats {
   std::uint64_t responses = 0;
   std::uint64_t errors = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t timeouts = 0;
   std::uint64_t bytes_rx = 0;
   std::uint64_t bytes_tx = 0;
 };
@@ -121,6 +138,9 @@ class NetServer {
   bool handle_frame(int fd, const wire::Frame& frame);
   void send_frame(int fd, wire::FrameType type, std::string_view payload);
   void send_error(int fd, wire::ErrorCode code, std::string_view message);
+  // Builds the kStatsResponse payload source: the live obs::Registry
+  // snapshot + tracer loss counters + the model registry's version table.
+  wire::StatsSnapshot stats_snapshot() const;
   void request_shutdown();
   void reap_finished_connections();
 
@@ -146,6 +166,7 @@ class NetServer {
   std::atomic<std::uint64_t> responses_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> bytes_rx_{0};
   std::atomic<std::uint64_t> bytes_tx_{0};
 };
@@ -167,6 +188,19 @@ class RemoteError : public std::runtime_error {
 // thread (the load generator does).
 class NetClient {
  public:
+  // One traced round trip, as the client saw it plus what the server
+  // attributed. rtt_s is wall time around the socket round trip;
+  // queue_wait_s/server_s come from the response's trailing attribution
+  // block (server_traced=false against a server that predates it).
+  struct PredictOutcome {
+    core::RouteNet::Prediction prediction;
+    std::uint64_t request_id = 0;
+    double rtt_s = 0.0;
+    bool server_traced = false;
+    double queue_wait_s = 0.0;  // server: enqueue → batch take
+    double server_s = 0.0;      // server: decode → response encode
+  };
+
   // Connects immediately; throws std::runtime_error on refusal.
   explicit NetClient(const std::string& address);
   ~NetClient();
@@ -176,14 +210,24 @@ class NetClient {
 
   core::RouteNet::Prediction predict(const std::string& model,
                                      const dataset::Sample& sample);
+  // Like predict(), returning the request id and timing attribution. Both
+  // entry points send the same extended frame; a `serve.client.request`
+  // span (arg: rid) covers the round trip so client and server trace files
+  // merge on one id.
+  PredictOutcome predict_traced(const std::string& model,
+                                const dataset::Sample& sample);
   wire::ReloadResponse reload(const std::string& model);
+  // Scrapes the server's live telemetry snapshot (kStatsRequest).
+  wire::StatsSnapshot stats();
   // Sends kShutdownRequest and waits for the ack.
   void shutdown_server();
 
  private:
   wire::Frame roundtrip(wire::FrameType type, std::string_view payload);
+  std::uint64_t next_request_id();
 
   int fd_ = -1;
+  std::uint64_t rid_counter_ = 0;
 };
 
 }  // namespace rn::serve

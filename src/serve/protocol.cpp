@@ -56,6 +56,10 @@ class Cursor {
     }
   }
 
+  // Bytes not yet consumed — how version-tolerant decoders detect an
+  // optional trailing block.
+  std::size_t remaining() const { return data_.size() - pos_; }
+
  private:
   std::string_view data_;
   std::size_t pos_ = 0;
@@ -89,7 +93,7 @@ std::uint32_t frame_crc(FrameType type, std::string_view payload) {
 
 bool known_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kPredictRequest) &&
-         t <= static_cast<std::uint8_t>(FrameType::kShutdownAck);
+         t <= static_cast<std::uint8_t>(FrameType::kStatsResponse);
 }
 
 double finite_or_throw(double v, const char* what) {
@@ -169,7 +173,10 @@ Frame parse_frame(std::string_view bytes) {
 //            links[n_links]{src:i32 dst:i32 capacity_bps:f64 prop_delay_s:f64}
 //            paths[n_pairs]{len:u16 link_ids[len]:i32}
 //            rates[n_pairs]:f64
-// with n_pairs = n_nodes*(n_nodes-1), in topo::pair_index order.
+//            [request_id:u64 client_send_unix_s:f64]       (trace context)
+// with n_pairs = n_nodes*(n_nodes-1), in topo::pair_index order. The trace
+// context is all-or-nothing: exactly 16 trailing bytes, or none (old
+// clients) — any other trailing length is malformed.
 
 std::string encode_predict_request(const std::string& model,
                                    const dataset::Sample& sample) {
@@ -199,6 +206,19 @@ std::string encode_predict_request(const std::string& model,
   for (int idx = 0; idx < t.num_pairs(); ++idx) {
     put_pod(out, sample.tm.rate_by_index(idx));
   }
+  return out;
+}
+
+std::string encode_predict_request(const std::string& model,
+                                   const dataset::Sample& sample,
+                                   const TraceContext& trace) {
+  if (trace.request_id == 0) {
+    throw ProtocolError("trace context request id must be non-zero");
+  }
+  finite_or_throw(trace.client_send_unix_s, "client send timestamp");
+  std::string out = encode_predict_request(model, sample);
+  put_pod(out, trace.request_id);
+  put_pod(out, trace.client_send_unix_s);
   return out;
 }
 
@@ -277,17 +297,35 @@ PredictRequest decode_predict_request(std::string_view payload) {
     const auto [src, dst] = topo::pair_from_index(idx, n_nodes);
     tm.set_rate_bps(src, dst, rate);
   }
-  c.expect_done("predict request");
-  return PredictRequest{
+  PredictRequest out{
       std::move(model),
       dataset::make_inference_sample(
           std::shared_ptr<const topo::Topology>(std::move(topology)),
           std::move(scheme), std::move(tm))};
+  // Version tolerance: old clients end here; new clients append exactly a
+  // TraceContext. Any other trailing length is malformed, not ignorable —
+  // silently skipping unknown bytes would mask corruption the CRC already
+  // survived (an honest re-encode must be able to reproduce the payload).
+  if (c.remaining() > 0) {
+    const auto request_id = c.pod<std::uint64_t>("trace request id");
+    if (request_id == 0) {
+      throw ProtocolError("trace context request id must be non-zero");
+    }
+    out.trace.request_id = request_id;
+    out.trace.client_send_unix_s = finite_or_throw(
+        c.pod<double>("client send timestamp"), "client send timestamp");
+    out.has_trace = true;
+  }
+  c.expect_done("predict request");
+  return out;
 }
 
 // --- Predict response ------------------------------------------------------
 //
 // payload := n_pairs:u32 pairs[n_pairs]{delay_s:f64 jitter_s:f64}
+//            [request_id:u64 queue_wait_s:f64 server_s:f64]   (attribution)
+// The attribution block mirrors the request's trace context: exactly 24
+// trailing bytes, or none (responses to id-less requests).
 
 std::string encode_predict_response(const core::RouteNet::Prediction& pred) {
   if (pred.delay_s.size() != pred.jitter_s.size()) {
@@ -302,7 +340,22 @@ std::string encode_predict_response(const core::RouteNet::Prediction& pred) {
   return out;
 }
 
-core::RouteNet::Prediction decode_predict_response(std::string_view payload) {
+std::string encode_predict_response(const core::RouteNet::Prediction& pred,
+                                    std::uint64_t request_id,
+                                    double queue_wait_s, double server_s) {
+  if (request_id == 0) {
+    throw ProtocolError("response request id must be non-zero");
+  }
+  finite_or_throw(queue_wait_s, "queue wait seconds");
+  finite_or_throw(server_s, "server seconds");
+  std::string out = encode_predict_response(pred);
+  put_pod(out, request_id);
+  put_pod(out, queue_wait_s);
+  put_pod(out, server_s);
+  return out;
+}
+
+PredictResponse decode_predict_response_full(std::string_view payload) {
   constexpr std::uint32_t kMaxPairs =
       static_cast<std::uint32_t>(kMaxNodes) * (kMaxNodes - 1);
   Cursor c(payload);
@@ -312,15 +365,32 @@ core::RouteNet::Prediction decode_predict_response(std::string_view payload) {
                         " exceeds cap " + std::to_string(kMaxPairs));
   }
   c.require(static_cast<std::size_t>(n_pairs) * 16, "prediction rows");
-  core::RouteNet::Prediction pred;
+  PredictResponse resp;
+  core::RouteNet::Prediction& pred = resp.prediction;
   pred.delay_s.resize(n_pairs);
   pred.jitter_s.resize(n_pairs);
   for (std::uint32_t i = 0; i < n_pairs; ++i) {
     pred.delay_s[i] = c.pod<double>("delay");
     pred.jitter_s[i] = c.pod<double>("jitter");
   }
+  if (c.remaining() > 0) {
+    const auto request_id = c.pod<std::uint64_t>("response request id");
+    if (request_id == 0) {
+      throw ProtocolError("response request id must be non-zero");
+    }
+    resp.request_id = request_id;
+    resp.queue_wait_s = finite_or_throw(c.pod<double>("queue wait seconds"),
+                                        "queue wait seconds");
+    resp.server_s =
+        finite_or_throw(c.pod<double>("server seconds"), "server seconds");
+    resp.has_trace = true;
+  }
   c.expect_done("predict response");
-  return pred;
+  return resp;
+}
+
+core::RouteNet::Prediction decode_predict_response(std::string_view payload) {
+  return std::move(decode_predict_response_full(payload).prediction);
 }
 
 // --- Error -----------------------------------------------------------------
@@ -338,7 +408,7 @@ ErrorFrame decode_error(std::string_view payload) {
   ErrorFrame e;
   const auto raw = c.pod<std::uint16_t>("error code");
   if (raw < static_cast<std::uint16_t>(ErrorCode::kMalformed) ||
-      raw > static_cast<std::uint16_t>(ErrorCode::kInternal)) {
+      raw > static_cast<std::uint16_t>(ErrorCode::kTimeout)) {
     throw ProtocolError("unknown error code " + std::to_string(raw));
   }
   e.code = static_cast<ErrorCode>(raw);
@@ -380,6 +450,177 @@ ReloadResponse decode_reload_response(std::string_view payload) {
   return r;
 }
 
+// --- Stats -----------------------------------------------------------------
+//
+// request payload is empty.
+// response payload :=
+//   server_time_s:f64 trace_dropped:u64 trace_sampled_out:u64
+//   n_counters:u32 counters[n]{name:str16 value:u64}
+//   n_gauges:u32 gauges[n]{name:str16 value:f64}
+//   n_histograms:u32 histograms[n]{name:str16 count:u64
+//                                  mean:f64 p50:f64 p95:f64 p99:f64 max:f64}
+//   n_windows:u32 windows[n]{name:str16 window_s:f64 count:u64
+//                            p50:f64 p95:f64 p99:f64
+//                            n_exemplars:u16 exemplars[n]{bucket:u16
+//                                                         value:f64 rid:u64}}
+//   n_models:u32 models[n]{name:str16 version:u64 parameters:u64}
+// Metric values pass through unvalidated (they are display data, not
+// allocation sizes); every count and name length is capped before use.
+
+namespace {
+
+template <typename Vec>
+std::uint32_t stats_count(const Vec& v, const char* what) {
+  if (v.size() > kMaxStatsEntries) {
+    throw ProtocolError(std::string(what) + " count " +
+                        std::to_string(v.size()) + " exceeds cap " +
+                        std::to_string(kMaxStatsEntries));
+  }
+  return static_cast<std::uint32_t>(v.size());
+}
+
+std::uint32_t read_stats_count(Cursor& c, const char* what) {
+  const auto n = c.pod<std::uint32_t>(what);
+  if (n > kMaxStatsEntries) {
+    throw ProtocolError(std::string(what) + " " + std::to_string(n) +
+                        " exceeds cap " + std::to_string(kMaxStatsEntries));
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string encode_stats_response(const StatsSnapshot& snap) {
+  std::string out;
+  put_pod(out, snap.server_time_s);
+  put_pod(out, snap.trace_dropped);
+  put_pod(out, snap.trace_sampled_out);
+  put_pod(out, stats_count(snap.counters, "counter count"));
+  for (const StatsSnapshot::CounterEntry& e : snap.counters) {
+    put_str(out, e.name, kMaxNameLen, "counter name");
+    put_pod(out, e.value);
+  }
+  put_pod(out, stats_count(snap.gauges, "gauge count"));
+  for (const StatsSnapshot::GaugeEntry& e : snap.gauges) {
+    put_str(out, e.name, kMaxNameLen, "gauge name");
+    put_pod(out, e.value);
+  }
+  put_pod(out, stats_count(snap.histograms, "histogram count"));
+  for (const StatsSnapshot::HistogramEntry& e : snap.histograms) {
+    put_str(out, e.name, kMaxNameLen, "histogram name");
+    put_pod(out, e.count);
+    put_pod(out, e.mean);
+    put_pod(out, e.p50);
+    put_pod(out, e.p95);
+    put_pod(out, e.p99);
+    put_pod(out, e.max);
+  }
+  put_pod(out, stats_count(snap.windows, "window count"));
+  for (const StatsSnapshot::WindowEntry& e : snap.windows) {
+    put_str(out, e.name, kMaxNameLen, "window name");
+    put_pod(out, e.window_s);
+    put_pod(out, e.count);
+    put_pod(out, e.p50);
+    put_pod(out, e.p95);
+    put_pod(out, e.p99);
+    if (e.exemplars.size() > kMaxExemplars) {
+      throw ProtocolError("exemplar count " +
+                          std::to_string(e.exemplars.size()) +
+                          " exceeds cap " + std::to_string(kMaxExemplars));
+    }
+    put_pod(out, static_cast<std::uint16_t>(e.exemplars.size()));
+    for (const StatsSnapshot::ExemplarEntry& ex : e.exemplars) {
+      put_pod(out, ex.bucket);
+      put_pod(out, ex.value);
+      put_pod(out, ex.request_id);
+    }
+  }
+  put_pod(out, stats_count(snap.models, "model count"));
+  for (const StatsSnapshot::ModelEntry& e : snap.models) {
+    put_str(out, e.name, kMaxNameLen, "model name");
+    put_pod(out, e.version);
+    put_pod(out, e.parameters);
+  }
+  return out;
+}
+
+StatsSnapshot decode_stats_response(std::string_view payload) {
+  Cursor c(payload);
+  StatsSnapshot snap;
+  snap.server_time_s = c.pod<double>("server time");
+  snap.trace_dropped = c.pod<std::uint64_t>("trace dropped");
+  snap.trace_sampled_out = c.pod<std::uint64_t>("trace sampled out");
+  const std::uint32_t n_counters = read_stats_count(c, "counter count");
+  snap.counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    StatsSnapshot::CounterEntry e;
+    e.name = c.str(kMaxNameLen, "counter name");
+    e.value = c.pod<std::uint64_t>("counter value");
+    snap.counters.push_back(std::move(e));
+  }
+  const std::uint32_t n_gauges = read_stats_count(c, "gauge count");
+  snap.gauges.reserve(n_gauges);
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    StatsSnapshot::GaugeEntry e;
+    e.name = c.str(kMaxNameLen, "gauge name");
+    e.value = c.pod<double>("gauge value");
+    snap.gauges.push_back(std::move(e));
+  }
+  const std::uint32_t n_hists = read_stats_count(c, "histogram count");
+  snap.histograms.reserve(n_hists);
+  for (std::uint32_t i = 0; i < n_hists; ++i) {
+    StatsSnapshot::HistogramEntry e;
+    e.name = c.str(kMaxNameLen, "histogram name");
+    e.count = c.pod<std::uint64_t>("histogram count");
+    e.mean = c.pod<double>("histogram mean");
+    e.p50 = c.pod<double>("histogram p50");
+    e.p95 = c.pod<double>("histogram p95");
+    e.p99 = c.pod<double>("histogram p99");
+    e.max = c.pod<double>("histogram max");
+    snap.histograms.push_back(std::move(e));
+  }
+  const std::uint32_t n_windows = read_stats_count(c, "window count");
+  snap.windows.reserve(n_windows);
+  for (std::uint32_t i = 0; i < n_windows; ++i) {
+    StatsSnapshot::WindowEntry e;
+    e.name = c.str(kMaxNameLen, "window name");
+    e.window_s = c.pod<double>("window span");
+    e.count = c.pod<std::uint64_t>("window count");
+    e.p50 = c.pod<double>("window p50");
+    e.p95 = c.pod<double>("window p95");
+    e.p99 = c.pod<double>("window p99");
+    const auto n_ex = c.pod<std::uint16_t>("exemplar count");
+    if (n_ex > kMaxExemplars) {
+      throw ProtocolError("exemplar count " + std::to_string(n_ex) +
+                          " exceeds cap " + std::to_string(kMaxExemplars));
+    }
+    c.require(static_cast<std::size_t>(n_ex) * 18, "exemplar table");
+    e.exemplars.reserve(n_ex);
+    for (std::uint16_t j = 0; j < n_ex; ++j) {
+      StatsSnapshot::ExemplarEntry ex;
+      ex.bucket = c.pod<std::uint16_t>("exemplar bucket");
+      ex.value = c.pod<double>("exemplar value");
+      ex.request_id = c.pod<std::uint64_t>("exemplar request id");
+      if (ex.request_id == 0) {
+        throw ProtocolError("exemplar request id must be non-zero");
+      }
+      e.exemplars.push_back(ex);
+    }
+    snap.windows.push_back(std::move(e));
+  }
+  const std::uint32_t n_models = read_stats_count(c, "model count");
+  snap.models.reserve(n_models);
+  for (std::uint32_t i = 0; i < n_models; ++i) {
+    StatsSnapshot::ModelEntry e;
+    e.name = c.str(kMaxNameLen, "model name");
+    e.version = c.pod<std::uint64_t>("model version");
+    e.parameters = c.pod<std::uint64_t>("model parameters");
+    snap.models.push_back(std::move(e));
+  }
+  c.expect_done("stats response");
+  return snap;
+}
+
 const char* error_code_name(ErrorCode code) {
   switch (code) {
     case ErrorCode::kMalformed: return "malformed";
@@ -387,6 +628,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kRejected: return "rejected";
     case ErrorCode::kStopping: return "stopping";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kTimeout: return "timeout";
   }
   return "unknown";
 }

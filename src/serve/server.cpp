@@ -81,7 +81,7 @@ InferenceServer::InferenceServer(const core::RouteNet& model, ServerConfig cfg)
 InferenceServer::~InferenceServer() { stop(); }
 
 std::future<core::RouteNet::Prediction> InferenceServer::submit(
-    dataset::Sample sample) {
+    dataset::Sample sample, std::shared_ptr<RequestTrace> trace) {
   std::future<core::RouteNet::Prediction> fut;
   std::size_t depth = 0;
   {
@@ -99,6 +99,8 @@ std::future<core::RouteNet::Prediction> InferenceServer::submit(
     }
     Request req(std::move(sample), std::chrono::steady_clock::now(),
                 next_id_++);
+    req.trace = std::move(trace);
+    if (req.trace != nullptr) req.enqueued_trace_s = obs::trace_now_s();
     fut = req.promise.get_future();
     queue_.push_back(std::move(req));
     depth = queue_.size();
@@ -149,20 +151,63 @@ void InferenceServer::run_batch(std::vector<Request>& batch) {
   obs::TraceSpan span("serve.batch");
   span.arg("size", static_cast<std::int64_t>(batch.size()));
   metrics().batch_size.record(static_cast<double>(batch.size()));
+  // Stage boundaries, on both clocks: the steady clock feeds the timing
+  // attribution echoed to the client; the trace timeline feeds the
+  // backdated per-request spans (queue.wait started on the handler thread,
+  // so only emit_complete can represent it).
+  const auto taken = std::chrono::steady_clock::now();
+  const double taken_trace_s = obs::trace_now_s();
   std::vector<const dataset::Sample*> samples;
   samples.reserve(batch.size());
   for (const Request& req : batch) samples.push_back(&req.sample);
   try {
+    const auto forward_start = std::chrono::steady_clock::now();
+    const double forward_start_trace_s = obs::trace_now_s();
     std::vector<core::RouteNet::Prediction> preds =
         model_.predict_merged(samples);
     const auto now = std::chrono::steady_clock::now();
+    const double now_trace_s = obs::trace_now_s();
+    const double assemble_s =
+        std::chrono::duration<double>(forward_start - taken).count();
+    const double forward_s =
+        std::chrono::duration<double>(now - forward_start).count();
+    obs::Tracer& tracer = obs::Tracer::global();
     for (std::size_t i = 0; i < batch.size(); ++i) {
       obs::TraceSpan req_span("serve.request", span.id());
       req_span.arg("id", static_cast<std::int64_t>(batch[i].id));
       const double latency =
           std::chrono::duration<double>(now - batch[i].enqueued).count();
       metrics().latency_s.record(latency);
-      metrics().latency_window.record(latency);
+      const RequestTrace* trace = batch[i].trace.get();
+      if (trace != nullptr && trace->request_id != 0) {
+        metrics().latency_window.record_tagged(latency, trace->request_id);
+      } else {
+        metrics().latency_window.record(latency);
+      }
+      if (trace != nullptr) {
+        RequestTrace& t = *batch[i].trace;
+        t.queue_wait_s =
+            std::chrono::duration<double>(taken - batch[i].enqueued).count();
+        t.assemble_s = assemble_s;
+        t.forward_s = forward_s;
+        t.batch_size = static_cast<int>(batch.size());
+        const auto rid = static_cast<std::int64_t>(t.request_id);
+        // One correlated per-request timeline under the handler's span:
+        // queue.wait is backdated to the enqueue stamp; assemble/forward
+        // are the batch-level intervals replayed per request so each rid
+        // owns a complete decomposition.
+        tracer.emit_complete("serve.queue.wait", t.parent_span,
+                             batch[i].enqueued_trace_s,
+                             taken_trace_s - batch[i].enqueued_trace_s, "rid",
+                             rid);
+        tracer.emit_complete("serve.batch.assemble", t.parent_span,
+                             taken_trace_s,
+                             forward_start_trace_s - taken_trace_s, "rid",
+                             rid);
+        tracer.emit_complete("serve.forward", t.parent_span,
+                             forward_start_trace_s,
+                             now_trace_s - forward_start_trace_s, "rid", rid);
+      }
       batch[i].promise.set_value(std::move(preds[i]));
     }
     served_.fetch_add(batch.size(), std::memory_order_relaxed);

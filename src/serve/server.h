@@ -67,6 +67,22 @@ class RejectedError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+// Per-request trace context threaded from the network frontend through the
+// batching worker. The caller fills request_id/parent_span before submit();
+// the worker writes the timing attribution before resolving the request's
+// future (the promise→future handoff orders those plain writes before the
+// caller's reads — no atomics needed).
+struct RequestTrace {
+  std::uint64_t request_id = 0;   // client wire id (never 0 when traced)
+  std::uint64_t parent_span = 0;  // handler-side span the worker nests under
+
+  // Filled by the worker:
+  double queue_wait_s = 0.0;  // enqueue → batch take
+  double assemble_s = 0.0;    // batch take → forward start (dequeue + gather)
+  double forward_s = 0.0;     // merged forward pass
+  int batch_size = 0;         // size of the batch this request rode in
+};
+
 // Cumulative counts since construction; readable at any time.
 struct ServerStats {
   std::uint64_t submitted = 0;
@@ -87,7 +103,13 @@ class InferenceServer {
   // Enqueues one scenario for inference. The future resolves when a worker
   // executes the batch containing it (or carries the forward's exception).
   // Throws RejectedError when the queue is full or the server is stopping.
-  std::future<core::RouteNet::Prediction> submit(dataset::Sample sample);
+  // A non-null `trace` makes the worker emit per-request
+  // serve.queue.wait / serve.batch.assemble / serve.forward spans (arg:
+  // rid, parented under trace->parent_span), tag the latency-window
+  // exemplar with the request id, and fill the trace's timing fields
+  // before the future resolves.
+  std::future<core::RouteNet::Prediction> submit(
+      dataset::Sample sample, std::shared_ptr<RequestTrace> trace = nullptr);
 
   // Stops accepting, serves everything already queued, joins the workers.
   // Idempotent.
@@ -120,6 +142,8 @@ class InferenceServer {
     std::promise<core::RouteNet::Prediction> promise;
     std::chrono::steady_clock::time_point enqueued;
     std::uint64_t id = 0;
+    std::shared_ptr<RequestTrace> trace;  // null for untraced requests
+    double enqueued_trace_s = 0.0;  // trace-timeline enqueue stamp (0 = off)
   };
 
   void worker_loop();

@@ -1,0 +1,306 @@
+// NetServer observability contract (labels: serve, net).
+//
+// In-process loopback coverage for the tracing + scraping surface of the
+// RNP/1 server:
+//   - predict_traced() round trip: the client-generated request id comes
+//     back on the response with non-negative server attribution
+//     (queue-wait ≤ total server time ≤ client rtt).
+//   - A legacy id-less predict frame (hand-framed over a raw socket, no
+//     trailing trace context) still serves, and its response carries no
+//     attribution block — old clients keep working bit-for-bit.
+//   - A client that stalls mid-frame (or sits idle) trips the
+//     per-connection SO_RCVTIMEO: one clean kTimeout error frame, then
+//     close, and the server's timeout counter moves.
+//   - A stats scrape (kStatsRequest) reports the live registry: request
+//     counters that grow between two scrapes, the installed model with
+//     its version, and latency-window exemplars whose request ids all
+//     belong to traced requests this process actually issued.
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "routing/routing.h"
+#include "serve/protocol.h"
+#include "topology/generators.h"
+#include "traffic/traffic.h"
+
+namespace rn::serve {
+namespace {
+
+core::RouteNetConfig tiny_config() {
+  core::RouteNetConfig cfg;
+  cfg.link_state_dim = 6;
+  cfg.path_state_dim = 6;
+  cfg.iterations = 2;
+  cfg.readout_hidden = 8;
+  cfg.seed = 17;
+  return cfg;
+}
+
+dataset::Sample make_request(std::uint64_t seed) {
+  auto topology = std::make_shared<const topo::Topology>(topo::ring(5));
+  Rng rng(seed);
+  routing::RoutingScheme scheme =
+      routing::random_k_shortest_routing(*topology, 2, rng);
+  traffic::TrafficMatrix tm =
+      traffic::uniform_traffic(topology->num_nodes(), 50.0, 150.0, rng);
+  return dataset::make_inference_sample(topology, std::move(scheme),
+                                        std::move(tm));
+}
+
+ServerConfig fast_config() {
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_deadline_s = 0.0;
+  cfg.queue_capacity = 64;
+  cfg.workers = 1;
+  return cfg;
+}
+
+NetServerConfig loopback_config(double read_timeout_s = 30.0) {
+  NetServerConfig cfg;
+  cfg.listen = "tcp:127.0.0.1:0";
+  cfg.read_timeout_s = read_timeout_s;
+  return cfg;
+}
+
+// Every request id this test binary has sent. The obs::Registry (and so
+// the latency-window exemplar store) is process-global, so the scrape
+// test validates exemplar ids against everything issued here, not just
+// its own requests.
+std::set<std::uint64_t>& issued_rids() {
+  static std::set<std::uint64_t> rids;
+  return rids;
+}
+
+NetClient::PredictOutcome traced_predict(NetClient& client,
+                                         const std::string& model,
+                                         const dataset::Sample& sample) {
+  NetClient::PredictOutcome out = client.predict_traced(model, sample);
+  issued_rids().insert(out.request_id);
+  return out;
+}
+
+// --- Raw-socket helpers (legacy client / stalling client) ------------------
+
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  return fd;
+}
+
+void write_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// Reads until `want` bytes or EOF; returns what arrived.
+std::string read_upto(int fd, std::size_t want) {
+  std::string buf;
+  buf.resize(want);
+  std::size_t off = 0;
+  while (off < want) {
+    const ssize_t n = ::read(fd, buf.data() + off, want - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  buf.resize(off);
+  return buf;
+}
+
+// Reads one whole RNP/1 frame off a raw socket and parses it.
+wire::Frame read_frame(int fd) {
+  std::string bytes = read_upto(fd, wire::kHeaderLen);
+  if (bytes.size() != wire::kHeaderLen) {
+    throw wire::ProtocolError("connection closed mid-header");
+  }
+  const wire::FrameHeader header = wire::parse_frame_header(bytes.data());
+  const std::string rest =
+      read_upto(fd, header.payload_len + wire::kTrailerLen);
+  if (rest.size() != header.payload_len + wire::kTrailerLen) {
+    throw wire::ProtocolError("connection closed mid-frame");
+  }
+  return wire::parse_frame(bytes + rest);
+}
+
+std::uint64_t counter_value(const wire::StatsSnapshot& snap,
+                            const std::string& name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+// --- Tests -----------------------------------------------------------------
+
+TEST(NetObs, TracedPredictEchoesRequestIdWithAttribution) {
+  ModelRegistry registry(fast_config());
+  registry.install("m", std::make_unique<core::RouteNet>(tiny_config()));
+  NetServer server(registry, loopback_config());
+  server.start();
+
+  NetClient client(server.address());
+  const dataset::Sample sample = make_request(3);
+  const NetClient::PredictOutcome a = traced_predict(client, "m", sample);
+  const NetClient::PredictOutcome b = traced_predict(client, "m", sample);
+
+  EXPECT_NE(a.request_id, 0u);
+  EXPECT_NE(b.request_id, 0u);
+  EXPECT_NE(a.request_id, b.request_id);
+  EXPECT_TRUE(a.server_traced);
+  // Attribution nests: queue wait is part of server time, which the
+  // client's measured round trip must contain.
+  EXPECT_GE(a.queue_wait_s, 0.0);
+  EXPECT_LE(a.queue_wait_s, a.server_s);
+  EXPECT_GT(a.server_s, 0.0);
+  EXPECT_GE(a.rtt_s, a.server_s);
+  EXPECT_EQ(a.prediction.delay_s.size(),
+            static_cast<std::size_t>(sample.num_pairs()));
+
+  server.stop();
+}
+
+TEST(NetObs, LegacyIdLessPredictStillServes) {
+  ModelRegistry registry(fast_config());
+  registry.install("m", std::make_unique<core::RouteNet>(tiny_config()));
+  NetServer server(registry, loopback_config());
+  server.start();
+
+  const dataset::Sample sample = make_request(4);
+  // Hand-frame the pre-trace wire form: no trailing TraceContext block.
+  const std::string payload = wire::encode_predict_request("m", sample);
+  const int fd = raw_connect(server.port());
+  write_all(fd, wire::encode_frame(wire::FrameType::kPredictRequest, payload));
+
+  const wire::Frame reply = read_frame(fd);
+  ASSERT_EQ(reply.type, wire::FrameType::kPredictResponse);
+  const wire::PredictResponse resp =
+      wire::decode_predict_response_full(reply.payload);
+  // An untraced request gets an untraced response — the server must not
+  // invent an id or bolt attribution onto the legacy form.
+  EXPECT_FALSE(resp.has_trace);
+  EXPECT_EQ(resp.request_id, 0u);
+  EXPECT_EQ(resp.prediction.delay_s.size(),
+            static_cast<std::size_t>(sample.num_pairs()));
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST(NetObs, StallingClientGetsTimeoutErrorThenClose) {
+  ModelRegistry registry(fast_config());
+  registry.install("m", std::make_unique<core::RouteNet>(tiny_config()));
+  NetServer server(registry, loopback_config(/*read_timeout_s=*/0.2));
+  server.start();
+
+  // Send a deliberately partial frame (just the magic) and stall. The
+  // server's read of the remaining header bytes must time out instead of
+  // pinning the handler thread.
+  const int fd = raw_connect(server.port());
+  write_all(fd, std::string_view("RNP1", 4));
+
+  const wire::Frame reply = read_frame(fd);
+  ASSERT_EQ(reply.type, wire::FrameType::kError);
+  const wire::ErrorFrame err = wire::decode_error(reply.payload);
+  EXPECT_EQ(err.code, wire::ErrorCode::kTimeout);
+  // After the error frame the server closes its side: next read is EOF.
+  EXPECT_TRUE(read_upto(fd, 1).empty());
+  ::close(fd);
+
+  // The counter is bumped by the handler thread; give it a beat to land.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().timeouts == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.stats().timeouts, 1u);
+
+  // The timeout must not have taken the server down: a healthy client on
+  // a fresh connection still gets served.
+  NetClient client(server.address());
+  const NetClient::PredictOutcome out =
+      traced_predict(client, "m", make_request(5));
+  EXPECT_TRUE(out.server_traced);
+
+  server.stop();
+}
+
+TEST(NetObs, StatsScrapeReportsCountersModelsAndExemplars) {
+  ModelRegistry registry(fast_config());
+  registry.install("m", std::make_unique<core::RouteNet>(tiny_config()));
+  NetServer server(registry, loopback_config());
+  server.start();
+
+  NetClient client(server.address());
+  const dataset::Sample sample = make_request(6);
+  traced_predict(client, "m", sample);
+
+  const wire::StatsSnapshot first = client.stats();
+  EXPECT_GT(first.server_time_s, 0.0);
+  const std::uint64_t requests_before =
+      counter_value(first, "serve.net.requests_total");
+  EXPECT_GE(requests_before, 1u);
+
+  // The installed model shows up with its registry version.
+  bool saw_model = false;
+  for (const auto& m : first.models) {
+    if (m.name == "m") {
+      saw_model = true;
+      EXPECT_EQ(m.version, 1u);
+      EXPECT_GT(m.parameters, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_model);
+
+  // The latency window carries exemplars, and every exemplar's request id
+  // is one this process actually issued — the id is how a scrape links a
+  // slow sample back to a specific request's trace spans.
+  bool saw_latency_window = false;
+  for (const auto& w : first.windows) {
+    if (w.name != "serve.latency_s") continue;
+    saw_latency_window = true;
+    EXPECT_GE(w.count, 1u);
+    ASSERT_FALSE(w.exemplars.empty());
+    for (const auto& ex : w.exemplars) {
+      EXPECT_TRUE(issued_rids().count(ex.request_id))
+          << "exemplar rid " << ex.request_id
+          << " does not match any issued request id";
+    }
+  }
+  EXPECT_TRUE(saw_latency_window);
+
+  // Counters move between scrapes — what `obs top` renders as deltas.
+  traced_predict(client, "m", sample);
+  traced_predict(client, "m", sample);
+  const wire::StatsSnapshot second = client.stats();
+  EXPECT_GE(counter_value(second, "serve.net.requests_total"),
+            requests_before + 2);
+
+  server.stop();
+}
+
+}  // namespace
+}  // namespace rn::serve

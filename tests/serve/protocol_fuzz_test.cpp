@@ -82,6 +82,95 @@ TEST(ProtocolRoundTrip, PredictResponsePreservesEveryBit) {
   EXPECT_EQ(encode_predict_response(decoded), payload);
 }
 
+TEST(ProtocolRoundTrip, TracedPredictRequestRoundTrips) {
+  const dataset::Sample sample = make_sample(5, 7);
+  TraceContext ctx;
+  ctx.request_id = 0x1122334455667788ULL;
+  ctx.client_send_unix_s = 1.7543e9;
+  const std::string payload = encode_predict_request("prod", sample, ctx);
+  const PredictRequest decoded = decode_predict_request(payload);
+  EXPECT_TRUE(decoded.has_trace);
+  EXPECT_EQ(decoded.trace.request_id, ctx.request_id);
+  EXPECT_EQ(decoded.trace.client_send_unix_s, ctx.client_send_unix_s);
+  EXPECT_EQ(encode_predict_request("prod", decoded.sample, decoded.trace),
+            payload);
+  // The extended form is the legacy form plus exactly the 16-byte trailer:
+  // an id-less server reading only the prefix sees an unchanged request.
+  EXPECT_EQ(payload.substr(0, payload.size() - 16),
+            encode_predict_request("prod", sample));
+}
+
+TEST(ProtocolRoundTrip, LegacyIdLessPredictRequestStillDecodes) {
+  const dataset::Sample sample = make_sample(4, 9);
+  const PredictRequest decoded =
+      decode_predict_request(encode_predict_request("old", sample));
+  EXPECT_FALSE(decoded.has_trace);
+  EXPECT_EQ(decoded.trace.request_id, 0u);
+}
+
+TEST(ProtocolRoundTrip, TracedPredictResponseRoundTrips) {
+  core::RouteNet::Prediction pred;
+  pred.delay_s = {0.001, 0.002};
+  pred.jitter_s = {0.0001, 0.0002};
+  const std::string payload =
+      encode_predict_response(pred, 0xDEADBEEFULL, 0.0031, 0.0074);
+  const PredictResponse decoded = decode_predict_response_full(payload);
+  EXPECT_TRUE(decoded.has_trace);
+  EXPECT_EQ(decoded.request_id, 0xDEADBEEFULL);
+  EXPECT_EQ(decoded.queue_wait_s, 0.0031);
+  EXPECT_EQ(decoded.server_s, 0.0074);
+  EXPECT_EQ(decoded.prediction.delay_s, pred.delay_s);
+  EXPECT_EQ(encode_predict_response(decoded.prediction, decoded.request_id,
+                                    decoded.queue_wait_s, decoded.server_s),
+            payload);
+  // The prediction-only convenience decoder accepts both forms.
+  EXPECT_EQ(decode_predict_response(payload).delay_s, pred.delay_s);
+  const PredictResponse legacy =
+      decode_predict_response_full(encode_predict_response(pred));
+  EXPECT_FALSE(legacy.has_trace);
+}
+
+TEST(ProtocolFuzz, TraceContextValidationRejectsHostileTails) {
+  const dataset::Sample sample = make_sample(4, 3);
+  // Encoders refuse the reserved id 0 and non-finite timestamps.
+  TraceContext ctx;
+  ctx.request_id = 0;
+  ctx.client_send_unix_s = 1.0;
+  EXPECT_THROW(encode_predict_request("m", sample, ctx), ProtocolError);
+  ctx.request_id = 7;
+  ctx.client_send_unix_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(encode_predict_request("m", sample, ctx), ProtocolError);
+
+  // A zero request id forged onto the wire throws on decode.
+  ctx.client_send_unix_s = 1.0;
+  std::string p = encode_predict_request("m", sample, ctx);
+  const std::uint64_t zero = 0;
+  std::memcpy(p.data() + p.size() - 16, &zero, sizeof(zero));
+  EXPECT_THROW(decode_predict_request(p), ProtocolError);
+
+  // The trailing block is all-or-nothing: any length other than 0 or 16
+  // extra bytes is malformed, not silently skipped.
+  const std::string legacy = encode_predict_request("m", sample);
+  for (const int extra : {1, 8, 15, 17}) {
+    std::string r = legacy;
+    r.append(static_cast<std::size_t>(extra), '\x07');
+    EXPECT_THROW(decode_predict_request(r), ProtocolError)
+        << extra << " trailing bytes accepted";
+  }
+  // Same discipline on the response side (24-byte trailer).
+  core::RouteNet::Prediction pred;
+  pred.delay_s = {0.001};
+  pred.jitter_s = {0.0001};
+  const std::string resp = encode_predict_response(pred);
+  for (const int extra : {1, 8, 16, 23, 25}) {
+    std::string r = resp;
+    r.append(static_cast<std::size_t>(extra), '\x07');
+    EXPECT_THROW(decode_predict_response_full(r), ProtocolError)
+        << extra << " trailing bytes accepted";
+  }
+  EXPECT_THROW(encode_predict_response(pred, 0, 0.0, 0.0), ProtocolError);
+}
+
 TEST(ProtocolRoundTrip, ErrorReloadAndControlFrames) {
   const ErrorFrame err =
       decode_error(encode_error(ErrorCode::kRejected, "queue full"));
@@ -161,7 +250,7 @@ TEST(ProtocolFuzz, WrongMagicThrows) {
 }
 
 TEST(ProtocolFuzz, UnknownFrameTypeThrows) {
-  for (const std::uint8_t t : {std::uint8_t{0}, std::uint8_t{8},
+  for (const std::uint8_t t : {std::uint8_t{0}, std::uint8_t{10},
                                std::uint8_t{0x7F}, std::uint8_t{0xFF}}) {
     std::string bytes = encode_frame(FrameType::kShutdownRequest, {});
     bytes[4] = static_cast<char>(t);
@@ -323,7 +412,7 @@ TEST(ProtocolFuzz, AbsurdPairCountInResponseThrows) {
 
 TEST(ProtocolFuzz, UnknownErrorCodeThrows) {
   for (const std::uint16_t code :
-       {std::uint16_t{0}, std::uint16_t{6},
+       {std::uint16_t{0}, std::uint16_t{7},
         std::numeric_limits<std::uint16_t>::max()}) {
     std::string p;
     put_pod(p, code);
@@ -353,6 +442,108 @@ TEST(ProtocolFuzz, EmptyAndGarbagePayloadsThrowEverywhere) {
   EXPECT_THROW(decode_reload_request({}), ProtocolError);
   EXPECT_THROW(decode_reload_response({}), ProtocolError);
   EXPECT_THROW(decode_reload_response(garbage), ProtocolError);
+  EXPECT_THROW(decode_stats_response({}), ProtocolError);
+  EXPECT_THROW(decode_stats_response(garbage), ProtocolError);
+}
+
+// --- Stats snapshot --------------------------------------------------------
+
+StatsSnapshot make_snapshot() {
+  StatsSnapshot snap;
+  snap.server_time_s = 123.456;
+  snap.trace_dropped = 3;
+  snap.trace_sampled_out = 17;
+  snap.counters.push_back({"serve.net.requests_total", 812});
+  snap.counters.push_back({"serve.net.responses_total", 810});
+  snap.gauges.push_back({"serve.net.active_connections", 4.0});
+  snap.histograms.push_back(
+      {"serve.batch_size", 101, 4.25, 4.0, 7.0, 8.0, 8.0});
+  StatsSnapshot::WindowEntry w;
+  w.name = "serve.latency_s";
+  w.window_s = 30.0;
+  w.count = 812;
+  w.p50 = 0.0012;
+  w.p95 = 0.0034;
+  w.p99 = 0.0045;
+  w.exemplars.push_back({31, 0.0013, 0xAABB0001ULL});
+  w.exemplars.push_back({36, 0.0051, 0xAABB0002ULL});
+  snap.windows.push_back(std::move(w));
+  snap.models.push_back({"default", 2, 12345});
+  return snap;
+}
+
+TEST(ProtocolRoundTrip, StatsResponseIsBitwiseStable) {
+  const StatsSnapshot snap = make_snapshot();
+  const std::string payload = encode_stats_response(snap);
+  const StatsSnapshot decoded = decode_stats_response(payload);
+  EXPECT_EQ(decoded.server_time_s, snap.server_time_s);
+  EXPECT_EQ(decoded.trace_dropped, snap.trace_dropped);
+  EXPECT_EQ(decoded.trace_sampled_out, snap.trace_sampled_out);
+  ASSERT_EQ(decoded.counters.size(), snap.counters.size());
+  EXPECT_EQ(decoded.counters[0].name, "serve.net.requests_total");
+  EXPECT_EQ(decoded.counters[0].value, 812u);
+  ASSERT_EQ(decoded.windows.size(), 1u);
+  EXPECT_EQ(decoded.windows[0].p99, 0.0045);
+  ASSERT_EQ(decoded.windows[0].exemplars.size(), 2u);
+  EXPECT_EQ(decoded.windows[0].exemplars[1].request_id, 0xAABB0002ULL);
+  ASSERT_EQ(decoded.models.size(), 1u);
+  EXPECT_EQ(decoded.models[0].version, 2u);
+  // encode(decode(bytes)) == bytes: the codec is canonical, so a hostile
+  // middlebox cannot smuggle bytes an honest re-encode would not produce.
+  EXPECT_EQ(encode_stats_response(decoded), payload);
+}
+
+TEST(ProtocolFuzz, EveryStatsTruncationThrows) {
+  const std::string payload = encode_stats_response(make_snapshot());
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(
+        decode_stats_response(std::string_view(payload.data(), len)),
+        ProtocolError)
+        << "truncation at " << len << " of " << payload.size() << " parsed";
+  }
+  std::string extra = payload;
+  extra.push_back('\0');
+  EXPECT_THROW(decode_stats_response(extra), ProtocolError);
+}
+
+TEST(ProtocolFuzz, HostileStatsCountsThrow) {
+  // Section count over the cap: rejected before any allocation.
+  std::string p;
+  put_pod(p, 123.0);           // server_time_s
+  put_pod(p, std::uint64_t{0});  // trace_dropped
+  put_pod(p, std::uint64_t{0});  // trace_sampled_out
+  put_pod(p, static_cast<std::uint32_t>(kMaxStatsEntries + 1));
+  EXPECT_THROW(decode_stats_response(p), ProtocolError);
+
+  // In-cap count with no entries behind it.
+  std::string q;
+  put_pod(q, 123.0);
+  put_pod(q, std::uint64_t{0});
+  put_pod(q, std::uint64_t{0});
+  put_pod(q, std::uint32_t{100});
+  EXPECT_THROW(decode_stats_response(q), ProtocolError);
+
+  // Exemplar count over the cap inside an otherwise valid window.
+  StatsSnapshot snap = make_snapshot();
+  snap.windows[0].exemplars.assign(
+      kMaxExemplars + 1,
+      StatsSnapshot::ExemplarEntry{1, 0.5, 42});
+  EXPECT_THROW(encode_stats_response(snap), ProtocolError);
+
+  // A zero exemplar request id forged onto the wire throws on decode
+  // (0 is the reserved "untraced" id, so it can never name a request).
+  snap = make_snapshot();
+  snap.windows[0].exemplars.resize(1);
+  std::string enc = encode_stats_response(snap);
+  // The single exemplar's rid is the last 8 bytes before the model section
+  // (name len + name + version + parameters).
+  const std::size_t model_section =
+      sizeof(std::uint32_t) + sizeof(std::uint16_t) +
+      std::string("default").size() + 2 * sizeof(std::uint64_t);
+  const std::size_t rid_off = enc.size() - model_section - sizeof(std::uint64_t);
+  const std::uint64_t zero = 0;
+  std::memcpy(enc.data() + rid_off, &zero, sizeof(zero));
+  EXPECT_THROW(decode_stats_response(enc), ProtocolError);
 }
 
 }  // namespace

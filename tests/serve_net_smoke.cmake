@@ -5,8 +5,15 @@
 # table), a 4-client load-generation run, a hot reload, and a remote
 # shutdown that must drain gracefully. The server's telemetry stream must
 # carry the serve.net.run event, serve.net.* counters, and one
-# serve.registry.swap per load/reload. Invoked with -DRN_CLI=<binary>
-# -DWORK_DIR=<dir>; POSIX sh is used to background the server process.
+# serve.registry.swap per load/reload.
+#
+# Observability end-to-end: both sides run with --trace-out, and the single
+# predict's printed request id must appear as a span arg ("rid":N) in BOTH
+# trace files — one id linking the client's serve.client.request span to
+# the server's queue.wait/batch.assemble/forward decomposition. Two
+# `routenet obs top --count 1` scrapes bracket the load run and the
+# serve.net.requests_total counter must grow between them. Invoked with
+# -DRN_CLI=<binary> -DWORK_DIR=<dir>; POSIX sh backgrounds the server.
 
 if(NOT DEFINED RN_CLI OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "usage: cmake -DRN_CLI=... -DWORK_DIR=... -P serve_net_smoke.cmake")
@@ -45,6 +52,7 @@ execute_process(
   COMMAND sh -c "'${RN_CLI}' serve --listen tcp:127.0.0.1:0 \
 --model mini.model --address-file addr.txt --slo-ms 20 \
 --batch-deadline-ms 2 --metrics-out server.jsonl \
+--trace-out server_trace.json \
 > server.log 2>&1 & echo $! > server.pid"
   WORKING_DIRECTORY "${WORK_DIR}"
   RESULT_VARIABLE rc)
@@ -69,17 +77,36 @@ if(server_addr STREQUAL "")
 endif()
 message(STATUS "server listening on ${server_addr}")
 
-# Single remote predict: the per-pair table must name the worst pair.
+# Single remote predict: the per-pair table must name the worst pair, and
+# the traced round trip must print its request id (captured below for the
+# cross-file trace correlation check).
 run_step("${RN_CLI}" query --connect "${server_addr}" --topology net.topo
-         --routing net.routes --traffic net.traffic --top 3)
+         --routing net.routes --traffic net.traffic --top 3
+         --trace-out client_trace.json)
 string(FIND "${step_out}" "delay" found)
 if(found EQUAL -1)
   message(FATAL_ERROR "single query printed no delay table:\n${step_out}")
 endif()
+string(REGEX MATCH "request id ([0-9]+)" _m "${step_out}")
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "single query printed no request id:\n${step_out}")
+endif()
+set(traced_rid "${CMAKE_MATCH_1}")
+message(STATUS "single predict request id ${traced_rid}")
+
+# First live scrape (obs top over the kStatsRequest frame): one refresh,
+# capturing the request counter before the load run.
+run_step("${RN_CLI}" obs top "${server_addr}" --count 1)
+string(REGEX MATCH "serve\\.net\\.requests_total ([0-9]+)" _m "${step_out}")
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "first scrape has no requests_total:\n${step_out}")
+endif()
+set(requests_before "${CMAKE_MATCH_1}")
 
 # Remote load generation: 4 concurrent clients, 48 requests, all of them
 # must succeed (rejected may be non-zero only under an overloaded queue,
-# which this sizing cannot produce).
+# which this sizing cannot produce). The summary must attribute the
+# server's queue-wait share of the client round trip.
 run_step("${RN_CLI}" query --connect "${server_addr}" --topology net.topo
          --routing net.routes --traffic net.traffic --requests 48
          --clients 4 --metrics-out client.jsonl)
@@ -87,7 +114,35 @@ string(FIND "${step_out}" "ok 48" found)
 if(found EQUAL -1)
   message(FATAL_ERROR "load run did not serve all 48 requests:\n${step_out}")
 endif()
+string(FIND "${step_out}" "server queue wait:" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "load run printed no queue-wait share:\n${step_out}")
+endif()
 run_step("${RN_CLI}" obs summarize client.jsonl)
+
+# Second scrape: the served load must show up as counter growth — the
+# delta `obs top` renders live.
+run_step("${RN_CLI}" obs top "${server_addr}" --count 1)
+string(REGEX MATCH "serve\\.net\\.requests_total ([0-9]+)" _m "${step_out}")
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "second scrape has no requests_total:\n${step_out}")
+endif()
+set(requests_after "${CMAKE_MATCH_1}")
+if(NOT requests_after GREATER requests_before)
+  message(FATAL_ERROR "requests_total did not grow between scrapes: "
+          "${requests_before} -> ${requests_after}")
+endif()
+message(STATUS "scrape delta: requests_total "
+        "${requests_before} -> ${requests_after}")
+# The scrape also renders the model table and the latency window.
+string(FIND "${step_out}" "default v" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "scrape is missing the model table:\n${step_out}")
+endif()
+string(FIND "${step_out}" "serve.latency_s" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "scrape is missing the latency window:\n${step_out}")
+endif()
 
 # Hot reload over the wire bumps the model to version 2.
 run_step("${RN_CLI}" query --connect "${server_addr}" --reload
@@ -142,5 +197,27 @@ foreach(needle "\"kind\":\"serve.net.run\"" "\"kind\":\"serve.net.listen\""
   endif()
 endforeach()
 run_step("${RN_CLI}" obs summarize server.jsonl)
+
+# End-to-end trace correlation: the request id the single predict printed
+# must tag spans in BOTH trace files — the client's round-trip span and the
+# server's read/decode/queue/batch/forward/write decomposition. That is the
+# merged-timeline acceptance: one id, two processes, one request.
+file(READ "${WORK_DIR}/client_trace.json" client_trace)
+foreach(needle "serve.client.request" "\"rid\":${traced_rid}")
+  string(FIND "${client_trace}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "client_trace.json is missing ${needle}")
+  endif()
+endforeach()
+file(READ "${WORK_DIR}/server_trace.json" server_trace)
+foreach(needle "serve.net.request" "serve.net.read" "serve.net.write"
+        "serve.queue.wait" "serve.batch.assemble" "serve.forward"
+        "\"rid\":${traced_rid}")
+  string(FIND "${server_trace}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "server_trace.json is missing ${needle}")
+  endif()
+endforeach()
+run_step("${RN_CLI}" obs trace server_trace.json)
 
 message(STATUS "serve net smoke OK")

@@ -193,6 +193,77 @@ TEST(WindowedHistogramTest, RegistryReturnsSameInstanceAndSnapshots) {
   EXPECT_EQ(w.stats().count, 0u);
 }
 
+// --- Exemplars -------------------------------------------------------------
+
+TEST(WindowedHistogramTest, ExemplarKeepsSlowestTaggedSamplePerBucket) {
+  WindowedHistogram w(30.0, 15);
+  // Three samples in the same log bucket: the largest one's tag must win
+  // regardless of arrival order.
+  ASSERT_EQ(Histogram::bucket_index(0.010), Histogram::bucket_index(0.012));
+  w.record_tagged_at(0.011, 101, 5.0);
+  w.record_tagged_at(0.012, 102, 5.0);
+  w.record_tagged_at(0.010, 103, 5.0);
+  // A clearly different bucket gets its own exemplar.
+  ASSERT_NE(Histogram::bucket_index(0.010), Histogram::bucket_index(1.0));
+  w.record_tagged_at(1.0, 201, 5.0);
+
+  const std::vector<Exemplar> ex = w.exemplars_at(5.0);
+  ASSERT_EQ(ex.size(), 2u);
+  // Ordered by bucket: slow bucket last.
+  EXPECT_EQ(ex[0].bucket, Histogram::bucket_index(0.012));
+  EXPECT_DOUBLE_EQ(ex[0].value, 0.012);
+  EXPECT_EQ(ex[0].tag, 102u);
+  EXPECT_EQ(ex[1].bucket, Histogram::bucket_index(1.0));
+  EXPECT_DOUBLE_EQ(ex[1].value, 1.0);
+  EXPECT_EQ(ex[1].tag, 201u);
+}
+
+TEST(WindowedHistogramTest, UntaggedAndNonPositiveRecordsLeaveNoExemplar) {
+  WindowedHistogram w(30.0, 15);
+  w.record_at(0.5, 5.0);               // untagged: counted, no exemplar
+  w.record_tagged_at(0.25, 0, 5.0);    // tag 0 is the "no tag" sentinel
+  w.record_tagged_at(0.0, 7, 5.0);     // underflow bucket keeps no exemplar
+  w.record_tagged_at(-1.0, 8, 5.0);
+  EXPECT_EQ(w.stats_at(5.0).count, 4u);
+  EXPECT_TRUE(w.exemplars_at(5.0).empty());
+}
+
+TEST(WindowedHistogramTest, ExemplarsExpireWithTheirSlots) {
+  WindowedHistogram w(10.0, 5);
+  w.record_tagged_at(0.5, 42, 1.0);
+  ASSERT_EQ(w.exemplars_at(1.0).size(), 1u);
+  // Still inside the window…
+  EXPECT_EQ(w.exemplars_at(9.9).size(), 1u);
+  // …gone once its slot rotates out, exactly like the sample counts.
+  EXPECT_TRUE(w.exemplars_at(20.0).empty());
+  // A fresh tagged record after expiry starts a new exemplar set.
+  w.record_tagged_at(0.25, 43, 21.0);
+  const std::vector<Exemplar> ex = w.exemplars_at(21.0);
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(ex[0].tag, 43u);
+}
+
+TEST(WindowedHistogramTest, RegistrySnapshotCarriesExemplars) {
+  Registry& reg = Registry::global();
+  reg.reset();
+  WindowedHistogram& w = reg.windowed("test.exemplar_s", 20.0, 10);
+  w.record_tagged(0.125, 0xBEEF);
+  const RegistrySnapshot snap = reg.snapshot();
+  // Registered windows persist across Registry::reset (values clear, names
+  // stay), so earlier tests' windows may still be listed — find ours.
+  const RegistrySnapshot::WindowStats* mine = nullptr;
+  for (const RegistrySnapshot::WindowStats& ws : snap.windows) {
+    if (ws.name == "test.exemplar_s") mine = &ws;
+  }
+  ASSERT_NE(mine, nullptr);
+  ASSERT_EQ(mine->exemplars.size(), 1u);
+  EXPECT_EQ(mine->exemplars[0].tag, 0xBEEFu);
+  EXPECT_DOUBLE_EQ(mine->exemplars[0].value, 0.125);
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos) << json;
+  reg.reset();
+}
+
 // Concurrent writers plus a racing reader; run under tsan via the "tsan"
 // label. Every record lands in the live window, so the final merged count
 // is exact.

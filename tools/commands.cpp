@@ -1,11 +1,14 @@
 #include "commands.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <map>
 #include <memory>
 #include <thread>
 
@@ -415,6 +418,7 @@ int cmd_serve_listen(const Flags& flags) {
 
   serve::NetServerConfig ncfg;
   ncfg.listen = listen;
+  ncfg.read_timeout_s = flags.get_double("read-timeout-s", 30.0);
   const std::string address_file = flags.get_string("address-file", "");
   flags.reject_unused();
 
@@ -439,12 +443,13 @@ int cmd_serve_listen(const Flags& flags) {
   server.stop();
   const serve::NetStats ns = server.stats();
   std::printf("server drained: %llu connections, %llu requests, "
-              "%llu responses, %llu errors (%llu rejected)\n",
+              "%llu responses, %llu errors (%llu rejected, %llu timeouts)\n",
               static_cast<unsigned long long>(ns.connections),
               static_cast<unsigned long long>(ns.requests),
               static_cast<unsigned long long>(ns.responses),
               static_cast<unsigned long long>(ns.errors),
-              static_cast<unsigned long long>(ns.rejected));
+              static_cast<unsigned long long>(ns.rejected),
+              static_cast<unsigned long long>(ns.timeouts));
   if (obs::EventSink::global().enabled()) {
     obs::Event ev("serve.net.run");
     ev.f("address", server.address())
@@ -454,6 +459,7 @@ int cmd_serve_listen(const Flags& flags) {
         .f("responses", ns.responses)
         .f("errors", ns.errors)
         .f("rejected", ns.rejected)
+        .f("timeouts", ns.timeouts)
         .f("bytes_rx", ns.bytes_rx)
         .f("bytes_tx", ns.bytes_tx)
         .f("deadline_final_s", registry.batch_deadline_s());
@@ -628,11 +634,22 @@ int cmd_query(const Flags& flags) {
   RN_CHECK(clients >= 1, "need at least one client");
 
   if (requests == 1) {
-    // One remote predict, reported like a local `predict --top N`.
+    // One remote predict, reported like a local `predict --top N`, plus
+    // the request id (grep it in the client and server trace files to
+    // merge one end-to-end timeline) and the server's time attribution.
     serve::NetClient client(connect);
-    const core::RouteNet::Prediction pred = client.predict(
+    const serve::NetClient::PredictOutcome outcome = client.predict_traced(
         model, dataset::make_inference_sample(sc.topology, sc.scheme,
                                               std::move(sc.tm)));
+    const core::RouteNet::Prediction& pred = outcome.prediction;
+    std::printf("request id %llu  rtt %.3f ms",
+                static_cast<unsigned long long>(outcome.request_id),
+                outcome.rtt_s * 1e3);
+    if (outcome.server_traced) {
+      std::printf("  (server %.3f ms, of which queue wait %.3f ms)",
+                  outcome.server_s * 1e3, outcome.queue_wait_s * 1e3);
+    }
+    std::printf("\n");
     const int pairs = static_cast<int>(pred.delay_s.size());
     std::vector<int> order(static_cast<std::size_t>(pairs));
     for (int i = 0; i < pairs; ++i) order[static_cast<std::size_t>(i)] = i;
@@ -672,6 +689,11 @@ int cmd_query(const Flags& flags) {
   std::atomic<std::uint64_t> ok{0}, rejected{0}, failed{0};
   std::vector<std::vector<double>> latencies(
       static_cast<std::size_t>(clients));
+  // Server-attributed queue wait, summed per client: rtt_sum vs
+  // queue_wait_sum answers "how much of what the client felt was the
+  // server's batching queue" without a second measurement pass.
+  std::vector<double> queue_wait_sums(static_cast<std::size_t>(clients),
+                                      0.0);
   obs::Stopwatch wall;
   std::vector<std::thread> load;
   load.reserve(static_cast<std::size_t>(clients));
@@ -681,13 +703,13 @@ int cmd_query(const Flags& flags) {
       for (;;) {
         const int i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= requests) return;
-        const auto started = std::chrono::steady_clock::now();
         try {
-          client.predict(model, pool[static_cast<std::size_t>(i)]);
-          latencies[static_cast<std::size_t>(c)].push_back(
-              std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            started)
-                  .count());
+          const serve::NetClient::PredictOutcome outcome =
+              client.predict_traced(model,
+                                    pool[static_cast<std::size_t>(i)]);
+          latencies[static_cast<std::size_t>(c)].push_back(outcome.rtt_s);
+          queue_wait_sums[static_cast<std::size_t>(c)] +=
+              outcome.queue_wait_s;
           ok.fetch_add(1, std::memory_order_relaxed);
         } catch (const serve::RemoteError& e) {
           if (e.code() == serve::wire::ErrorCode::kRejected) {
@@ -705,9 +727,15 @@ int cmd_query(const Flags& flags) {
   const double wall_s = wall.elapsed_s();
 
   std::vector<double> all;
+  double rtt_sum = 0.0;
   for (const std::vector<double>& per_client : latencies) {
     all.insert(all.end(), per_client.begin(), per_client.end());
+    for (const double rtt : per_client) rtt_sum += rtt;
   }
+  double queue_wait_sum = 0.0;
+  for (const double qw : queue_wait_sums) queue_wait_sum += qw;
+  const double queue_wait_share =
+      rtt_sum > 0.0 ? queue_wait_sum / rtt_sum : 0.0;
   std::sort(all.begin(), all.end());
   const auto quantile = [&](double q) {
     if (all.empty()) return 0.0;
@@ -725,6 +753,9 @@ int cmd_query(const Flags& flags) {
               static_cast<unsigned long long>(rejected.load()),
               static_cast<unsigned long long>(failed.load()), wall_s,
               throughput, quantile(0.5) * 1e3, quantile(0.99) * 1e3);
+  std::printf("server queue wait: %.1f%% of client rtt "
+              "(%.3f s of %.3f s total)\n",
+              100.0 * queue_wait_share, queue_wait_sum, rtt_sum);
   if (obs::EventSink::global().enabled()) {
     obs::Event ev("serve.client.run");
     ev.f("address", connect)
@@ -736,7 +767,9 @@ int cmd_query(const Flags& flags) {
         .f("wall_s", wall_s)
         .f("throughput_rps", throughput)
         .f("rtt_p50_s", quantile(0.5))
-        .f("rtt_p99_s", quantile(0.99));
+        .f("rtt_p99_s", quantile(0.99))
+        .f("queue_wait_s", queue_wait_sum)
+        .f("queue_wait_share", queue_wait_share);
     obs::EventSink::global().emit(ev);
   }
   return failed.load() == 0 ? 0 : 1;
@@ -842,6 +875,122 @@ int cmd_info(const Flags& flags) {
   return 2;
 }
 
+namespace {
+
+// `obs top ADDR [--every-s N] [--count N]`: live view over the kStats
+// scrape. Each refresh opens a fresh connection (so a crashed scrape never
+// wedges the view), renders the server's windows/gauges/counters, and
+// shows counter deltas against the previous scrape. Rows are one
+// `name value [+delta]` per line so shell tests can grep them.
+int cmd_obs_top(const std::vector<std::string>& args) {
+  const std::string address = args[0];
+  double every_s = 2.0;
+  long count = 0;  // 0 = until interrupted
+  for (std::size_t i = 1; i < args.size(); i += 2) {
+    if (args[i] == "--every-s" && i + 1 < args.size()) {
+      every_s = std::stod(args[i + 1]);
+    } else if (args[i] == "--count" && i + 1 < args.size()) {
+      count = std::stol(args[i + 1]);
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown obs top option '%s' (want --every-s N "
+                   "or --count N)\n",
+                   args[i].c_str());
+      return 2;
+    }
+  }
+  RN_CHECK(every_s > 0.0, "--every-s must be positive");
+
+  const bool tty = ::isatty(STDOUT_FILENO) == 1;
+  std::map<std::string, std::uint64_t> prev_counters;
+  for (long scrape = 1; count == 0 || scrape <= count; ++scrape) {
+    serve::wire::StatsSnapshot snap;
+    try {
+      serve::NetClient client(address);
+      snap = client.stats();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: scrape of %s failed: %s\n",
+                   address.c_str(), e.what());
+      return 1;
+    }
+    if (tty && scrape > 1) std::fputs("\033[H\033[2J", stdout);
+    std::printf("obs top — %s  scrape %ld  server clock %.1fs\n",
+                address.c_str(), scrape, snap.server_time_s);
+    std::printf("trace.dropped %llu  trace.sampled_out %llu\n",
+                static_cast<unsigned long long>(snap.trace_dropped),
+                static_cast<unsigned long long>(snap.trace_sampled_out));
+    if (!snap.models.empty()) {
+      std::printf("models:\n");
+      for (const auto& m : snap.models) {
+        std::printf("  %s v%llu  params %llu\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.version),
+                    static_cast<unsigned long long>(m.parameters));
+      }
+    }
+    if (!snap.windows.empty()) {
+      std::printf("windows:\n");
+      for (const auto& w : snap.windows) {
+        std::printf("  %s  window %.0fs  n %llu  p50 %.6f  p95 %.6f  "
+                    "p99 %.6f\n",
+                    w.name.c_str(), w.window_s,
+                    static_cast<unsigned long long>(w.count), w.p50, w.p95,
+                    w.p99);
+        // The slowest exemplar is the request to chase: grep its rid in
+        // the trace files for the full span timeline.
+        const serve::wire::StatsSnapshot::ExemplarEntry* slowest = nullptr;
+        for (const auto& e : w.exemplars) {
+          if (slowest == nullptr || e.value > slowest->value) slowest = &e;
+        }
+        if (slowest != nullptr) {
+          std::printf("    exemplar rid %llu  value %.6f  bucket %u\n",
+                      static_cast<unsigned long long>(slowest->request_id),
+                      slowest->value,
+                      static_cast<unsigned>(slowest->bucket));
+        }
+      }
+    }
+    if (!snap.gauges.empty()) {
+      std::printf("gauges:\n");
+      for (const auto& g : snap.gauges) {
+        std::printf("  %s %.6g\n", g.name.c_str(), g.value);
+      }
+    }
+    if (!snap.histograms.empty()) {
+      std::printf("histograms:\n");
+      for (const auto& h : snap.histograms) {
+        std::printf("  %s  n %llu  mean %.6g  p50 %.6g  p99 %.6g  "
+                    "max %.6g\n",
+                    h.name.c_str(),
+                    static_cast<unsigned long long>(h.count), h.mean, h.p50,
+                    h.p99, h.max);
+      }
+    }
+    if (!snap.counters.empty()) {
+      std::printf("counters:\n");
+      for (const auto& c : snap.counters) {
+        const auto it = prev_counters.find(c.name);
+        if (it != prev_counters.end()) {
+          std::printf("  %s %llu +%llu\n", c.name.c_str(),
+                      static_cast<unsigned long long>(c.value),
+                      static_cast<unsigned long long>(
+                          c.value >= it->second ? c.value - it->second : 0));
+        } else {
+          std::printf("  %s %llu\n", c.name.c_str(),
+                      static_cast<unsigned long long>(c.value));
+        }
+        prev_counters[c.name] = c.value;
+      }
+    }
+    std::fflush(stdout);
+    if (count == 0 || scrape < count) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(every_s));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
 int cmd_obs(const std::vector<std::string>& args) {
   // Both summarizers throw on a missing or malformed file; a bad path is
   // an expected operator mistake, so report one line and a nonzero exit
@@ -864,6 +1013,10 @@ int cmd_obs(const std::vector<std::string>& args) {
       }
       std::fputs(obs::summarize_trace_file(args[1], top_n).c_str(), stdout);
       return 0;
+    }
+    if (args.size() >= 2 && args[0] == "top") {
+      return cmd_obs_top(
+          std::vector<std::string>(args.begin() + 1, args.end()));
     }
     if (args.size() >= 3 && args[0] == "diff") {
       obs::DiffOptions opts;
@@ -906,7 +1059,8 @@ int cmd_obs(const std::vector<std::string>& args) {
       "usage: routenet obs summarize <metrics.jsonl>\n"
       "       routenet obs trace <trace.json> [top_n]\n"
       "       routenet obs diff <baseline.json> <candidate.json> "
-      "[--threshold pct]\n");
+      "[--threshold pct]\n"
+      "       routenet obs top <address> [--every-s N] [--count N]\n");
   return 2;
 }
 

@@ -62,18 +62,25 @@ int usage() {
       "                 (or unix:PATH) it becomes the RNP/1 network server:\n"
       "                 --models name=path,... routes by model name with\n"
       "                 hot reload, --address-file publishes the bound\n"
-      "                 address, --slo-ms enables p99-adaptive batching\n"
+      "                 address, --slo-ms enables p99-adaptive batching,\n"
+      "                 --read-timeout-s bounds stalled connections\n"
       "  query          RNP/1 client: --connect ADDR + a scenario for one\n"
-      "                 remote predict (--top N), --requests/--clients for\n"
-      "                 a socket load generator, --reload for a hot\n"
-      "                 reload, --shutdown to drain the server\n"
+      "                 remote predict (--top N; prints the request id and\n"
+      "                 the server's queue-wait attribution),\n"
+      "                 --requests/--clients for a socket load generator\n"
+      "                 reporting client p50/p99 + the server's queue-wait\n"
+      "                 share, --reload for a hot reload, --shutdown to\n"
+      "                 drain the server\n"
       "  whatif         rank link upgrades & failures with a trained model\n"
       "  info           describe a topology / dataset / model artifact\n"
       "  obs            telemetry tools: `obs summarize <file.jsonl>`,\n"
       "                 `obs trace <trace.json> [top_n]`,\n"
       "                 `obs diff BASELINE.json CANDIDATE.json\n"
       "                 [--threshold pct]` — bench-regression gate, exits 1\n"
-      "                 on regressions past the threshold (default 10%%)\n\n"
+      "                 on regressions past the threshold (default 10%%);\n"
+      "                 `obs top ADDR [--every-s N] [--count N]` — live\n"
+      "                 view of a serving process over the RNP/1 stats\n"
+      "                 scrape (window p99s, exemplars, counter deltas)\n\n"
       "global flags: --metrics-out PATH (or RN_METRICS_OUT) streams JSONL\n"
       "telemetry events; run `routenet obs summarize PATH` to roll it up.\n"
       "--stats-every-s S (or RN_STATS_EVERY_S) additionally emits a\n"
