@@ -186,7 +186,18 @@ double Trainer::evaluate_jitter_mre(
 
 TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
                          const std::vector<dataset::Sample>* eval) {
-  RN_CHECK(!train.empty(), "empty training set");
+  dataset::VectorSampleSource source(train);
+  return fit(source, eval);
+}
+
+TrainReport Trainer::fit(dataset::SampleSource& train,
+                         const std::vector<dataset::Sample>* eval) {
+  RN_CHECK(train.size() > 0, "empty training set");
+  // The epoch-order cursor (and RNCKPT2's on-disk form) indexes samples
+  // with int32; sources beyond that need a sharded multi-run recipe.
+  RN_CHECK(train.size() <= static_cast<std::uint64_t>(
+                               std::numeric_limits<std::int32_t>::max()),
+           "training source exceeds the int32 epoch cursor");
   obs::TraceSpan fit_span("trainer.fit");
   if (cfg_.threads > 0) par::set_global_threads(cfg_.threads);
   model_.set_normalizer(
@@ -196,7 +207,7 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
   Rng shuffle_rng(cfg_.shuffle_seed);
   Rng dropout_rng(cfg_.shuffle_seed ^ 0xa5a5a5a5ull);
 
-  std::vector<int> order(train.size());
+  std::vector<int> order(static_cast<std::size_t>(train.size()));
   for (std::size_t i = 0; i < order.size(); ++i) {
     order[i] = static_cast<int>(i);
   }
@@ -280,7 +291,7 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
       if (name == "dropout") restore_engine(dropout_rng, state);
     }
     if (st.has_cursor) {
-      RN_CHECK(st.order.size() == train.size(),
+      RN_CHECK(st.order.size() == static_cast<std::size_t>(train.size()),
                "checkpoint " + loaded_path + " was trained on " +
                    std::to_string(st.order.size()) +
                    " samples but this dataset has " +
@@ -386,6 +397,11 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
   SignalGuard signal_guard(cfg_.handle_signals);
   bool stop_all = false;
   bool interrupted = false;
+  // Minibatch staging, reused across batches. `chunk` holds pointers the
+  // source keeps valid until its next materialize() call — exactly one
+  // batch long, which is what bounds a streamed corpus's resident set.
+  std::vector<std::uint64_t> batch_indices;
+  std::vector<const dataset::Sample*> chunk;
   // First observed grad/param norm ratio per module — the reference the
   // drift watchdog compares every later epoch against.
   std::map<std::string, double> drift_baseline;
@@ -421,11 +437,12 @@ TrainReport Trainer::fit(const std::vector<dataset::Sample>& train,
       batch_span.arg("batch", batches);
       const std::size_t end = std::min(
           order.size(), start + static_cast<std::size_t>(cfg_.batch_size));
-      std::vector<const dataset::Sample*> chunk;
-      chunk.reserve(end - start);
+      batch_indices.clear();
+      batch_indices.reserve(end - start);
       for (std::size_t i = start; i < end; ++i) {
-        chunk.push_back(&train[static_cast<std::size_t>(order[i])]);
+        batch_indices.push_back(static_cast<std::uint64_t>(order[i]));
       }
+      train.materialize(batch_indices.data(), batch_indices.size(), chunk);
       const GraphBatch batch = GraphBatch::from_samples(
           chunk, model_.normalizer(), /*with_targets=*/true);
       if (batch.valid_paths.empty()) continue;  // nothing to learn from

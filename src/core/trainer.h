@@ -9,6 +9,7 @@
 
 #include "core/routenet.h"
 #include "dataset/dataset.h"
+#include "dataset/stream.h"
 
 namespace rn::core {
 
@@ -108,6 +109,14 @@ class Trainer {
   // Fits the model. The normalizer is (re)fitted on `train` before the
   // first epoch so checkpoints are self-contained. `eval` may be null.
   TrainReport fit(const std::vector<dataset::Sample>& train,
+                  const std::vector<dataset::Sample>* eval = nullptr);
+
+  // Same loop over any SampleSource — the streaming entry point. An
+  // in-RAM vector and a StreamingDataset over the same samples yield
+  // bitwise-identical models (the vector overload above is a thin wrapper
+  // over this one), and checkpoints/resume work identically: the cursor
+  // records shuffled sample indices, not storage layout.
+  TrainReport fit(dataset::SampleSource& train,
                   const std::vector<dataset::Sample>* eval = nullptr);
 
   // Mean relative delay error of the current model over a sample set

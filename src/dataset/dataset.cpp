@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <mutex>
 #include <optional>
+#include <sstream>
 
+#include "ag/serialize.h"
+#include "dataset/codec.h"
+#include "dataset/stream.h"
 #include "obs/event.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
@@ -120,13 +125,13 @@ Sample DatasetGenerator::generate(
   return generate_at(std::move(topology), next_index_++);
 }
 
-std::vector<Sample> DatasetGenerator::generate_many(
-    std::shared_ptr<const topo::Topology> topology, int count,
-    const std::function<void(int, int)>& progress) {
-  RN_CHECK(count >= 0, "negative sample count");
-  const std::uint64_t first = next_index_;
-  next_index_ += static_cast<std::uint64_t>(count);
-
+std::vector<Sample> DatasetGenerator::generate_range(
+    std::shared_ptr<const topo::Topology> topology, std::uint64_t first_index,
+    std::uint64_t count,
+    const std::function<void(std::uint64_t, std::uint64_t)>& progress) const {
+  RN_CHECK(count <= static_cast<std::uint64_t>(
+                        std::numeric_limits<std::int64_t>::max()),
+           "sample count overflows the scheduler range");
   obs::Registry& reg = obs::Registry::global();
   obs::Histogram& h_sample = reg.histogram("dataset.sample_gen_s");
   obs::Counter& c_samples = reg.counter("dataset.samples_total");
@@ -135,18 +140,18 @@ std::vector<Sample> DatasetGenerator::generate_many(
   // per sample (simulations are seconds-long, so task overhead is noise).
   obs::Stopwatch watch;
   obs::TraceSpan gen_span("dataset.generate_many");
-  gen_span.arg("samples", count);
+  gen_span.arg("samples", static_cast<std::int64_t>(count));
   std::vector<std::optional<Sample>> slots(static_cast<std::size_t>(count));
   std::mutex progress_mu;
-  int completed = 0;
-  par::parallel_for(0, count, /*grain=*/1, [&](std::int64_t lo,
-                                               std::int64_t hi) {
+  std::uint64_t completed = 0;
+  par::parallel_for(0, static_cast<std::int64_t>(count), /*grain=*/1,
+                    [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
       obs::ScopedTimer timer(h_sample);
       obs::TraceSpan sample_span("dataset.sample");
       sample_span.arg("index", i);
       slots[static_cast<std::size_t>(i)] =
-          generate_at(topology, first + static_cast<std::uint64_t>(i));
+          generate_at(topology, first_index + static_cast<std::uint64_t>(i));
       c_samples.add(1);
       if (progress) {
         std::lock_guard<std::mutex> lock(progress_mu);
@@ -163,13 +168,22 @@ std::vector<Sample> DatasetGenerator::generate_many(
   obs::EventSink& sink = obs::EventSink::global();
   if (sink.enabled() && count > 0) {
     obs::Event ev("dataset.generate_many");
-    ev.f("samples", count)
+    ev.f("samples", static_cast<std::int64_t>(count))
         .f("threads", par::global_threads())
         .f("wall_s", wall_s)
-        .f("samples_per_s", wall_s > 0.0 ? count / wall_s : 0.0);
+        .f("samples_per_s",
+           wall_s > 0.0 ? static_cast<double>(count) / wall_s : 0.0);
     sink.emit(ev);
   }
   return out;
+}
+
+std::vector<Sample> DatasetGenerator::generate_many(
+    std::shared_ptr<const topo::Topology> topology, std::uint64_t count,
+    const std::function<void(std::uint64_t, std::uint64_t)>& progress) {
+  const std::uint64_t first = next_index_;
+  next_index_ += count;
+  return generate_range(std::move(topology), first, count, progress);
 }
 
 double Normalizer::normalize_delay(double delay_s) const {
@@ -197,37 +211,8 @@ double Normalizer::denormalize_jitter(double z) const {
 Normalizer fit_normalizer(const std::vector<Sample>& samples,
                           bool log_space) {
   RN_CHECK(!samples.empty(), "cannot fit normalizer on empty dataset");
-  Welford log_delay, log_jitter;
-  double max_capacity = 0.0;
-  double sum_traffic = 0.0;
-  std::size_t traffic_count = 0;
-  const auto transform = [log_space](double x) {
-    return log_space ? std::log(std::max(x, kMinPositive)) : x;
-  };
-  for (const Sample& s : samples) {
-    for (const topo::Link& l : s.topology->links()) {
-      max_capacity = std::max(max_capacity, l.capacity_bps);
-    }
-    for (int idx = 0; idx < s.num_pairs(); ++idx) {
-      sum_traffic += s.tm.rate_by_index(idx);
-      ++traffic_count;
-      if (!s.valid[static_cast<std::size_t>(idx)]) continue;
-      log_delay.add(transform(s.delay_s[static_cast<std::size_t>(idx)]));
-      log_jitter.add(transform(s.jitter_s[static_cast<std::size_t>(idx)]));
-    }
-  }
-  RN_CHECK(log_delay.count() >= 2, "not enough valid paths to normalize");
-  Normalizer norm;
-  norm.log_space = log_space;
-  norm.capacity_scale = max_capacity > 0.0 ? 1.0 / max_capacity : 1.0;
-  const double mean_traffic =
-      sum_traffic / static_cast<double>(std::max<std::size_t>(1, traffic_count));
-  norm.traffic_scale = mean_traffic > 0.0 ? 1.0 / mean_traffic : 1.0;
-  norm.log_delay_mean = log_delay.mean();
-  norm.log_delay_std = std::max(1e-6, log_delay.stddev());
-  norm.log_jitter_mean = log_jitter.mean();
-  norm.log_jitter_std = std::max(1e-6, log_jitter.stddev());
-  return norm;
+  VectorSampleSource source(samples);
+  return fit_normalizer(source, log_space);
 }
 
 std::pair<std::vector<Sample>, std::vector<Sample>> split_dataset(
@@ -252,123 +237,26 @@ std::pair<std::vector<Sample>, std::vector<Sample>> split_dataset(
   return {std::move(first), std::move(second)};
 }
 
-namespace {
-
-constexpr char kMagic[] = "RNDATA1\n";
-constexpr std::size_t kMagicLen = 8;
-
-template <typename T>
-void write_pod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::ifstream& in) {
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  RN_CHECK(in.good(), "truncated dataset file");
-  return v;
-}
-
-void write_string(std::ofstream& out, const std::string& s) {
-  write_pod(out, static_cast<std::uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string read_string(std::ifstream& in) {
-  const auto len = read_pod<std::uint32_t>(in);
-  std::string s(len, '\0');
-  in.read(s.data(), len);
-  RN_CHECK(in.good(), "truncated dataset string");
-  return s;
-}
-
-}  // namespace
-
 void save_dataset(const std::string& path,
                   const std::vector<Sample>& samples) {
-  std::ofstream out(path, std::ios::binary);
-  RN_CHECK(out.good(), "cannot open dataset for writing: " + path);
-  out.write(kMagic, kMagicLen);
-  write_pod(out, static_cast<std::uint32_t>(samples.size()));
-  for (const Sample& s : samples) {
-    const topo::Topology& t = *s.topology;
-    write_string(out, t.name());
-    write_pod(out, static_cast<std::int32_t>(t.num_nodes()));
-    write_pod(out, static_cast<std::int32_t>(t.num_links()));
-    for (const topo::Link& l : t.links()) {
-      write_pod(out, static_cast<std::int32_t>(l.src));
-      write_pod(out, static_cast<std::int32_t>(l.dst));
-      write_pod(out, l.capacity_bps);
-      write_pod(out, l.prop_delay_s);
-    }
-    for (int idx = 0; idx < t.num_pairs(); ++idx) {
-      const routing::Path& p = s.routing.path_by_index(idx);
-      write_pod(out, static_cast<std::uint32_t>(p.size()));
-      for (topo::LinkId id : p) write_pod(out, static_cast<std::int32_t>(id));
-    }
-    for (int idx = 0; idx < t.num_pairs(); ++idx) {
-      write_pod(out, s.tm.rate_by_index(idx));
-    }
-    for (int idx = 0; idx < t.num_pairs(); ++idx) {
-      write_pod(out, s.delay_s[static_cast<std::size_t>(idx)]);
-      write_pod(out, s.jitter_s[static_cast<std::size_t>(idx)]);
-      write_pod(out, s.valid[static_cast<std::size_t>(idx)]);
-    }
-    write_pod(out, s.max_link_utilization);
-  }
-  RN_CHECK(out.good(), "write failure on dataset: " + path);
+  RN_CHECK(samples.size() <= 0xffffffffull,
+           "legacy RNDATA1 container caps at u32 samples; use RNDS1 shards");
+  std::string out;
+  out.append(kDatasetMagic, kDatasetMagicLen);
+  put_pod(out, static_cast<std::uint32_t>(samples.size()));
+  for (const Sample& s : samples) encode_sample(out, s);
+  // Temp + rename: a crash mid-write never leaves a torn dataset behind.
+  ag::atomic_write_file(path, out);
 }
 
 std::vector<Sample> load_dataset(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   RN_CHECK(in.good(), "cannot open dataset for reading: " + path);
-  char magic[kMagicLen];
-  in.read(magic, kMagicLen);
-  RN_CHECK(in.good() && std::string(magic, kMagicLen) == kMagic,
-           "bad dataset magic in " + path);
-  const auto count = read_pod<std::uint32_t>(in);
-  std::vector<Sample> samples;
-  samples.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::string name = read_string(in);
-    const auto num_nodes = read_pod<std::int32_t>(in);
-    const auto num_links = read_pod<std::int32_t>(in);
-    auto topology = std::make_shared<topo::Topology>(name, num_nodes);
-    for (std::int32_t l = 0; l < num_links; ++l) {
-      const auto src = read_pod<std::int32_t>(in);
-      const auto dst = read_pod<std::int32_t>(in);
-      const auto cap = read_pod<double>(in);
-      const auto prop = read_pod<double>(in);
-      topology->add_link(src, dst, cap, prop);
-    }
-    routing::RoutingScheme scheme(num_nodes);
-    for (int idx = 0; idx < topology->num_pairs(); ++idx) {
-      const auto len = read_pod<std::uint32_t>(in);
-      routing::Path p(len);
-      for (auto& id : p) id = read_pod<std::int32_t>(in);
-      const auto [src, dst] = topo::pair_from_index(idx, num_nodes);
-      scheme.set_path(src, dst, std::move(p));
-    }
-    traffic::TrafficMatrix tm(num_nodes);
-    for (int idx = 0; idx < topology->num_pairs(); ++idx) {
-      const auto [src, dst] = topo::pair_from_index(idx, num_nodes);
-      tm.set_rate_bps(src, dst, read_pod<double>(in));
-    }
-    Sample s{topology, std::move(scheme), std::move(tm), {}, {}, {}, 0.0};
-    const int pairs = topology->num_pairs();
-    s.delay_s.resize(static_cast<std::size_t>(pairs));
-    s.jitter_s.resize(static_cast<std::size_t>(pairs));
-    s.valid.resize(static_cast<std::size_t>(pairs));
-    for (int idx = 0; idx < pairs; ++idx) {
-      s.delay_s[static_cast<std::size_t>(idx)] = read_pod<double>(in);
-      s.jitter_s[static_cast<std::size_t>(idx)] = read_pod<double>(in);
-      s.valid[static_cast<std::size_t>(idx)] = read_pod<std::uint8_t>(in);
-    }
-    s.max_link_utilization = read_pod<double>(in);
-    samples.push_back(std::move(s));
-  }
-  return samples;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  RN_CHECK(!in.bad(), "read failure on dataset: " + path);
+  const std::string bytes = std::move(buf).str();
+  return parse_dataset_bytes(bytes, path);
 }
 
 }  // namespace rn::dataset

@@ -83,12 +83,22 @@ class DatasetGenerator {
   // next sample index.
   Sample generate(std::shared_ptr<const topo::Topology> topology);
 
-  // `count` scenarios, simulated concurrently on the global thread pool
-  // (bitwise identical at any thread count); optional progress callback
-  // (completed, count), serialized and monotone.
+  // `count` scenarios at explicit global indices [first_index, first_index
+  // + count), simulated concurrently on the global thread pool (bitwise
+  // identical at any thread count); optional progress callback (completed,
+  // count), serialized and monotone. This is the shard generator's entry
+  // point: it never touches the internal cursor. Indices are u64
+  // end-to-end — paper-scale corpora overflow int.
+  std::vector<Sample> generate_range(
+      std::shared_ptr<const topo::Topology> topology,
+      std::uint64_t first_index, std::uint64_t count,
+      const std::function<void(std::uint64_t, std::uint64_t)>& progress = {})
+      const;
+
+  // `count` scenarios at the internal cursor, advancing it.
   std::vector<Sample> generate_many(
-      std::shared_ptr<const topo::Topology> topology, int count,
-      const std::function<void(int, int)>& progress = {});
+      std::shared_ptr<const topo::Topology> topology, std::uint64_t count,
+      const std::function<void(std::uint64_t, std::uint64_t)>& progress = {});
 
   const GeneratorConfig& config() const { return cfg_; }
 
@@ -128,7 +138,12 @@ Normalizer fit_normalizer(const std::vector<Sample>& samples,
 std::pair<std::vector<Sample>, std::vector<Sample>> split_dataset(
     std::vector<Sample> samples, double first_fraction, std::uint64_t seed);
 
-// Binary dataset (de)serialization, including the topology of each sample.
+// Binary dataset (de)serialization in the legacy RNDATA1 container,
+// including the topology of each sample. Writes go through a temp file +
+// atomic rename (a crash never leaves a torn dataset); reads are fully
+// bounds-checked (codec.h) — truncated or corrupted files throw instead of
+// over-allocating. For the sharded, CRC-indexed RNDS1 container see
+// shard.h; for streaming consumption see stream.h.
 void save_dataset(const std::string& path, const std::vector<Sample>& samples);
 std::vector<Sample> load_dataset(const std::string& path);
 

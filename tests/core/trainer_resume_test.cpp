@@ -18,6 +18,8 @@
 #include <gtest/gtest.h>
 
 #include "ag/serialize.h"
+#include "dataset/shard.h"
+#include "dataset/stream.h"
 #include "topology/generators.h"
 
 namespace rn::core {
@@ -283,6 +285,76 @@ TEST(TrainerResume, ResumeRejectsDatasetOfDifferentSize) {
   Trainer trainer(other, resume_cfg);
   EXPECT_THROW(trainer.fit(smaller), std::runtime_error);
   remove_base(base);
+}
+
+TEST(TrainerResume, StreamedKillAndResumeBitwiseIdentical) {
+  // Same kill-and-resume contract, but the corpus is an RNDS1 shard
+  // streamed from disk: the epoch cursor records sample INDICES, not
+  // storage, so a resume over a StreamingDataset replays the exact
+  // minibatch sequence and lands on the uninterrupted bit pattern.
+  dataset::GeneratorConfig gcfg;
+  gcfg.target_pkts_per_flow = 60.0;
+  gcfg.warmup_s = 0.5;
+  gcfg.min_delivered = 5;
+  auto topology = std::make_shared<const topo::Topology>(topo::ring(6));
+  const std::string shard = temp_base("resume_stream.rnds");
+  dataset::generate_shard(shard, gcfg, 21, topology, 10, 0, 1);
+
+  const std::string ref_base = temp_base("resume_stream_ref.ckpt");
+  const std::string run_base = temp_base("resume_stream_run.ckpt");
+  remove_base(ref_base);
+  remove_base(run_base);
+
+  RouteNet reference(small_model());
+  {
+    dataset::StreamingDataset train(shard);
+    Trainer trainer(reference, base_config(1, ref_base));
+    const TrainReport report = trainer.fit(train);
+    ASSERT_FALSE(report.interrupted);
+  }
+
+  {
+    dataset::StreamingDataset train(shard);
+    RouteNet crashed(small_model());
+    TrainConfig cfg = base_config(1, run_base);
+    cfg.checkpoint_every_n_batches = 2;
+    cfg.max_batches = 7;  // dies cold mid-epoch-2, after the batch-6 save
+    Trainer trainer(crashed, cfg);
+    const TrainReport report = trainer.fit(train);
+    EXPECT_TRUE(report.interrupted);
+  }
+
+  RouteNet resumed(small_model());
+  {
+    dataset::StreamingDataset train(shard);
+    TrainConfig cfg = base_config(1, run_base);
+    cfg.checkpoint_every_n_batches = 2;
+    cfg.resume_from = run_base;
+    Trainer trainer(resumed, cfg);
+    const TrainReport report = trainer.fit(train);
+    ASSERT_FALSE(report.interrupted);
+  }
+
+  expect_params_bitwise_equal(resumed, reference);
+  expect_optimizer_state_bitwise_equal(run_base, ref_base);
+
+  // Cross-container equivalence: the same 10 samples trained from RAM
+  // must land on the same bits as the streamed reference run.
+  const std::vector<dataset::Sample> in_ram = tiny_dataset(10, 21);
+  const std::string ram_base = temp_base("resume_stream_ram.ckpt");
+  remove_base(ram_base);
+  RouteNet from_ram(small_model());
+  {
+    Trainer trainer(from_ram, base_config(1, ram_base));
+    const TrainReport report = trainer.fit(in_ram);
+    ASSERT_FALSE(report.interrupted);
+  }
+  expect_params_bitwise_equal(from_ram, reference);
+
+  remove_base(ref_base);
+  remove_base(run_base);
+  remove_base(ram_base);
+  std::remove(shard.c_str());
 }
 
 }  // namespace

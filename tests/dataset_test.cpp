@@ -1,6 +1,7 @@
 #include "dataset/dataset.h"
 
 #include <cmath>
+#include <fstream>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -66,12 +67,36 @@ TEST(DatasetGenerator, GenerateManyWithProgress) {
   DatasetGenerator gen(fast_config(), 4);
   int calls = 0;
   const std::vector<Sample> samples = gen.generate_many(
-      shared_nsfnet(), 3, [&](int done, int total) {
+      shared_nsfnet(), 3, [&](std::uint64_t done, std::uint64_t total) {
         ++calls;
         EXPECT_LE(done, total);
       });
   EXPECT_EQ(samples.size(), 3u);
   EXPECT_EQ(calls, 3);
+}
+
+TEST(DatasetGenerator, GenerateRangeMatchesGenerateMany) {
+  const auto topo_ptr = shared_nsfnet();
+  DatasetGenerator cursor_gen(fast_config(), 21);
+  const std::vector<Sample> via_many = cursor_gen.generate_many(topo_ptr, 4);
+  const DatasetGenerator range_gen(fast_config(), 21);
+  const std::vector<Sample> tail = range_gen.generate_range(topo_ptr, 2, 2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].delay_s, via_many[2].delay_s);
+  EXPECT_EQ(tail[1].delay_s, via_many[3].delay_s);
+}
+
+TEST(Serialization, SaveIsAtomic) {
+  // save_dataset goes through temp + rename: no *.tmp litter afterwards,
+  // and an existing file is replaced wholesale, never torn.
+  DatasetGenerator gen(fast_config(), 22);
+  const std::vector<Sample> samples = gen.generate_many(shared_nsfnet(), 1);
+  const std::string path = ::testing::TempDir() + "atomic_ds.bin";
+  save_dataset(path, samples);
+  save_dataset(path, samples);  // overwrite must also succeed
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  EXPECT_EQ(load_dataset(path).size(), 1u);
 }
 
 TEST(DatasetGenerator, UtilizationStaysInConfiguredRange) {

@@ -13,6 +13,8 @@
 #include <thread>
 
 #include "core/trainer.h"
+#include "dataset/shard.h"
+#include "dataset/stream.h"
 #include "obs/diff.h"
 #include "obs/event.h"
 #include "obs/metrics.h"
@@ -217,31 +219,174 @@ int cmd_gen_dataset(const Flags& flags) {
   cfg.max_util = flags.get_double("max-util", 0.8);
   cfg.target_pkts_per_flow = flags.get_double("pkts-per-flow", 100.0);
   cfg.model = traffic_model_from(flags);
-  const int count = flags.get_int("count", 50);
+  const std::int64_t count = flags.get_int64("count", 50);
+  RN_CHECK(count >= 0, "negative sample count");
   const std::uint64_t seed = flags.get_seed("seed", 1);
   const std::string out = flags.require_string("out");
   flags.reject_unused();
 
   dataset::DatasetGenerator gen(cfg, seed);
-  const std::vector<dataset::Sample> samples =
-      gen.generate_many(topology, count, [](int i, int n) {
+  const std::vector<dataset::Sample> samples = gen.generate_many(
+      topology, static_cast<std::uint64_t>(count),
+      [](std::uint64_t i, std::uint64_t n) {
         if (i % 10 == 0 || i == n) {
-          std::printf("  %d/%d\n", i, n);
+          std::printf("  %llu/%llu\n",
+                      static_cast<unsigned long long>(i),
+                      static_cast<unsigned long long>(n));
           std::fflush(stdout);
         }
       });
   dataset::save_dataset(out, samples);
-  std::printf("%d samples on %s -> %s\n", count, topology->name().c_str(),
+  std::printf("%lld samples on %s -> %s\n",
+              static_cast<long long>(count), topology->name().c_str(),
               out.c_str());
   return 0;
 }
 
+namespace {
+
+// "--shard I/N": 0-based shard index out of N processes.
+std::pair<std::uint32_t, std::uint32_t> parse_shard_spec(
+    const std::string& spec) {
+  const std::size_t slash = spec.find('/');
+  RN_CHECK(slash != std::string::npos && slash > 0 && slash + 1 < spec.size(),
+           "--shard expects I/N (e.g. 2/4), got '" + spec + "'");
+  unsigned long i = 0;
+  unsigned long n = 0;
+  try {
+    i = std::stoul(spec.substr(0, slash));
+    n = std::stoul(spec.substr(slash + 1));
+  } catch (const std::exception&) {
+    RN_CHECK(false, "--shard expects I/N (e.g. 2/4), got '" + spec + "'");
+  }
+  RN_CHECK(n >= 1 && n <= 0xffffffffull && i < n,
+           "--shard index must satisfy 0 <= I < N");
+  return {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(n)};
+}
+
+std::vector<std::string> split_comma_paths(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                   : comma - pos);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  RN_CHECK(!out.empty(), "--inputs expects a comma-separated file list");
+  return out;
+}
+
+}  // namespace
+
+int cmd_dataset(const std::string& sub, const Flags& flags) {
+  if (sub == "gen") {
+    // Flags mirror gen-dataset exactly, so `dataset gen` with the same
+    // seed/config produces the same samples the legacy command does —
+    // just in the RNDS1 container, and only the index range this shard
+    // owns. --count is the TOTAL corpus size across all shards.
+    auto topology = resolve_topology(flags.require_string("topology"),
+                                     flags.get_seed("seed", 1));
+    dataset::GeneratorConfig cfg;
+    cfg.k_paths = flags.get_int("k", 3);
+    cfg.min_util = flags.get_double("min-util", 0.3);
+    cfg.max_util = flags.get_double("max-util", 0.8);
+    cfg.target_pkts_per_flow = flags.get_double("pkts-per-flow", 100.0);
+    cfg.model = traffic_model_from(flags);
+    const std::int64_t total = flags.get_int64("count", 50);
+    RN_CHECK(total >= 0, "negative sample count");
+    const std::uint64_t seed = flags.get_seed("seed", 1);
+    const auto [shard_index, shard_count] =
+        parse_shard_spec(flags.get_string("shard", "0/1"));
+    const std::string out = flags.require_string("out");
+    flags.reject_unused();
+
+    const std::uint64_t file_bytes = dataset::generate_shard(
+        out, cfg, seed, topology, static_cast<std::uint64_t>(total),
+        shard_index, shard_count,
+        [](std::uint64_t i, std::uint64_t n) {
+          if (i % 10 == 0 || i == n) {
+            std::printf("  %llu/%llu\n",
+                        static_cast<unsigned long long>(i),
+                        static_cast<unsigned long long>(n));
+            std::fflush(stdout);
+          }
+        });
+    const std::uint64_t first = dataset::shard_first(
+        static_cast<std::uint64_t>(total), shard_index, shard_count);
+    const std::uint64_t last = dataset::shard_first(
+        static_cast<std::uint64_t>(total), shard_index + 1, shard_count);
+    std::printf("shard %u/%u: %llu samples (global [%llu, %llu)) on %s -> "
+                "%s (%llu bytes)\n",
+                shard_index, shard_count,
+                static_cast<unsigned long long>(last - first),
+                static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(last),
+                topology->name().c_str(), out.c_str(),
+                static_cast<unsigned long long>(file_bytes));
+    return 0;
+  }
+  if (sub == "verify") {
+    const std::vector<std::string> inputs =
+        split_comma_paths(flags.require_string("inputs"));
+    flags.reject_unused();
+    const std::vector<dataset::ShardSummary> summaries =
+        dataset::verify_shards(inputs);
+    std::uint64_t total = 0;
+    for (const dataset::ShardSummary& s : summaries) {
+      std::printf("  ok %s: shard %u/%u, %llu samples [%llu, %llu), "
+                  "%llu bytes\n",
+                  s.path.c_str(), s.header.shard_index, s.header.shard_count,
+                  static_cast<unsigned long long>(s.header.count),
+                  static_cast<unsigned long long>(s.header.first_index),
+                  static_cast<unsigned long long>(s.header.first_index +
+                                                  s.header.count),
+                  static_cast<unsigned long long>(s.file_bytes));
+      total += s.header.count;
+    }
+    std::printf("verified %zu shard(s): %llu samples, seed %llu, every "
+                "record CRC ok\n",
+                summaries.size(), static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(
+                    summaries.front().header.seed));
+    return 0;
+  }
+  if (sub == "merge") {
+    const std::vector<std::string> inputs =
+        split_comma_paths(flags.require_string("inputs"));
+    const std::string out = flags.require_string("out");
+    flags.reject_unused();
+    const std::uint64_t bytes = dataset::merge_shards(out, inputs);
+    std::printf("merged %zu shard(s) -> %s (%llu bytes)\n", inputs.size(),
+                out.c_str(), static_cast<unsigned long long>(bytes));
+    return 0;
+  }
+  std::fprintf(stderr,
+               "unknown dataset subcommand '%s' (expected gen|verify|merge)\n",
+               sub.c_str());
+  return 2;
+}
+
 int cmd_train(const Flags& flags) {
-  const std::vector<dataset::Sample> train =
-      dataset::load_dataset(flags.require_string("dataset"));
+  const std::string train_path = flags.require_string("dataset");
+  // RNDS1 shards stream from disk through the mmap-backed source — the
+  // corpus never has to fit in RAM; legacy RNDATA1 blobs (no record
+  // index) load fully, exactly as before.
+  const bool streamed = dataset::is_shard_file(train_path);
+  std::vector<dataset::Sample> train_vec;
+  std::unique_ptr<dataset::SampleSource> source;
+  if (streamed) {
+    source = std::make_unique<dataset::StreamingDataset>(train_path);
+  } else {
+    train_vec = dataset::load_dataset(train_path);
+    source = std::make_unique<dataset::VectorSampleSource>(train_vec);
+  }
   std::vector<dataset::Sample> eval_set;
   if (flags.has("eval")) {
-    eval_set = dataset::load_dataset(flags.require_string("eval"));
+    eval_set = dataset::load_any_dataset(flags.require_string("eval"));
   }
   core::RouteNetConfig mcfg;
   mcfg.link_state_dim = flags.get_int("dim", 32);
@@ -268,11 +413,12 @@ int cmd_train(const Flags& flags) {
   flags.reject_unused();
 
   core::RouteNet model(mcfg);
-  std::printf("training on %zu samples (%zu parameters)...\n", train.size(),
-              model.num_parameters());
+  std::printf("training on %llu samples%s (%zu parameters)...\n",
+              static_cast<unsigned long long>(source->size()),
+              streamed ? " [streamed]" : "", model.num_parameters());
   core::Trainer trainer(model, tcfg);
   const core::TrainReport report =
-      trainer.fit(train, eval_set.empty() ? nullptr : &eval_set);
+      trainer.fit(*source, eval_set.empty() ? nullptr : &eval_set);
   if (report.interrupted) {
     if (tcfg.state_path.empty()) {
       std::printf("training interrupted; no --ckpt-state was set, so no "
@@ -297,7 +443,7 @@ int cmd_eval(const Flags& flags) {
   const core::RouteNet model =
       core::RouteNet::load(flags.require_string("model"));
   const std::vector<dataset::Sample> samples =
-      dataset::load_dataset(flags.require_string("dataset"));
+      dataset::load_any_dataset(flags.require_string("dataset"));
   flags.reject_unused();
   const eval::PairedSeries series = eval::collect_delay_pairs(
       samples,
@@ -836,9 +982,44 @@ int cmd_info(const Flags& flags) {
     return 0;
   }
   if (flags.has("dataset")) {
-    const std::vector<dataset::Sample> samples =
-        dataset::load_dataset(flags.require_string("dataset"));
+    const std::string path = flags.require_string("dataset");
     flags.reject_unused();
+    if (dataset::is_shard_file(path)) {
+      // Stream the stats: one decoded sample resident at a time, so info
+      // works on corpora that don't fit in RAM.
+      dataset::ShardReader reader(path);
+      const dataset::ShardHeader& h = reader.header();
+      RN_CHECK(reader.size() > 0, "dataset is empty");
+      Welford delays;
+      std::string topo_name;
+      int topo_nodes = 0;
+      for (std::uint64_t i = 0; i < reader.size(); ++i) {
+        const dataset::Sample s = reader.sample(i);
+        if (i == 0) {
+          topo_name = s.topology->name();
+          topo_nodes = s.topology->num_nodes();
+        }
+        for (int idx = 0; idx < s.num_pairs(); ++idx) {
+          if (s.valid[static_cast<std::size_t>(idx)]) {
+            delays.add(s.delay_s[static_cast<std::size_t>(idx)]);
+          }
+        }
+      }
+      std::printf(
+          "RNDS1 shard %u/%u: %llu samples (global [%llu, %llu)) on %s "
+          "(%d nodes), seed %llu, %llu bytes\n",
+          h.shard_index, h.shard_count,
+          static_cast<unsigned long long>(h.count),
+          static_cast<unsigned long long>(h.first_index),
+          static_cast<unsigned long long>(h.first_index + h.count),
+          topo_name.c_str(), topo_nodes,
+          static_cast<unsigned long long>(h.seed),
+          static_cast<unsigned long long>(reader.file_bytes()));
+      std::printf("%zu valid paths, mean delay %.3f ms\n", delays.count(),
+                  delays.mean() * 1e3);
+      return 0;
+    }
+    const std::vector<dataset::Sample> samples = dataset::load_dataset(path);
     RN_CHECK(!samples.empty(), "dataset is empty");
     Welford delays;
     for (const dataset::Sample& s : samples) {

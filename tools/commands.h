@@ -30,8 +30,21 @@ int cmd_simulate(const Flags& flags);
 // [--pkts-per-flow N] [--bursty] --out FILE
 int cmd_gen_dataset(const Flags& flags);
 
+// Sharded RNDS1 corpus pipeline (subcommand is argv[2]):
+//   dataset gen    --topology SPEC --count TOTAL [--shard I/N] [--seed S]
+//                  [--k K] [--min-util U] [--max-util U] [--pkts-per-flow P]
+//                  [--bursty] --out FILE
+//                  Generates exactly the global index range shard I of N
+//                  owns; N merged shards are bitwise identical to one
+//                  unsharded run.
+//   dataset verify --inputs a.rnds,b.rnds,...
+//                  Header-coherence + full per-record CRC check.
+//   dataset merge  --inputs a.rnds,b.rnds,... --out FILE
+int cmd_dataset(const std::string& sub, const Flags& flags);
+
 // Trains RouteNet: --dataset FILE [--eval FILE] [--epochs N] [--batch N]
-// [--lr F] [--dim N] [--iterations N] [--seed S] --out MODEL
+// [--lr F] [--dim N] [--iterations N] [--seed S] --out MODEL.
+// An RNDS1 --dataset streams from disk (mmap) instead of loading into RAM.
 int cmd_train(const Flags& flags);
 
 // Evaluates a model on a dataset: --model FILE --dataset FILE

@@ -70,6 +70,16 @@ int Flags::get_int(const std::string& name, int fallback) const {
   }
 }
 
+std::int64_t Flags::get_int64(const std::string& name,
+                              std::int64_t fallback) const {
+  if (!has(name)) return fallback;
+  try {
+    return std::stoll(raw(name));
+  } catch (const std::exception&) {
+    fail("flag --" + name + " expects an integer, got '" + raw(name) + "'");
+  }
+}
+
 double Flags::get_double(const std::string& name, double fallback) const {
   if (!has(name)) return fallback;
   try {

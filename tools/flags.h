@@ -5,6 +5,7 @@
 // CLI turns into usage help.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -30,6 +31,9 @@ class Flags {
   std::string require_string(const std::string& name) const;
 
   int get_int(const std::string& name, int fallback) const;
+  // 64-bit variant for flags that count samples — paper-scale corpora
+  // overflow int.
+  std::int64_t get_int64(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name) const;  // false unless present
   std::uint64_t get_seed(const std::string& name,

@@ -45,6 +45,16 @@ int usage() {
       "  make-traffic   draw a traffic matrix at a target utilization\n"
       "  simulate       run the packet-level simulator on a scenario\n"
       "  gen-dataset    generate a labeled training/eval dataset\n"
+      "  dataset        sharded RNDS1 corpus pipeline:\n"
+      "                 `dataset gen --count TOTAL --shard I/N --out F`\n"
+      "                 generates exactly the index range shard I of N\n"
+      "                 owns (CRC-indexed, atomically written; N merged\n"
+      "                 shards are bitwise identical to one unsharded\n"
+      "                 run); `dataset verify --inputs a,b,...` checks\n"
+      "                 header coherence + every record CRC;\n"
+      "                 `dataset merge --inputs a,b,... --out F` combines\n"
+      "                 a complete shard set. `train --dataset F` streams\n"
+      "                 RNDS1 files from disk instead of loading them\n"
       "  train          train RouteNet on a dataset; --ckpt-state BASE +\n"
       "                 --ckpt-every N checkpoint full training state\n"
       "                 (params, Adam moments, RNG streams, cursor) with\n"
@@ -113,9 +123,16 @@ int main(int argc, char** argv) {
       const std::vector<std::string> args(argv + 2, argv + argc);
       return rn::cli::cmd_obs(args);
     }
+    // `dataset` carries a subcommand at argv[2]; its flags start after it.
+    const bool is_dataset = (cmd == "dataset");
+    if (is_dataset && argc < 3) {
+      std::fprintf(stderr, "dataset: expected a subcommand "
+                           "(gen|verify|merge)\n\n");
+      return usage();
+    }
     const std::vector<std::string> bool_flags = {"bursty", "force-overflow",
                                                  "reload", "shutdown"};
-    const rn::cli::Flags flags(argc, argv, 2, bool_flags);
+    const rn::cli::Flags flags(argc, argv, is_dataset ? 3 : 2, bool_flags);
     // Telemetry sink is process-global: open it before dispatch so every
     // layer (trainer, simulator, message passing) streams to one file.
     // A resumed run appends instead of truncating, so the pre-crash
@@ -136,6 +153,7 @@ int main(int argc, char** argv) {
     // --threads N beats RN_THREADS beats hardware_concurrency.
     rn::par::set_global_threads(flags.get_int("threads", 0));
     const int rc = [&]() -> int {
+      if (is_dataset) return rn::cli::cmd_dataset(argv[2], flags);
       if (cmd == "make-topology") return rn::cli::cmd_make_topology(flags);
       if (cmd == "make-routing") return rn::cli::cmd_make_routing(flags);
       if (cmd == "make-traffic") return rn::cli::cmd_make_traffic(flags);
